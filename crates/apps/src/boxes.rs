@@ -1,0 +1,313 @@
+//! The application boxes of §IV: `splitter`, `solver`, `init`, `merge`
+//! and `genImg`.
+//!
+//! These are the "algorithm engineering" half of the paper's separation
+//! of concerns: plain functions from value parameters to output
+//! records, with no knowledge of concurrency, placement or scheduling.
+//! All coordination — who runs where, what synchronizes with what — is
+//! expressed in the networks of [`crate::nets`].
+
+use crate::data::{copy_ops, expect, field, ChunkData, PicData, SceneData, SectData};
+use crate::schedule::Schedule;
+use parking_lot::Mutex;
+use snet_core::boxdef::{BoxDef, BoxOutput, BoxSig, Work};
+use snet_core::{Record, SnetError};
+use snet_raytracer::{render_section, Counters, Image};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Where `genImg` deposits the final picture (and where the experiment
+/// driver collects it).
+pub type ImageSlot = Arc<Mutex<Option<Image>>>;
+
+/// Creates an empty image slot.
+pub fn image_slot() -> ImageSlot {
+    Arc::new(Mutex::new(None))
+}
+
+/// `box splitter ((scene, <nodes>, <tasks>, <tokens>, <sched>, <cpus>)
+///               -> (scene, sect, <node>, <cpu>, <tasks>, <fst>)
+///                | (scene, sect, <node>, <cpu>, <tasks>)
+///                | (scene, sect, <tasks>))`
+///
+/// Divides the image plane into `<tasks>` sections sized by the
+/// schedule encoded in `<sched>`. The first `<tokens>` sections carry a
+/// `<node>` tag (round-robin over `<nodes>` nodes) — these are the
+/// initial node tokens of §IV.B; the rest are emitted without a node
+/// flag and wait for tokens. With `<cpus>` > 1 a `<cpu>` tag
+/// distinguishes per-CPU solver instances (the `(solver!<cpu>)!@<node>`
+/// variant of §V). Section 0 is flagged `<fst>` for the merger's
+/// initializer. The box also charges the BVH construction work
+/// (Algorithm 1, line 3) — the baseline charges the same at its root.
+pub fn splitter_box() -> BoxDef {
+    BoxDef::from_fn(
+        BoxSig::parse(
+            "splitter",
+            &["scene", "<nodes>", "<tasks>", "<tokens>", "<sched>", "<cpus>"],
+            &[
+                &["scene", "sect", "<node>", "<cpu>", "<tasks>", "<fst>"],
+                &["scene", "sect", "<node>", "<cpu>", "<tasks>"],
+                &["scene", "sect", "<tasks>"],
+            ],
+        ),
+        |input: &Record| {
+            let scene_val = input.field("scene").expect("splitter needs a scene").clone();
+            let sd: &SceneData = expect(&scene_val, "scene");
+            let nodes = input.tag("nodes").unwrap_or(1).max(1);
+            let tasks = input.tag("tasks").unwrap_or(1).max(1) as u32;
+            let tokens = input.tag("tokens").unwrap_or(tasks as i64).max(0);
+            let sched = Schedule::from_tag(input.tag("sched").unwrap_or(0));
+            let cpus = input.tag("cpus").unwrap_or(1).max(1);
+
+            let sections = sched.sections(sd.height, tasks);
+            let mut records = Vec::with_capacity(sections.len());
+            for (i, sect) in sections.into_iter().enumerate() {
+                let mut rec = Record::new()
+                    .with_field("scene", scene_val.clone())
+                    .with_field("sect", field(SectData(sect)))
+                    .with_tag("tasks", tasks as i64);
+                if (i as i64) < tokens {
+                    rec.set_tag("node", i as i64 % nodes);
+                    if cpus > 1 {
+                        rec.set_tag("cpu", (i as i64 / nodes) % cpus);
+                    }
+                }
+                if i == 0 {
+                    rec.set_tag("fst", 1);
+                }
+                records.push(rec);
+            }
+            // BVH construction (shipped with the scene) plus per-section
+            // bookkeeping.
+            let bvh_ops =
+                sd.scene.shapes.len() as u64 * sd.bvh.depth().max(1) as u64 * 40;
+            Ok(BoxOutput::many(records, Work::ops(bvh_ops + 200 * tasks as u64)))
+        },
+    )
+}
+
+/// `box solver ((scene, sect) -> (chunk))` — renders one section
+/// (Algorithm 2 per pixel). The reported work is the tracer's exact
+/// deterministic operation count for that section.
+pub fn solver_box() -> BoxDef {
+    BoxDef::from_fn(
+        BoxSig::parse("solver", &["scene", "sect"], &[&["chunk"]]),
+        |input: &Record| {
+            let scene_val = input.field("scene").expect("solver needs a scene");
+            let sd: &SceneData = expect(scene_val, "scene");
+            let sect_val = input.field("sect").expect("solver needs a section");
+            let sect: &SectData = expect(sect_val, "sect");
+            let mut counters = Counters::default();
+            let chunk = render_section(
+                &sd.scene,
+                &sd.bvh,
+                sd.width,
+                sd.height,
+                sect.0,
+                &mut counters,
+            );
+            let out = Record::new().with_field(
+                "chunk",
+                field(ChunkData {
+                    chunk,
+                    img_height: sd.height,
+                }),
+            );
+            Ok(BoxOutput::one(out, Work::ops(counters.ops())))
+        },
+    )
+}
+
+/// `box init ((chunk, <fst>) -> (pic))` — seeds the accumulator picture
+/// from the flagged first chunk (§IV.A).
+pub fn init_box() -> BoxDef {
+    BoxDef::from_fn(
+        BoxSig::parse("init", &["chunk", "<fst>"], &[&["pic"]]),
+        |input: &Record| {
+            let chunk_val = input.field("chunk").expect("init needs a chunk");
+            let cd: &ChunkData = expect(chunk_val, "chunk");
+            let mut img = Image::new(cd.chunk.width, cd.img_height);
+            img.blit(&cd.chunk);
+            let work = copy_ops(cd.chunk.wire_bytes());
+            Ok(BoxOutput::one(
+                Record::new().with_field("pic", field(PicData(img))),
+                Work::ops(work),
+            ))
+        },
+    )
+}
+
+/// `box merge ((chunk, pic) -> (pic))` — inserts one chunk into the
+/// accumulator. The charged work models the in-place insertion the C
+/// implementation performs (one memcpy of the chunk); the Rust
+/// implementation clones the accumulator to stay a pure function, but
+/// that purely in-process copy is not part of the modelled cost.
+pub fn merge_box() -> BoxDef {
+    BoxDef::from_fn(
+        BoxSig::parse("merge", &["chunk", "pic"], &[&["pic"]]),
+        |input: &Record| {
+            let chunk_val = input.field("chunk").expect("merge needs a chunk");
+            let cd: &ChunkData = expect(chunk_val, "chunk");
+            let pic_val = input.field("pic").expect("merge needs a pic");
+            let pd: &PicData = expect(pic_val, "pic");
+            let mut img = pd.0.clone();
+            img.blit(&cd.chunk);
+            let work = copy_ops(cd.chunk.wire_bytes());
+            Ok(BoxOutput::one(
+                Record::new().with_field("pic", field(PicData(img))),
+                Work::ops(work),
+            ))
+        },
+    )
+}
+
+/// `box genImg ((pic) -> ())` — writes the completed picture "to a
+/// file" (§IV.A): into the experiment's [`ImageSlot`], and optionally
+/// to a real PPM file.
+pub fn gen_img_box(slot: ImageSlot, path: Option<PathBuf>) -> BoxDef {
+    BoxDef::from_fn(BoxSig::parse("genImg", &["pic"], &[&[]]), move |input: &Record| {
+        let pic_val = input.field("pic").expect("genImg needs a pic");
+        let pd: &PicData = expect(pic_val, "pic");
+        if let Some(p) = &path {
+            pd.0.write_ppm(p)
+                .map_err(|e| SnetError::Engine(format!("genImg write failed: {e}")))?;
+        }
+        let work = copy_ops(pd.0.wire_bytes());
+        *slot.lock() = Some(pd.0.clone());
+        Ok(BoxOutput::many(Vec::new(), Work::ops(work)))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snet_core::Value;
+    use snet_raytracer::{Scene, ScenePreset, Section};
+
+    fn scene_value(w: u32, h: u32) -> Value {
+        let scene = Arc::new(Scene::preset(ScenePreset::Balanced, 12, 5));
+        let (bvh, _) = scene.build_bvh();
+        field(SceneData {
+            scene,
+            bvh: Arc::new(bvh),
+            width: w,
+            height: h,
+        })
+    }
+
+    fn splitter_input(nodes: i64, tasks: i64, tokens: i64, cpus: i64) -> Record {
+        Record::new()
+            .with_field("scene", scene_value(64, 64))
+            .with_tag("nodes", nodes)
+            .with_tag("tasks", tasks)
+            .with_tag("tokens", tokens)
+            .with_tag("sched", Schedule::Block.to_tag())
+            .with_tag("cpus", cpus)
+    }
+
+    #[test]
+    fn splitter_static_assigns_every_section_a_node() {
+        let out = splitter_box().func.call(&splitter_input(4, 8, 8, 1)).unwrap();
+        assert_eq!(out.records.len(), 8);
+        for (i, r) in out.records.iter().enumerate() {
+            assert_eq!(r.tag("node"), Some(i as i64 % 4));
+            assert_eq!(r.tag("tasks"), Some(8));
+            assert!(r.has_field("scene") && r.has_field("sect"));
+            assert_eq!(r.has_tag("fst"), i == 0);
+            assert!(!r.has_tag("cpu"), "single-CPU run must not tag cpus");
+        }
+        assert!(out.work.ops > 0, "splitter charges BVH construction");
+    }
+
+    #[test]
+    fn splitter_dynamic_leaves_late_sections_untagged() {
+        let out = splitter_box().func.call(&splitter_input(4, 12, 5, 1)).unwrap();
+        let tagged: Vec<bool> = out.records.iter().map(|r| r.has_tag("node")).collect();
+        assert_eq!(tagged.iter().filter(|&&b| b).count(), 5);
+        assert!(tagged[..5].iter().all(|&b| b), "leading sections carry tokens");
+        assert!(tagged[5..].iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn splitter_two_cpu_tags_second_wave() {
+        let out = splitter_box().func.call(&splitter_input(4, 8, 8, 2)).unwrap();
+        for (i, r) in out.records.iter().enumerate() {
+            assert_eq!(r.tag("cpu"), Some((i as i64 / 4) % 2));
+        }
+    }
+
+    #[test]
+    fn splitter_sections_tile_the_image() {
+        let out = splitter_box().func.call(&splitter_input(2, 5, 5, 1)).unwrap();
+        let mut rows = 0;
+        for r in &out.records {
+            let sect: &SectData = expect(r.field("sect").unwrap(), "sect");
+            rows += sect.0.rows();
+        }
+        assert_eq!(rows, 64);
+    }
+
+    #[test]
+    fn solver_renders_the_section() {
+        let input = Record::new()
+            .with_field("scene", scene_value(32, 32))
+            .with_field("sect", field(SectData(Section::new(8, 16))));
+        let out = solver_box().func.call(&input).unwrap();
+        assert_eq!(out.records.len(), 1);
+        let cd: &ChunkData = expect(out.records[0].field("chunk").unwrap(), "chunk");
+        assert_eq!(cd.chunk.y0, 8);
+        assert_eq!(cd.chunk.rows(), 8);
+        assert_eq!(cd.img_height, 32);
+        assert!(out.work.ops > 0, "render work must be charged");
+    }
+
+    #[test]
+    fn init_and_merge_assemble_the_picture() {
+        // Render two halves directly, then drive init + merge by hand.
+        let scene_val = scene_value(32, 32);
+        let solve = |y0: u32, y1: u32| {
+            let input = Record::new()
+                .with_field("scene", scene_val.clone())
+                .with_field("sect", field(SectData(Section::new(y0, y1))));
+            solver_box().func.call(&input).unwrap().records.remove(0)
+        };
+        let top = solve(0, 16);
+        let bottom = solve(16, 32);
+
+        let init_in = top.clone().with_tag("fst", 1);
+        let pic0 = init_box().func.call(&init_in).unwrap().records.remove(0);
+        let merge_in = Record::new()
+            .with_field("chunk", bottom.field("chunk").unwrap().clone())
+            .with_field("pic", pic0.field("pic").unwrap().clone());
+        let merged = merge_box().func.call(&merge_in).unwrap().records.remove(0);
+        let pd: &PicData = expect(merged.field("pic").unwrap(), "pic");
+
+        // Compare against the sequential reference.
+        let sd: &SceneData = expect(&scene_val, "scene");
+        let mut c = Counters::default();
+        let reference = snet_raytracer::render_full(&sd.scene, 32, 32, &mut c);
+        assert_eq!(pd.0, reference, "merged picture must equal the direct render");
+    }
+
+    #[test]
+    fn gen_img_fills_the_slot() {
+        let slot = image_slot();
+        let img = Image::new(4, 4);
+        let input = Record::new().with_field("pic", field(PicData(img.clone())));
+        let out = gen_img_box(Arc::clone(&slot), None).func.call(&input).unwrap();
+        assert!(out.records.is_empty(), "genImg emits nothing");
+        assert_eq!(slot.lock().as_ref(), Some(&img));
+    }
+
+    #[test]
+    fn gen_img_writes_ppm_when_asked() {
+        let dir = std::env::temp_dir().join("rsnet-genimg-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("final.ppm");
+        let slot = image_slot();
+        let input = Record::new().with_field("pic", field(PicData(Image::new(2, 2))));
+        gen_img_box(slot, Some(path.clone())).func.call(&input).unwrap();
+        assert!(path.exists());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,155 @@
+//! Opaque field payloads for the ray-tracing records.
+//!
+//! Fields are "entirely opaque to S-Net" (§III): the coordination layer
+//! only moves them and asks for their wire size. These wrappers carry
+//! the tracer's data types through records, reporting realistic
+//! serialized sizes to the network model.
+
+use snet_core::value::AnyData;
+use snet_core::Value;
+use snet_raytracer::{Bvh, Chunk, Image, Scene, Section};
+use std::any::Any;
+use std::sync::Arc;
+
+/// Application-level memcpy cost (abstract ops per byte). Used by both
+/// the S-Net boxes (chunk/image assembly) and the MPI baseline's root
+/// gather, so the two substrates charge identical application work.
+pub const MEMCPY_OPS_PER_BYTE: f64 = 0.05;
+
+/// Ops for copying `bytes` of application data.
+pub fn copy_ops(bytes: usize) -> u64 {
+    (bytes as f64 * MEMCPY_OPS_PER_BYTE) as u64
+}
+
+/// The `scene` field: geometry plus its prebuilt BVH.
+///
+/// The BVH is built once at the root (Algorithm 1, line 3) and shipped
+/// with the scene, exactly once per record transfer — its nodes are
+/// counted in the wire size.
+#[derive(Debug)]
+pub struct SceneData {
+    /// The scene (shared, never copied in-process).
+    pub scene: Arc<Scene>,
+    /// Acceleration structure over `scene.shapes`.
+    pub bvh: Arc<Bvh>,
+    /// Output image width.
+    pub width: u32,
+    /// Output image height.
+    pub height: u32,
+}
+
+impl AnyData for SceneData {
+    fn approx_bytes(&self) -> usize {
+        self.scene.wire_bytes() + self.bvh.node_count() * 56
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// The `sect` field: one horizontal strip assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectData(pub Section);
+
+impl AnyData for SectData {
+    fn approx_bytes(&self) -> usize {
+        8
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// The `chunk` field: rendered pixels of one section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkData {
+    /// The rendered strip.
+    pub chunk: Chunk,
+    /// Full image height (the merger needs it to size the accumulator).
+    pub img_height: u32,
+}
+
+impl AnyData for ChunkData {
+    fn approx_bytes(&self) -> usize {
+        self.chunk.wire_bytes()
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// The `pic` field: the accumulating (or final) picture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PicData(pub Image);
+
+impl AnyData for PicData {
+    fn approx_bytes(&self) -> usize {
+        self.0.wire_bytes()
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Convenience: wraps a value implementing [`AnyData`] into a field.
+pub fn field<T: AnyData>(v: T) -> Value {
+    Value::data(v)
+}
+
+/// Downcasts a record field, panicking with a readable message on a
+/// type confusion (always a wiring bug).
+pub fn expect<'a, T: 'static>(value: &'a Value, what: &str) -> &'a T {
+    value
+        .downcast_ref::<T>()
+        .unwrap_or_else(|| panic!("field `{what}` carries the wrong payload type"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snet_raytracer::{Scene, ScenePreset};
+
+    #[test]
+    fn wire_sizes_are_plausible() {
+        let scene = Arc::new(Scene::preset(ScenePreset::Balanced, 50, 1));
+        let (bvh, _) = scene.build_bvh();
+        let sd = SceneData {
+            scene: Arc::clone(&scene),
+            bvh: Arc::new(bvh),
+            width: 100,
+            height: 100,
+        };
+        assert!(sd.approx_bytes() > 50 * 48, "scene bytes too small");
+        let c = ChunkData {
+            chunk: Chunk {
+                y0: 0,
+                width: 100,
+                pixels: vec![[0, 0, 0]; 1000],
+            },
+            img_height: 100,
+        };
+        assert_eq!(c.approx_bytes(), 3016);
+        assert_eq!(SectData(Section::new(0, 10)).approx_bytes(), 8);
+    }
+
+    #[test]
+    fn field_round_trip() {
+        let v = field(SectData(Section::new(3, 9)));
+        let s: &SectData = expect(&v, "sect");
+        assert_eq!(s.0, Section::new(3, 9));
+        assert_eq!(v.approx_bytes(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong payload type")]
+    fn expect_panics_on_type_confusion() {
+        let v = field(SectData(Section::new(0, 1)));
+        let _: &PicData = expect(&v, "pic");
+    }
+
+    #[test]
+    fn copy_ops_scale() {
+        assert_eq!(copy_ops(0), 0);
+        assert_eq!(copy_ops(1000), 50);
+    }
+}

@@ -1,0 +1,188 @@
+//! The C/MPI baseline: "the implementation we use in this paper
+//! distributes an image evenly across all cluster nodes and processes
+//! these independently. The root process collects all sub-results and
+//! assembles the completed scene" (§II).
+//!
+//! Runs on the same simulated cluster and charges exactly the same
+//! application work (BVH build, per-section render counters, memcpy
+//! assembly) as the S-Net variants — but none of the S-Net runtime's
+//! per-record overhead, because it is hand-written message passing.
+
+use crate::data::copy_ops;
+use crate::experiment::Workload;
+use parking_lot::Mutex;
+use snet_core::SnetError;
+use snet_raytracer::{render_section, split_rows, Bvh, Chunk, Counters, Image, Scene};
+use snet_simnet::{Cluster, ClusterSpec, MpiComm, Simulation};
+use std::sync::Arc;
+
+/// Messages exchanged by the baseline.
+#[derive(Clone, Debug)]
+enum Payload {
+    /// Root broadcasts the scene plus its prebuilt BVH.
+    Scene(Arc<Scene>, Arc<Bvh>),
+    /// Workers return their rendered strip.
+    Chunk(Chunk),
+}
+
+/// Result of one baseline run.
+#[derive(Debug)]
+pub struct MpiOutcome {
+    /// Virtual runtime in seconds.
+    pub makespan_secs: f64,
+    /// The assembled picture.
+    pub image: Image,
+    /// Number of MPI ranks used.
+    pub ranks: usize,
+}
+
+/// Runs the baseline with `ranks_per_node` MPI processes per node
+/// (Fig 6 uses 1 and 2: "the experiments were re-run with two processes
+/// per node by starting 2n MPI jobs on n nodes").
+pub fn run_mpi_raytrace(
+    wl: &Workload,
+    nodes: usize,
+    ranks_per_node: usize,
+    cluster_spec: ClusterSpec,
+) -> Result<MpiOutcome, SnetError> {
+    assert!(nodes > 0 && ranks_per_node > 0);
+    assert!(cluster_spec.nodes >= nodes);
+    let ranks = nodes * ranks_per_node;
+    assert!(
+        wl.height as usize >= ranks,
+        "image must have at least one row per rank"
+    );
+
+    let sim = Simulation::new();
+    let cluster = Cluster::new(sim.handle(), cluster_spec);
+    // Rank r lives on node r % nodes: ranks n..2n are the second
+    // process on each node.
+    let node_of_rank: Vec<usize> = (0..ranks).map(|r| r % nodes).collect();
+    let comm: MpiComm<Payload> = MpiComm::new(sim.handle(), &cluster, node_of_rank);
+
+    let result: Arc<Mutex<Option<Image>>> = Arc::new(Mutex::new(None));
+    let result2 = Arc::clone(&result);
+    let wl = wl.clone();
+    let cluster2 = cluster.clone();
+    let (width, height) = (wl.width, wl.height);
+
+    comm.spawn_ranks(sim.handle(), move |ctx, mpi| {
+        let rank = mpi.rank();
+        let node = mpi.node();
+        let sections = split_rows(height, mpi.size() as u32);
+        let my_section = sections[rank];
+
+        // Scene distribution: the root builds the scene and its BVH
+        // (Algorithm 1, line 3) and broadcasts both.
+        let (scene, bvh) = if rank == 0 {
+            let (scene, bvh) = wl.scene();
+            let bvh_ops = scene.shapes.len() as u64 * bvh.depth().max(1) as u64 * 40;
+            cluster2.compute(ctx, node, bvh_ops);
+            let bytes = scene.wire_bytes() + bvh.node_count() * 56;
+            match mpi.bcast(ctx, 0, bytes, Some(Payload::Scene(scene, bvh))) {
+                Payload::Scene(s, b) => (s, b),
+                Payload::Chunk(_) => unreachable!("root broadcast a scene"),
+            }
+        } else {
+            match mpi.bcast(ctx, 0, 0, None) {
+                Payload::Scene(s, b) => (s, b),
+                Payload::Chunk(_) => unreachable!("broadcast carries the scene"),
+            }
+        };
+
+        // Render the local strip; the work counters charge virtual time.
+        let mut counters = Counters::default();
+        let chunk = render_section(&scene, &bvh, width, height, my_section, &mut counters);
+        cluster2.compute(ctx, node, counters.ops());
+
+        if rank == 0 {
+            // Assemble: own strip plus one gather per worker.
+            let mut image = Image::new(width, height);
+            cluster2.compute(ctx, node, copy_ops(chunk.wire_bytes()));
+            image.blit(&chunk);
+            for _ in 1..mpi.size() {
+                let msg = mpi.recv_any(ctx);
+                match msg.payload {
+                    Payload::Chunk(c) => {
+                        cluster2.compute(ctx, node, copy_ops(c.wire_bytes()));
+                        image.blit(&c);
+                    }
+                    Payload::Scene(..) => unreachable!("workers send chunks"),
+                }
+            }
+            // Write the completed picture (the genImg-equivalent step).
+            cluster2.compute(ctx, node, copy_ops(image.wire_bytes()));
+            *result2.lock() = Some(image);
+        } else {
+            let bytes = chunk.wire_bytes();
+            mpi.send(ctx, 0, bytes, Payload::Chunk(chunk));
+        }
+    });
+
+    let report = sim
+        .run()
+        .map_err(|e| SnetError::Engine(format!("mpi baseline failed: {e}")))?;
+    let image = result
+        .lock()
+        .take()
+        .ok_or_else(|| SnetError::Engine("mpi root produced no image".into()))?;
+    Ok(MpiOutcome {
+        makespan_secs: report.end_time.as_secs_f64(),
+        image,
+        ranks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn testbed(nodes: usize) -> ClusterSpec {
+        ClusterSpec {
+            cpu_ops_per_sec: 200.0e6,
+            ..ClusterSpec::paper_testbed(nodes)
+        }
+    }
+
+    #[test]
+    fn baseline_matches_the_sequential_reference() {
+        let wl = Workload::small();
+        let reference = wl.reference_image();
+        for nodes in [1usize, 2, 4] {
+            let out = run_mpi_raytrace(&wl, nodes, 1, testbed(nodes)).unwrap();
+            assert_eq!(out.image, reference, "{nodes}-node baseline must be exact");
+            assert_eq!(out.ranks, nodes);
+        }
+    }
+
+    #[test]
+    fn two_ranks_per_node_use_both_cpus() {
+        let wl = Workload::small();
+        let one = run_mpi_raytrace(&wl, 2, 1, testbed(2)).unwrap();
+        let two = run_mpi_raytrace(&wl, 2, 2, testbed(2)).unwrap();
+        assert_eq!(two.image, one.image);
+        assert!(
+            two.makespan_secs < one.makespan_secs,
+            "2 proc/node ({:.3}s) must beat 1 proc/node ({:.3}s)",
+            two.makespan_secs,
+            one.makespan_secs
+        );
+    }
+
+    #[test]
+    fn more_nodes_render_faster() {
+        let wl = Workload::small();
+        let n1 = run_mpi_raytrace(&wl, 1, 1, testbed(1)).unwrap();
+        let n4 = run_mpi_raytrace(&wl, 4, 1, testbed(4)).unwrap();
+        assert!(n4.makespan_secs < n1.makespan_secs);
+    }
+
+    #[test]
+    fn baseline_is_deterministic() {
+        let wl = Workload::small();
+        let a = run_mpi_raytrace(&wl, 3, 2, testbed(3)).unwrap();
+        let b = run_mpi_raytrace(&wl, 3, 2, testbed(3)).unwrap();
+        assert_eq!(a.makespan_secs, b.makespan_secs);
+        assert_eq!(a.image, b.image);
+    }
+}

@@ -1,0 +1,200 @@
+//! Section-size scheduling: block and simple factoring.
+//!
+//! §V: "we have experimented with several scheduling algorithms and
+//! found that block scheduling and a simple variant of factoring \[13\]
+//! produces the best results. In the latter case, the scheduler divides
+//! the problem into several batches of sections, where in each batch
+//! the sections are of the same size. The section size decreases from
+//! batch to batch by a certain factor. For example, suppose a scene of
+//! 3000×3000 pixels is split along the y axis by dividing it into 48
+//! sections. One possible scheduling is to split the scene into two
+//! batches with the first batch containing 24 sections of size 93 and
+//! the second batch the remaining 24 sections of size 32."
+
+use snet_raytracer::Section;
+
+/// How the splitter sizes its sections.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Schedule {
+    /// Equal-sized sections.
+    Block,
+    /// Batches of equal-count sections whose size decreases by `factor`
+    /// from batch to batch.
+    Factoring {
+        /// Number of batches (the paper's example uses 2).
+        batches: u32,
+        /// Size ratio between consecutive batches (> 1).
+        factor: f64,
+    },
+}
+
+impl Schedule {
+    /// The paper's factoring example: two batches, sizes 93/32 ≈ 2.906.
+    pub fn paper_factoring() -> Schedule {
+        Schedule::Factoring {
+            batches: 2,
+            factor: 93.0 / 32.0,
+        }
+    }
+
+    /// Encodes the schedule as an integer tag value (tags are the only
+    /// values the coordination layer computes with, §I): `0` is block,
+    /// any positive value is two-batch factoring with
+    /// `factor = value / 1000`.
+    pub fn to_tag(&self) -> i64 {
+        match *self {
+            Schedule::Block => 0,
+            Schedule::Factoring { factor, .. } => (factor * 1000.0).round() as i64,
+        }
+    }
+
+    /// Decodes [`Schedule::to_tag`].
+    pub fn from_tag(tag: i64) -> Schedule {
+        if tag <= 0 {
+            Schedule::Block
+        } else {
+            Schedule::Factoring {
+                batches: 2,
+                factor: tag as f64 / 1000.0,
+            }
+        }
+    }
+
+    /// Splits `height` rows into `tasks` sections.
+    pub fn sections(&self, height: u32, tasks: u32) -> Vec<Section> {
+        assert!(tasks > 0 && height >= tasks, "need at least one row per task");
+        match *self {
+            Schedule::Block => snet_raytracer::split_rows(height, tasks),
+            Schedule::Factoring { batches, factor } => {
+                factoring_sections(height, tasks, batches, factor)
+            }
+        }
+    }
+}
+
+/// Factoring: distribute `tasks` sections over `batches` batches of
+/// (nearly) equal count; batch `j` sections are `factor`× smaller than
+/// batch `j-1` sections. Sizes are rounded to whole rows; the rounding
+/// remainder is folded into the last sections row by row.
+fn factoring_sections(height: u32, tasks: u32, batches: u32, factor: f64) -> Vec<Section> {
+    let batches = batches.clamp(1, tasks);
+    assert!(factor >= 1.0, "factoring factor must be >= 1");
+    // Section count per batch (remainder to the leading batches).
+    let base = tasks / batches;
+    let extra = tasks % batches;
+    let counts: Vec<u32> = (0..batches).map(|j| base + u32::from(j < extra)).collect();
+    // Solve s0 from: sum_j counts[j] * s0 / factor^j = height.
+    let denom: f64 = counts
+        .iter()
+        .enumerate()
+        .map(|(j, &c)| c as f64 / factor.powi(j as i32))
+        .sum();
+    let s0 = height as f64 / denom;
+    // Ideal real-valued sizes; floor them but keep every section >= 1.
+    let mut sizes: Vec<u32> = Vec::with_capacity(tasks as usize);
+    for (j, &c) in counts.iter().enumerate() {
+        let ideal = (s0 / factor.powi(j as i32)).floor().max(1.0) as u32;
+        sizes.extend(std::iter::repeat_n(ideal, c as usize));
+    }
+    // Distribute the remainder one row at a time (biggest sections
+    // first, preserving the decreasing shape).
+    let mut assigned: u32 = sizes.iter().sum();
+    let n = sizes.len();
+    let mut i = 0;
+    while assigned < height {
+        sizes[i % n] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    while assigned > height {
+        let pos = sizes
+            .iter()
+            .rposition(|&s| s > 1)
+            .expect("height >= tasks guarantees shrinkable sections");
+        sizes[pos] -= 1;
+        assigned -= 1;
+    }
+    // Materialize contiguous sections.
+    let mut out = Vec::with_capacity(tasks as usize);
+    let mut y = 0;
+    for s in sizes {
+        out.push(Section::new(y, y + s));
+        y += s;
+    }
+    debug_assert_eq!(y, height);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_is_even() {
+        let s = Schedule::Block.sections(3000, 48);
+        assert_eq!(s.len(), 48);
+        assert!(s.iter().all(|x| x.rows() == 62 || x.rows() == 63));
+        assert_eq!(s.iter().map(|x| x.rows()).sum::<u32>(), 3000);
+    }
+
+    #[test]
+    fn paper_factoring_example_reproduced() {
+        // "two batches with the first batch containing 24 sections of
+        // size 93 and the second batch the remaining 24 sections of
+        // size 32."
+        let s = Schedule::paper_factoring().sections(3000, 48);
+        assert_eq!(s.len(), 48);
+        let sizes: Vec<u32> = s.iter().map(|x| x.rows()).collect();
+        assert!(sizes[..24].iter().all(|&r| r == 93), "{:?}", &sizes[..24]);
+        assert!(sizes[24..].iter().all(|&r| r == 32), "{:?}", &sizes[24..]);
+    }
+
+    #[test]
+    fn factoring_tiles_exactly_for_awkward_heights() {
+        for (h, t) in [(601u32, 7u32), (599, 48), (100, 9), (3000, 72)] {
+            let s = Schedule::paper_factoring().sections(h, t);
+            assert_eq!(s.len(), t as usize);
+            assert_eq!(s[0].y0, 0);
+            assert_eq!(s.last().unwrap().y1, h);
+            for w in s.windows(2) {
+                assert_eq!(w[0].y1, w[1].y0);
+            }
+        }
+    }
+
+    #[test]
+    fn factoring_sections_decrease() {
+        let s = Schedule::Factoring {
+            batches: 3,
+            factor: 2.0,
+        }
+        .sections(1000, 30);
+        let sizes: Vec<u32> = s.iter().map(|x| x.rows()).collect();
+        // First batch strictly larger than last batch.
+        assert!(sizes[0] > sizes[29], "{sizes:?}");
+        assert_eq!(sizes.iter().sum::<u32>(), 1000);
+    }
+
+    #[test]
+    fn tag_round_trip() {
+        assert_eq!(Schedule::from_tag(Schedule::Block.to_tag()), Schedule::Block);
+        let f = Schedule::paper_factoring();
+        let decoded = Schedule::from_tag(f.to_tag());
+        match decoded {
+            Schedule::Factoring { factor, batches } => {
+                assert_eq!(batches, 2);
+                assert!((factor - 93.0 / 32.0).abs() < 1e-3);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_row_per_task_edge() {
+        let s = Schedule::Block.sections(8, 8);
+        assert!(s.iter().all(|x| x.rows() == 1));
+        let f = Schedule::paper_factoring().sections(8, 8);
+        assert_eq!(f.iter().map(|x| x.rows()).sum::<u32>(), 8);
+        assert!(f.iter().all(|x| x.rows() >= 1));
+    }
+}

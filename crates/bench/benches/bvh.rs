@@ -1,0 +1,85 @@
+//! Ablation: BVH traversal vs brute-force intersection.
+//!
+//! §II motivates the Goldsmith–Salmon hierarchy: "as each ray is cast
+//! to every object, the majority of the rendering time is spent
+//! calculating intersections". This bench shows the crossover — brute
+//! force wins on tiny scenes, the BVH wins (and scales ~log n) beyond.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snet_raytracer::{intersect_brute, v3, Bvh, Counters, Ray, Scene, ScenePreset};
+
+fn ray_bundle(n: usize) -> Vec<Ray> {
+    // A deterministic fan of rays through the scene volume.
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            Ray::new(
+                v3(-20.0 + 40.0 * t, 8.0, -25.0),
+                v3(0.4 - 0.8 * t, -0.3, 1.0),
+            )
+        })
+        .collect()
+}
+
+fn bench_intersection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("intersection");
+    g.sample_size(30);
+    for spheres in [8usize, 64, 512] {
+        let scene = Scene::preset(ScenePreset::Balanced, spheres, 7);
+        let bvh = Bvh::build(&scene.shapes);
+        let rays = ray_bundle(256);
+        g.bench_with_input(
+            BenchmarkId::new("bvh", spheres),
+            &spheres,
+            |b, _| {
+                b.iter(|| {
+                    let mut c = Counters::default();
+                    let mut hits = 0;
+                    for ray in &rays {
+                        if bvh
+                            .intersect(&scene.shapes, ray, 1e-6, f64::INFINITY, &mut c)
+                            .is_some()
+                        {
+                            hits += 1;
+                        }
+                    }
+                    hits
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("brute", spheres),
+            &spheres,
+            |b, _| {
+                b.iter(|| {
+                    let mut c = Counters::default();
+                    let mut hits = 0;
+                    for ray in &rays {
+                        if intersect_brute(&scene.shapes, ray, 1e-6, f64::INFINITY, &mut c)
+                            .is_some()
+                        {
+                            hits += 1;
+                        }
+                    }
+                    hits
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bvh_build");
+    g.sample_size(20);
+    for spheres in [64usize, 512] {
+        let scene = Scene::preset(ScenePreset::Clustered, spheres, 7);
+        g.bench_with_input(BenchmarkId::from_parameter(spheres), &spheres, |b, _| {
+            b.iter(|| Bvh::build(&scene.shapes).node_count());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_intersection, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Ablation: per-record overhead of each S-Net combinator on the
+//! threaded engine.
+//!
+//! The design decision under test (DESIGN.md §3): combinator glue —
+//! dispatchers, collectors, star taps — runs as separate components
+//! connected by bounded channels. These benches measure what one record
+//! pays per glue hop, per serial stage, per parallel branch set, per
+//! star unfolding and per split replica.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snet_core::boxdef::{BoxDef, BoxOutput, BoxSig, Work};
+use snet_core::filter::OutputTemplate;
+use snet_core::{BinOp, FilterSpec, NetSpec, Pattern, Record, TagExpr, Value, Variant};
+use snet_runtime::Net;
+
+fn records(n: i64) -> Vec<Record> {
+    (0..n)
+        .map(|i| Record::new().with_field("x", Value::Int(i)).with_tag("k", i % 4))
+        .collect()
+}
+
+fn inc_box() -> NetSpec {
+    NetSpec::Box(BoxDef::from_fn(BoxSig::parse("inc", &["x"], &[&["x"]]), |r| {
+        let x = r.field("x").and_then(|v| v.as_int()).unwrap_or(0);
+        Ok(BoxOutput::one(
+            Record::new().with_field("x", Value::Int(x + 1)),
+            Work::ops(1),
+        ))
+    }))
+}
+
+fn bench_serial_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serial_depth");
+    g.sample_size(20);
+    for depth in [1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            let net = Net::new(NetSpec::pipeline((0..depth).map(|_| inc_box())));
+            b.iter(|| net.run_batch(records(256)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_width(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_width");
+    g.sample_size(20);
+    for width in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &width| {
+            let net = Net::new(NetSpec::parallel((0..width).map(|_| inc_box()).collect()));
+            b.iter(|| net.run_batch(records(256)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_star_unfolding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("star_unfolding");
+    g.sample_size(20);
+    let dec = NetSpec::Filter(FilterSpec::new(
+        Pattern::from_variant(Variant::parse_labels(&[], &["n"])),
+        vec![OutputTemplate::empty().set_tag(
+            "n",
+            TagExpr::bin(BinOp::Sub, TagExpr::tag("n"), TagExpr::Const(1)),
+        )],
+    ));
+    let exit = Pattern::guarded(
+        Variant::empty(),
+        TagExpr::bin(BinOp::Le, TagExpr::tag("n"), TagExpr::Const(0)),
+    );
+    for depth in [4i64, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            let net = Net::new(NetSpec::star(dec.clone(), exit.clone()));
+            b.iter(|| net.run_batch(vec![Record::new().with_tag("n", depth)]).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_split_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("split_fanout");
+    g.sample_size(20);
+    for fan in [2i64, 8, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(fan), &fan, |b, &fan| {
+            let net = Net::new(NetSpec::split(inc_box(), "r"));
+            let recs: Vec<Record> = (0..256)
+                .map(|i| Record::new().with_field("x", Value::Int(i)).with_tag("r", i % fan))
+                .collect();
+            b.iter(|| net.run_batch(recs.clone()).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_serial_depth,
+    bench_parallel_width,
+    bench_star_unfolding,
+    bench_split_fanout
+);
+criterion_main!(benches);

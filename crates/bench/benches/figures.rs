@@ -1,0 +1,94 @@
+//! Criterion-wrapped miniatures of the paper's figures.
+//!
+//! `cargo bench` regenerates reduced-scale Fig 5 / Fig 6 data points
+//! (the full-scale harness is the `fig5`/`fig6` binaries — these
+//! miniatures keep `cargo bench --workspace` fast while still
+//! exercising every experimental code path end to end).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snet_apps::{
+    run_mpi_raytrace, run_snet_cluster, NetVariant, Schedule, SnetConfig, Workload,
+};
+use snet_dist::OverheadModel;
+use snet_raytracer::ScenePreset;
+use snet_simnet::ClusterSpec;
+
+fn workload() -> Workload {
+    Workload {
+        preset: ScenePreset::Clustered,
+        spheres: 60,
+        seed: 2010,
+        width: 96,
+        height: 96,
+    }
+}
+
+fn cluster(nodes: usize) -> ClusterSpec {
+    // Faster virtual CPUs keep the miniature's real runtime low; the
+    // topology (dual-CPU, 100 Mbit) matches the testbed.
+    ClusterSpec {
+        cpu_ops_per_sec: 200.0e6,
+        ..ClusterSpec::paper_testbed(nodes)
+    }
+}
+
+fn bench_fig6_series(c: &mut Criterion) {
+    let wl = workload();
+    let mut g = c.benchmark_group("fig6_mini");
+    g.sample_size(10);
+    for nodes in [1usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("snet_static", nodes), &nodes, |b, &n| {
+            b.iter(|| {
+                run_snet_cluster(&wl, &SnetConfig::fig6_static(n), cluster(n), OverheadModel::default())
+                    .unwrap()
+                    .makespan_secs
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("snet_dynamic", nodes), &nodes, |b, &n| {
+            b.iter(|| {
+                run_snet_cluster(&wl, &SnetConfig::fig6_dynamic(n), cluster(n), OverheadModel::default())
+                    .unwrap()
+                    .makespan_secs
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("mpi_2proc", nodes), &nodes, |b, &n| {
+            b.iter(|| run_mpi_raytrace(&wl, n, 2, cluster(n)).unwrap().makespan_secs);
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig5_points(c: &mut Criterion) {
+    let wl = workload();
+    let mut g = c.benchmark_group("fig5_mini");
+    g.sample_size(10);
+    for (tasks, tokens) in [(16u32, 8u32), (16, 16), (32, 16)] {
+        for (name, schedule) in [
+            ("block", Schedule::Block),
+            ("factoring", Schedule::paper_factoring()),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("{tasks}t_{tokens}k")),
+                &(tasks, tokens),
+                |b, &(tasks, tokens)| {
+                    let cfg = SnetConfig {
+                        variant: NetVariant::Dynamic,
+                        nodes: 8,
+                        tasks,
+                        tokens,
+                        schedule,
+                    };
+                    b.iter(|| {
+                        run_snet_cluster(&wl, &cfg, cluster(8), OverheadModel::default())
+                            .unwrap()
+                            .makespan_secs
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6_series, bench_fig5_points);
+criterion_main!(benches);

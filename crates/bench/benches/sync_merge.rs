@@ -1,0 +1,72 @@
+//! Ablation: the Fig 3 merger network vs direct in-memory assembly.
+//!
+//! The merger expresses an n-way fold as a chain of synchrocells under
+//! a star (because "boxes can only ever see one record at a time",
+//! §IV.A). That generality costs per-unfolding glue; this bench
+//! quantifies it against assembling the same chunks with
+//! `Image::assemble` directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snet_apps::{merger_net, ChunkData, PicData};
+use snet_core::{Record, Value};
+use snet_raytracer::{split_rows, Chunk, Image};
+use snet_runtime::Net;
+
+const WIDTH: u32 = 64;
+const HEIGHT: u32 = 64;
+
+fn chunk_records(tasks: u32) -> Vec<Record> {
+    split_rows(HEIGHT, tasks)
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let chunk = Chunk {
+                y0: s.y0,
+                width: WIDTH,
+                pixels: vec![[i as u8, 0, 0]; (s.rows() * WIDTH) as usize],
+            };
+            let mut rec = Record::new()
+                .with_field("chunk", Value::data(ChunkData { chunk, img_height: HEIGHT }))
+                .with_tag("tasks", tasks as i64);
+            if i == 0 {
+                rec.set_tag("fst", 1);
+            }
+            rec
+        })
+        .collect()
+}
+
+fn bench_merger(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merge");
+    g.sample_size(15);
+    for tasks in [8u32, 32] {
+        let recs = chunk_records(tasks);
+        g.bench_with_input(BenchmarkId::new("snet_merger", tasks), &tasks, |b, _| {
+            b.iter(|| {
+                let net = Net::new(merger_net());
+                let outs = net.run_batch(recs.clone()).unwrap();
+                assert_eq!(outs.len(), 1, "one assembled picture");
+                let pic: &PicData = outs[0]
+                    .field("pic")
+                    .and_then(|v| v.downcast_ref())
+                    .expect("pic payload");
+                pic.0.checksum()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("direct", tasks), &tasks, |b, _| {
+            let chunks: Vec<Chunk> = recs
+                .iter()
+                .map(|r| {
+                    let cd: &ChunkData =
+                        r.field("chunk").and_then(|v| v.downcast_ref()).unwrap();
+                    cd.chunk.clone()
+                })
+                .collect();
+            b.iter(|| Image::assemble(WIDTH, HEIGHT, &chunks).checksum());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_merger);
+criterion_main!(benches);

@@ -1,0 +1,147 @@
+//! Fig 6 — "Runtimes on 1 - 8 nodes, comparing the original MPI
+//! implementation against S-NET variants (left) and speed-up of each
+//! implementation measured against the original MPI implementation
+//! with 2 processes per node (right)".
+//!
+//! Regenerates both panels: the absolute-runtime table for the five
+//! series (S-Net Static, S-Net Static 2 CPU, MPI, MPI 2 Proc/Node,
+//! S-Net Best Dynamic) over 1/2/4/6/8 nodes, and the derived speed-up
+//! panel. Run with `--csv` for machine-readable rows.
+//!
+//! ```text
+//! cargo run -p snet-bench --release --bin fig6
+//! ```
+
+use snet_bench::{secs, FigureOpts};
+use snet_apps::{run_mpi_raytrace, run_snet_cluster, SnetConfig};
+use snet_dist::OverheadModel;
+
+const NODE_COUNTS: [usize; 5] = [1, 2, 4, 6, 8];
+const SERIES: [&str; 5] = [
+    "S-Net Static",
+    "S-Net Static 2 CPU",
+    "MPI",
+    "MPI 2 Proc/Node",
+    "S-Net Best Dynamic",
+];
+
+fn main() {
+    let opts = FigureOpts::parse(512);
+    let wl = opts.workload();
+    let overhead = OverheadModel::default();
+    eprintln!("{}", opts.banner("Fig 6"));
+
+    // rows[s][n] = runtime of series s on NODE_COUNTS[n] nodes.
+    let mut rows = vec![vec![0.0f64; NODE_COUNTS.len()]; SERIES.len()];
+    let reference = wl.reference_image();
+
+    for (ni, &nodes) in NODE_COUNTS.iter().enumerate() {
+        let cluster = opts.cluster(nodes);
+
+        let stat = run_snet_cluster(&wl, &SnetConfig::fig6_static(nodes), cluster, overhead)
+            .expect("static run");
+        assert_eq!(stat.image, reference, "static image mismatch");
+        rows[0][ni] = stat.makespan_secs;
+
+        let stat2 =
+            run_snet_cluster(&wl, &SnetConfig::fig6_static_2cpu(nodes), cluster, overhead)
+                .expect("static 2cpu run");
+        assert_eq!(stat2.image, reference, "static-2cpu image mismatch");
+        rows[1][ni] = stat2.makespan_secs;
+
+        let mpi1 = run_mpi_raytrace(&wl, nodes, 1, cluster).expect("mpi run");
+        assert_eq!(mpi1.image, reference, "mpi image mismatch");
+        rows[2][ni] = mpi1.makespan_secs;
+
+        let mpi2 = run_mpi_raytrace(&wl, nodes, 2, cluster).expect("mpi 2proc run");
+        assert_eq!(mpi2.image, reference, "mpi-2proc image mismatch");
+        rows[3][ni] = mpi2.makespan_secs;
+
+        let dynamic = run_snet_cluster(&wl, &SnetConfig::fig6_dynamic(nodes), cluster, overhead)
+            .expect("dynamic run");
+        assert_eq!(dynamic.image, reference, "dynamic image mismatch");
+        rows[4][ni] = dynamic.makespan_secs;
+
+        eprintln!("# {nodes} node(s) done");
+    }
+
+    if opts.csv {
+        println!("series,nodes,runtime_secs");
+        for (si, series) in SERIES.iter().enumerate() {
+            for (ni, &nodes) in NODE_COUNTS.iter().enumerate() {
+                println!("{series},{nodes},{:.4}", rows[si][ni]);
+            }
+        }
+        println!();
+        println!("series,nodes,speedup_vs_mpi2");
+        for si in [1usize, 4] {
+            for (ni, &nodes) in NODE_COUNTS.iter().enumerate() {
+                println!("{},{nodes},{:.4}", SERIES[si], rows[3][ni] / rows[si][ni]);
+            }
+        }
+        return;
+    }
+
+    println!("\nFig 6 (left): absolute runtimes in virtual seconds");
+    print!("{:>22}", "");
+    for &n in &NODE_COUNTS {
+        print!("  {n:>2} Node{}", if n == 1 { " " } else { "s" });
+    }
+    println!();
+    for (si, series) in SERIES.iter().enumerate() {
+        print!("{series:>22}");
+        for cell in &rows[si] {
+            print!(" {}", secs(*cell));
+        }
+        println!();
+    }
+
+    println!("\nFig 6 (right): speed-up vs. MPI 2 Processes/Node");
+    print!("{:>22}", "");
+    for &n in &NODE_COUNTS {
+        print!("  {n:>2} Node{}", if n == 1 { " " } else { "s" });
+    }
+    println!();
+    for si in [1usize, 4] {
+        print!("{:>22}", SERIES[si]);
+        for (baseline, mine) in rows[3].iter().zip(&rows[si]) {
+            print!(" {:>9.2}", baseline / mine);
+        }
+        println!();
+    }
+
+    // The qualitative claims of §V, checked on every regeneration.
+    // (The paper's *growth* of the dynamic speed-up curve from 0.42 at
+    // 1 node is driven by its anomalously expensive 1-node dynamic run
+    // — see EXPERIMENTS.md; with realistic per-record costs the
+    // dynamic net wins outright even on 1 node, so we check the
+    // endpoint claims rather than the growth.)
+    let n1 = 0;
+    let n4 = 2;
+    let n8 = NODE_COUNTS.len() - 1;
+    println!("\nShape checks (§V):");
+    check(
+        "1-node: MPI beats S-Net Static (runtime overhead visible)",
+        rows[2][n1] < rows[0][n1],
+    );
+    check(
+        "2+ nodes: S-Net Static within 25% of MPI (overhead amortized)",
+        (1..NODE_COUNTS.len()).all(|ni| rows[0][ni] < rows[2][ni] * 1.25),
+    );
+    check(
+        "static scalability limited beyond 2 nodes (imbalanced scene)",
+        rows[0][n4] / rows[0][n8] < 1.9, // 4→8 nodes: far from the ideal 2x
+    );
+    check(
+        "dynamic beats every static variant on 8 nodes",
+        (0..4).all(|si| rows[4][n8] < rows[si][n8]),
+    );
+    check(
+        "dynamic speed-up vs MPI-2proc exceeds 1 from 4 nodes on",
+        (n4..NODE_COUNTS.len()).all(|ni| rows[3][ni] / rows[4][ni] > 1.0),
+    );
+}
+
+fn check(what: &str, ok: bool) {
+    println!("  [{}] {what}", if ok { "ok" } else { "MISS" });
+}

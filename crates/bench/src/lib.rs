@@ -1,0 +1,128 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Both `fig5` and `fig6` accept the same workload flags:
+//!
+//! * `--res N` — image resolution (N×N; default per binary);
+//! * `--full` — the paper's 3000×3000 (slow!);
+//! * `--scene balanced|clustered` — the imbalance knob (default
+//!   clustered, which is what reproduces the paper's scaling story);
+//! * `--spheres N` — scene complexity (default 180);
+//! * `--csv` — machine-readable rows instead of the pretty table.
+
+use snet_apps::Workload;
+use snet_raytracer::ScenePreset;
+use snet_simnet::ClusterSpec;
+
+/// Parsed command-line options shared by the figure binaries.
+#[derive(Clone, Debug)]
+pub struct FigureOpts {
+    /// Square image resolution.
+    pub res: u32,
+    /// Scene preset.
+    pub preset: ScenePreset,
+    /// Sphere count.
+    pub spheres: usize,
+    /// Emit CSV rows.
+    pub csv: bool,
+    /// Positional arguments left over (binary-specific).
+    pub rest: Vec<String>,
+}
+
+impl FigureOpts {
+    /// Parses `std::env::args`, applying the given default resolution.
+    pub fn parse(default_res: u32) -> FigureOpts {
+        let mut opts = FigureOpts {
+            res: default_res,
+            preset: ScenePreset::Clustered,
+            spheres: 180,
+            csv: false,
+            rest: Vec::new(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--res" => {
+                    opts.res = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--res needs a number");
+                }
+                "--full" => opts.res = 3000,
+                "--scene" => {
+                    opts.preset = match args.next().as_deref() {
+                        Some("balanced") => ScenePreset::Balanced,
+                        Some("clustered") => ScenePreset::Clustered,
+                        other => panic!("--scene balanced|clustered, got {other:?}"),
+                    };
+                }
+                "--spheres" => {
+                    opts.spheres = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--spheres needs a number");
+                }
+                "--csv" => opts.csv = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: [--res N] [--full] [--scene balanced|clustered] \
+                         [--spheres N] [--csv]"
+                    );
+                    std::process::exit(0);
+                }
+                other => opts.rest.push(other.to_owned()),
+            }
+        }
+        opts
+    }
+
+    /// The workload these options describe.
+    pub fn workload(&self) -> Workload {
+        Workload::benchmark(self.res, self.res, self.preset)
+    }
+
+    /// The paper's testbed with `nodes` nodes.
+    pub fn cluster(&self, nodes: usize) -> ClusterSpec {
+        ClusterSpec::paper_testbed(nodes)
+    }
+
+    /// Human-readable banner describing the run.
+    pub fn banner(&self, what: &str) -> String {
+        format!(
+            "# {what}: {}x{} {:?} scene, {} spheres, dual-CPU nodes on 100 Mbit ethernet",
+            self.res, self.res, self.preset, self.spheres
+        )
+    }
+}
+
+/// Formats a seconds value the way the paper's tables do.
+pub fn secs(x: f64) -> String {
+    format!("{x:9.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let opts = FigureOpts {
+            res: 320,
+            preset: ScenePreset::Clustered,
+            spheres: 180,
+            csv: false,
+            rest: vec![],
+        };
+        let wl = opts.workload();
+        assert_eq!(wl.width, 320);
+        assert_eq!(wl.spheres, 180);
+        let c = opts.cluster(8);
+        assert_eq!(c.nodes, 8);
+        assert_eq!(c.cpus_per_node, 2);
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(secs(941.87).trim(), "941.87");
+        assert_eq!(secs(61.84).trim(), "61.84");
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type shared across the workspace.
+
+use crate::label::Label;
+use std::fmt;
+
+/// Errors raised by the S-Net core semantics, language front end and
+/// runtime engines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnetError {
+    /// A tag expression referenced a tag the record does not carry.
+    MissingTag(Label),
+    /// A component needed a field the record does not carry.
+    MissingField(Label),
+    /// Integer division or modulo by zero in a tag expression.
+    DivisionByZero,
+    /// A record failed to match where the type system said it must.
+    TypeMismatch {
+        /// What the component expected.
+        expected: String,
+        /// What arrived.
+        got: String,
+    },
+    /// A box function failed.
+    BoxFailure {
+        /// Box name.
+        name: String,
+        /// Human-readable cause.
+        cause: String,
+    },
+    /// A box produced a record not covered by its declared output type
+    /// (only raised in strict mode).
+    OutputMismatch {
+        /// Box name.
+        name: String,
+        /// The offending record, pretty-printed.
+        record: String,
+    },
+    /// Parse error from the language front end.
+    Parse {
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+        /// Message.
+        msg: String,
+    },
+    /// Static network checking error.
+    Check(String),
+    /// Engine-level failure (channel teardown, poisoned state, …).
+    Engine(String),
+}
+
+impl fmt::Display for SnetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnetError::MissingTag(l) => write!(f, "record carries no tag <{l}>"),
+            SnetError::MissingField(l) => write!(f, "record carries no field {l}"),
+            SnetError::DivisionByZero => write!(f, "division by zero in tag expression"),
+            SnetError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            SnetError::BoxFailure { name, cause } => write!(f, "box {name} failed: {cause}"),
+            SnetError::OutputMismatch { name, record } => {
+                write!(f, "box {name} emitted a record outside its output type: {record}")
+            }
+            SnetError::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            SnetError::Check(msg) => write!(f, "network check error: {msg}"),
+            SnetError::Engine(msg) => write!(f, "engine error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SnetError::MissingTag(Label::new("cnt"));
+        assert_eq!(e.to_string(), "record carries no tag <cnt>");
+        let e = SnetError::Parse {
+            line: 3,
+            col: 7,
+            msg: "expected '}'".into(),
+        };
+        assert!(e.to_string().contains("3:7"));
+    }
+}

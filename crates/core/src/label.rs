@@ -1,0 +1,146 @@
+//! Interned record labels.
+//!
+//! S-Net labels name fields and tags. Every component instance compares
+//! labels on every record it handles, so labels are interned once into a
+//! global table and afterwards compared as plain `u32`s.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned label (field or tag name).
+///
+/// Construction goes through a global interner, so two labels with the
+/// same spelling are always `==` and ordering is stable within a process
+/// (interning order). Use [`Label::as_str`] to recover the spelling.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Label(u32);
+
+struct Interner {
+    by_name: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            by_name: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+impl Label {
+    /// Interns `name` and returns its label.
+    pub fn new(name: &str) -> Label {
+        let table = interner();
+        if let Some(&id) = table.read().by_name.get(name) {
+            return Label(id);
+        }
+        let mut w = table.write();
+        if let Some(&id) = w.by_name.get(name) {
+            return Label(id);
+        }
+        // Labels live for the whole process; leaking keeps lookups
+        // allocation-free on the hot path.
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = w.names.len() as u32;
+        w.names.push(leaked);
+        w.by_name.insert(leaked, id);
+        Label(id)
+    }
+
+    /// The spelling this label was interned with.
+    pub fn as_str(&self) -> &'static str {
+        interner().read().names[self.0 as usize]
+    }
+
+    /// Raw interner index (stable within a process run).
+    pub fn id(&self) -> u32 {
+        self.0
+    }
+}
+
+// Order labels by spelling so that printed types and BTree iteration are
+// independent of interning order (which differs between test runs).
+impl Ord for Label {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl PartialOrd for Label {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Self {
+        Label::new(s)
+    }
+}
+
+/// Interns several labels at once: `labels!["a", "b"]`.
+#[macro_export]
+macro_rules! labels {
+    ($($name:expr),* $(,)?) => {
+        [$($crate::label::Label::new($name)),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_label() {
+        assert_eq!(Label::new("pic"), Label::new("pic"));
+        assert_ne!(Label::new("pic"), Label::new("chunk"));
+    }
+
+    #[test]
+    fn round_trips_spelling() {
+        assert_eq!(Label::new("scene").as_str(), "scene");
+        assert_eq!(Label::new("").as_str(), "");
+        assert_eq!(Label::new("UTF-8 ünïcode").as_str(), "UTF-8 ünïcode");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        // Intern in reverse lexicographic order on purpose.
+        let z = Label::new("zzz-order");
+        let a = Label::new("aaa-order");
+        assert!(a < z);
+        let mut v = vec![z, a];
+        v.sort();
+        assert_eq!(v, vec![a, z]);
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| Label::new("concurrent-label").id()))
+            .collect();
+        let ids: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

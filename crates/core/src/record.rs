@@ -1,0 +1,283 @@
+//! Records: the communication quantum of S-Net.
+//!
+//! A record is a non-recursive set of label–value pairs, with labels
+//! subdivided into *fields* (opaque values) and *tags* (integers
+//! accessible to the coordination layer). See §III of the paper.
+
+use crate::label::Label;
+use crate::rtype::Variant;
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A data record flowing through a streaming network.
+///
+/// Records are value-like: cloning clones the label maps but shares all
+/// opaque payloads (fields hold `Arc`ed values).
+#[derive(Clone, Default, PartialEq)]
+pub struct Record {
+    fields: BTreeMap<Label, Value>,
+    tags: BTreeMap<Label, i64>,
+}
+
+impl Record {
+    /// The empty record `{}`.
+    pub fn new() -> Record {
+        Record::default()
+    }
+
+    /// Builder-style field insertion.
+    pub fn with_field(mut self, label: impl Into<Label>, value: impl Into<Value>) -> Record {
+        self.fields.insert(label.into(), value.into());
+        self
+    }
+
+    /// Builder-style tag insertion.
+    pub fn with_tag(mut self, label: impl Into<Label>, value: i64) -> Record {
+        self.tags.insert(label.into(), value);
+        self
+    }
+
+    /// Sets (or overwrites) a field.
+    pub fn set_field(&mut self, label: impl Into<Label>, value: impl Into<Value>) {
+        self.fields.insert(label.into(), value.into());
+    }
+
+    /// Sets (or overwrites) a tag.
+    pub fn set_tag(&mut self, label: impl Into<Label>, value: i64) {
+        self.tags.insert(label.into(), value);
+    }
+
+    /// Looks up a field.
+    pub fn field(&self, label: impl Into<Label>) -> Option<&Value> {
+        self.fields.get(&label.into())
+    }
+
+    /// Looks up a tag.
+    pub fn tag(&self, label: impl Into<Label>) -> Option<i64> {
+        self.tags.get(&label.into()).copied()
+    }
+
+    /// Removes and returns a field.
+    pub fn take_field(&mut self, label: impl Into<Label>) -> Option<Value> {
+        self.fields.remove(&label.into())
+    }
+
+    /// Removes and returns a tag.
+    pub fn take_tag(&mut self, label: impl Into<Label>) -> Option<i64> {
+        self.tags.remove(&label.into())
+    }
+
+    /// Does the record carry this field label?
+    pub fn has_field(&self, label: impl Into<Label>) -> bool {
+        self.fields.contains_key(&label.into())
+    }
+
+    /// Does the record carry this tag label?
+    pub fn has_tag(&self, label: impl Into<Label>) -> bool {
+        self.tags.contains_key(&label.into())
+    }
+
+    /// Iterates over fields in label order.
+    pub fn fields(&self) -> impl Iterator<Item = (Label, &Value)> {
+        self.fields.iter().map(|(l, v)| (*l, v))
+    }
+
+    /// Iterates over tags in label order.
+    pub fn tags(&self) -> impl Iterator<Item = (Label, i64)> + '_ {
+        self.tags.iter().map(|(l, v)| (*l, *v))
+    }
+
+    /// Number of labels (fields + tags).
+    pub fn len(&self) -> usize {
+        self.fields.len() + self.tags.len()
+    }
+
+    /// Is this the empty record?
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty() && self.tags.is_empty()
+    }
+
+    /// The record's exact type (its label sets).
+    pub fn variant(&self) -> Variant {
+        Variant::new(self.fields.keys().copied(), self.tags.keys().copied())
+    }
+
+    /// Adds every label of `other` that is *absent* here (the
+    /// no-overwrite union used by flow inheritance and synchrocell
+    /// merging — the receiver's own labels win).
+    pub fn absorb(&mut self, other: &Record) {
+        for (l, v) in &other.fields {
+            self.fields.entry(*l).or_insert_with(|| v.clone());
+        }
+        for (l, v) in &other.tags {
+            self.tags.entry(*l).or_insert(*v);
+        }
+    }
+
+    /// Restriction of this record to the labels of `variant`
+    /// (the "consumed" part a component actually sees).
+    pub fn project(&self, variant: &Variant) -> Record {
+        let mut out = Record::new();
+        for l in variant.fields() {
+            if let Some(v) = self.fields.get(&l) {
+                out.fields.insert(l, v.clone());
+            }
+        }
+        for l in variant.tags() {
+            if let Some(v) = self.tags.get(&l) {
+                out.tags.insert(l, *v);
+            }
+        }
+        out
+    }
+
+    /// Restriction of this record to the labels *not* in `variant`
+    /// (the part flow inheritance forwards).
+    pub fn without(&self, variant: &Variant) -> Record {
+        let mut out = Record::new();
+        for (l, v) in &self.fields {
+            if !variant.has_field(*l) {
+                out.fields.insert(*l, v.clone());
+            }
+        }
+        for (l, v) in &self.tags {
+            if !variant.has_tag(*l) {
+                out.tags.insert(*l, *v);
+            }
+        }
+        out
+    }
+
+    /// Approximate wire size: payload bytes plus a fixed per-label framing
+    /// overhead (label id + discriminant ≈ 8 bytes, tag payload 8 bytes).
+    pub fn approx_bytes(&self) -> usize {
+        let fields: usize = self.fields.values().map(|v| v.approx_bytes() + 8).sum();
+        let tags = self.tags.len() * 16;
+        fields + tags
+    }
+}
+
+impl fmt::Debug for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (l, v) in &self.fields {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{l}={v:?}")?;
+        }
+        for (l, v) in &self.tags {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "<{l}={v}>")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Builds a record: `record!{ fields: { "a" => 1i64 }, tags: { "t" => 2 } }`.
+/// Both sections are optional.
+#[macro_export]
+macro_rules! record {
+    () => { $crate::record::Record::new() };
+    (fields: { $($fl:expr => $fv:expr),* $(,)? } $(, tags: { $($tl:expr => $tv:expr),* $(,)? })? $(,)?) => {{
+        #[allow(unused_mut)]
+        let mut r = $crate::record::Record::new();
+        $( r.set_field($fl, $fv); )*
+        $( $( r.set_tag($tl, $tv); )* )?
+        r
+    }};
+    (tags: { $($tl:expr => $tv:expr),* $(,)? } $(,)?) => {{
+        #[allow(unused_mut)]
+        let mut r = $crate::record::Record::new();
+        $( r.set_tag($tl, $tv); )*
+        r
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Record {
+        Record::new()
+            .with_field("scene", Value::from("geometry"))
+            .with_field("sect", Value::Int(4))
+            .with_tag("node", 2)
+            .with_tag("tasks", 8)
+    }
+
+    #[test]
+    fn basic_access() {
+        let r = sample();
+        assert_eq!(r.tag("node"), Some(2));
+        assert_eq!(r.field("sect").unwrap().as_int(), Some(4));
+        assert!(r.has_field("scene"));
+        assert!(!r.has_field("node")); // node is a tag, not a field
+        assert!(!r.has_tag("scene"));
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn variant_reflects_labels() {
+        let v = sample().variant();
+        assert!(v.has_field(Label::new("scene")));
+        assert!(v.has_tag(Label::new("tasks")));
+        assert_eq!(v.arity(), 4);
+    }
+
+    #[test]
+    fn absorb_does_not_overwrite() {
+        let mut a = Record::new().with_tag("cnt", 1).with_field("pic", Value::Int(10));
+        let b = Record::new()
+            .with_tag("cnt", 99)
+            .with_tag("tasks", 8)
+            .with_field("chunk", Value::Int(20));
+        a.absorb(&b);
+        assert_eq!(a.tag("cnt"), Some(1)); // kept
+        assert_eq!(a.tag("tasks"), Some(8)); // added
+        assert!(a.has_field("chunk"));
+    }
+
+    #[test]
+    fn project_and_without_partition_the_record() {
+        let r = sample();
+        let v = Variant::new([Label::new("scene")], [Label::new("node")]);
+        let consumed = r.project(&v);
+        let rest = r.without(&v);
+        assert_eq!(consumed.len(), 2);
+        assert_eq!(rest.len(), 2);
+        let mut merged = consumed;
+        merged.absorb(&rest);
+        assert_eq!(merged, r);
+    }
+
+    #[test]
+    fn record_macro_forms() {
+        let a = record! {};
+        assert!(a.is_empty());
+        let b = record! { tags: { "t" => 3 } };
+        assert_eq!(b.tag("t"), Some(3));
+        let c = record! { fields: { "x" => 1i64 }, tags: { "t" => 2 } };
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn approx_bytes_counts_payload_and_framing() {
+        let r = Record::new()
+            .with_field("data", Value::Bytes(bytes::Bytes::from(vec![0u8; 100])))
+            .with_tag("t", 1);
+        assert_eq!(r.approx_bytes(), 100 + 8 + 16);
+    }
+
+    #[test]
+    fn debug_format_is_stable() {
+        let r = Record::new().with_field("a", Value::Int(1)).with_tag("t", 2);
+        assert_eq!(format!("{r:?}"), "{a=1, <t=2>}");
+    }
+}

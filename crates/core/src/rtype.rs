@@ -1,0 +1,301 @@
+//! The S-Net type system: variants, multivariant types, structural
+//! subtyping and match scoring.
+//!
+//! From §III: *"Any record type t1 is a subtype of t2 iff t2 ⊆ t1"* —
+//! subtyping is inverse set inclusion on label sets. A multivariant type
+//! `x` is a subtype of `y` if every variant of `x` is a subtype of some
+//! variant of `y`.
+
+use crate::label::Label;
+use crate::record::Record;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A single record type variant: a set of field labels plus a set of tag
+/// labels, e.g. `{scene, sect, <node>}`.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Variant {
+    fields: BTreeSet<Label>,
+    tags: BTreeSet<Label>,
+}
+
+impl Variant {
+    /// Builds a variant from field and tag label iterators.
+    pub fn new(
+        fields: impl IntoIterator<Item = Label>,
+        tags: impl IntoIterator<Item = Label>,
+    ) -> Variant {
+        Variant {
+            fields: fields.into_iter().collect(),
+            tags: tags.into_iter().collect(),
+        }
+    }
+
+    /// The empty variant `{}` (matched by every record).
+    pub fn empty() -> Variant {
+        Variant::default()
+    }
+
+    /// Convenience constructor from string names.
+    pub fn parse_labels(fields: &[&str], tags: &[&str]) -> Variant {
+        Variant::new(
+            fields.iter().map(|s| Label::new(s)),
+            tags.iter().map(|s| Label::new(s)),
+        )
+    }
+
+    /// Adds a field label.
+    pub fn add_field(&mut self, l: Label) {
+        self.fields.insert(l);
+    }
+
+    /// Adds a tag label.
+    pub fn add_tag(&mut self, l: Label) {
+        self.tags.insert(l);
+    }
+
+    pub fn has_field(&self, l: Label) -> bool {
+        self.fields.contains(&l)
+    }
+
+    pub fn has_tag(&self, l: Label) -> bool {
+        self.tags.contains(&l)
+    }
+
+    pub fn fields(&self) -> impl Iterator<Item = Label> + '_ {
+        self.fields.iter().copied()
+    }
+
+    pub fn tags(&self) -> impl Iterator<Item = Label> + '_ {
+        self.tags.iter().copied()
+    }
+
+    /// Total number of labels.
+    pub fn arity(&self) -> usize {
+        self.fields.len() + self.tags.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty() && self.tags.is_empty()
+    }
+
+    /// Structural subtyping: `self <: other` iff `other ⊆ self`.
+    ///
+    /// A record of this variant can be fed wherever `other` is expected:
+    /// it carries at least the labels `other` demands.
+    pub fn is_subtype_of(&self, other: &Variant) -> bool {
+        other.fields.is_subset(&self.fields) && other.tags.is_subset(&self.tags)
+    }
+
+    /// Does a concrete record satisfy this variant (record ⊇ variant)?
+    pub fn accepts(&self, rec: &Record) -> bool {
+        self.fields.iter().all(|l| rec.has_field(*l)) && self.tags.iter().all(|l| rec.has_tag(*l))
+    }
+
+    /// Match score used for best-match routing: the number of labels this
+    /// variant pins down, or `None` if the record does not match at all.
+    /// More specific (larger) patterns win; the empty variant matches
+    /// everything with score 0.
+    pub fn match_score(&self, rec: &Record) -> Option<usize> {
+        if self.accepts(rec) {
+            Some(self.arity())
+        } else {
+            None
+        }
+    }
+
+    /// Set union of two variants.
+    pub fn union(&self, other: &Variant) -> Variant {
+        Variant {
+            fields: self.fields.union(&other.fields).copied().collect(),
+            tags: self.tags.union(&other.tags).copied().collect(),
+        }
+    }
+}
+
+impl fmt::Debug for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for l in &self.fields {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{l}")?;
+        }
+        for l in &self.tags {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "<{l}>")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A multivariant record type: a disjunction of variants, e.g. the output
+/// type `{c} | {c,d,<e>}` of box `foo` in §III.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct RType {
+    variants: Vec<Variant>,
+}
+
+impl RType {
+    pub fn new(variants: impl IntoIterator<Item = Variant>) -> RType {
+        RType {
+            variants: variants.into_iter().collect(),
+        }
+    }
+
+    /// Single-variant type.
+    pub fn single(v: Variant) -> RType {
+        RType { variants: vec![v] }
+    }
+
+    pub fn variants(&self) -> &[Variant] {
+        &self.variants
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.variants.is_empty()
+    }
+
+    pub fn push(&mut self, v: Variant) {
+        self.variants.push(v);
+    }
+
+    /// Multivariant subtyping: every variant of `self` is a subtype of
+    /// some variant of `other`.
+    pub fn is_subtype_of(&self, other: &RType) -> bool {
+        self.variants
+            .iter()
+            .all(|v| other.variants.iter().any(|w| v.is_subtype_of(w)))
+    }
+
+    /// Best match score of a record against any variant of this type.
+    pub fn match_score(&self, rec: &Record) -> Option<usize> {
+        self.variants.iter().filter_map(|v| v.match_score(rec)).max()
+    }
+
+    /// Does any variant accept the record?
+    pub fn accepts(&self, rec: &Record) -> bool {
+        self.variants.iter().any(|v| v.accepts(rec))
+    }
+
+    /// Disjunction of two types (variant concatenation, deduplicated).
+    pub fn join(&self, other: &RType) -> RType {
+        let mut out = self.variants.clone();
+        for v in &other.variants {
+            if !out.contains(v) {
+                out.push(v.clone());
+            }
+        }
+        RType { variants: out }
+    }
+}
+
+impl fmt::Debug for RType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.variants.is_empty() {
+            return write!(f, "∅");
+        }
+        for (i, v) in self.variants.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{v:?}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for RType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use crate::value::Value;
+
+    fn v(fields: &[&str], tags: &[&str]) -> Variant {
+        Variant::parse_labels(fields, tags)
+    }
+
+    #[test]
+    fn paper_example_subtyping() {
+        // "a component expecting a record {a, b} can also accept {a, c, b}"
+        let expected = v(&["a", "b"], &[]);
+        let actual = v(&["a", "b", "c"], &[]);
+        assert!(actual.is_subtype_of(&expected));
+        assert!(!expected.is_subtype_of(&actual));
+    }
+
+    #[test]
+    fn subtyping_is_reflexive_and_transitive() {
+        let a = v(&["a"], &["t"]);
+        let ab = v(&["a", "b"], &["t"]);
+        let abc = v(&["a", "b", "c"], &["t"]);
+        assert!(a.is_subtype_of(&a));
+        assert!(abc.is_subtype_of(&ab));
+        assert!(ab.is_subtype_of(&a));
+        assert!(abc.is_subtype_of(&a)); // transitivity instance
+    }
+
+    #[test]
+    fn tags_and_fields_are_separate_namespaces() {
+        let field_a = v(&["a"], &[]);
+        let tag_a = v(&[], &["a"]);
+        assert!(!field_a.is_subtype_of(&tag_a));
+        assert!(!tag_a.is_subtype_of(&field_a));
+    }
+
+    #[test]
+    fn record_matching_and_score() {
+        let rec = Record::new()
+            .with_field("scene", Value::Unit)
+            .with_field("sect", Value::Unit)
+            .with_tag("node", 1);
+        assert_eq!(v(&["scene", "sect"], &[]).match_score(&rec), Some(2));
+        assert_eq!(v(&["scene", "sect"], &["node"]).match_score(&rec), Some(3));
+        assert_eq!(v(&[], &[]).match_score(&rec), Some(0));
+        assert_eq!(v(&["pic"], &[]).match_score(&rec), None);
+    }
+
+    #[test]
+    fn multivariant_subtyping_paper_rule() {
+        // {c,d,<e>} | {c}  <:  {c}
+        let x = RType::new([v(&["c", "d"], &["e"]), v(&["c"], &[])]);
+        let y = RType::single(v(&["c"], &[]));
+        assert!(x.is_subtype_of(&y));
+        // but {c} is not a subtype of {c,d,<e>}|{q}
+        let z = RType::new([v(&["c", "d"], &["e"]), v(&["q"], &[])]);
+        assert!(!y.is_subtype_of(&z));
+    }
+
+    #[test]
+    fn join_deduplicates() {
+        let a = RType::single(v(&["c"], &[]));
+        let b = RType::new([v(&["c"], &[]), v(&["d"], &[])]);
+        let j = a.join(&b);
+        assert_eq!(j.variants().len(), 2);
+    }
+
+    #[test]
+    fn best_score_across_variants() {
+        let rec = Record::new().with_field("c", Value::Unit).with_field("d", Value::Unit);
+        let t = RType::new([v(&["c"], &[]), v(&["c", "d"], &[])]);
+        assert_eq!(t.match_score(&rec), Some(2));
+    }
+}

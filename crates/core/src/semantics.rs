@@ -1,0 +1,277 @@
+//! Engine-agnostic small-step semantics.
+//!
+//! The threaded runtime, the deterministic reference interpreter and the
+//! discrete-event cluster engine all drive records through components by
+//! calling these pure functions, so the three engines cannot drift apart
+//! semantically. Each function maps *one* input record to the records a
+//! component emits in response, plus the abstract work performed.
+
+use crate::boxdef::{BoxDef, Work};
+use crate::error::SnetError;
+use crate::filter::FilterSpec;
+use crate::flow;
+use crate::pattern::Pattern;
+use crate::record::Record;
+use std::fmt;
+
+/// Result of feeding one record to a stateless component.
+#[derive(Debug)]
+pub struct StepOut {
+    /// Emitted records, in order.
+    pub records: Vec<Record>,
+    /// Abstract work performed (box compute; zero for glue).
+    pub work: Work,
+    /// Whether the record actually matched the component (false means it
+    /// was passed through untouched).
+    pub matched: bool,
+}
+
+impl StepOut {
+    fn passthrough(rec: Record) -> StepOut {
+        StepOut {
+            records: vec![rec],
+            work: Work::ZERO,
+            matched: false,
+        }
+    }
+}
+
+/// How engines treat records that reach a component whose input type they
+/// do not match. In a well-typed network this cannot happen; it can occur
+/// when users bypass the checker and assemble [`crate::NetSpec`]s by hand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MismatchPolicy {
+    /// Forward the record unchanged (the permissive default — mirrors the
+    /// identity bypass the S-Net idioms use pervasively).
+    #[default]
+    Forward,
+    /// Raise [`SnetError::TypeMismatch`].
+    Error,
+}
+
+/// Feeds one record to a box.
+///
+/// If the record matches the box's input variant: split into
+/// consumed/rest, invoke the function on the consumed part, flow-inherit
+/// the rest into every output. Otherwise apply `policy`.
+pub fn box_step(def: &BoxDef, rec: Record, policy: MismatchPolicy) -> Result<StepOut, SnetError> {
+    let iv = def.sig.input_variant();
+    if !iv.accepts(&rec) {
+        return match policy {
+            MismatchPolicy::Forward => Ok(StepOut::passthrough(rec)),
+            MismatchPolicy::Error => Err(SnetError::TypeMismatch {
+                expected: iv.to_string(),
+                got: format!("{rec:?}"),
+            }),
+        };
+    }
+    let (consumed, rest) = flow::split(&rec, &iv);
+    let out = def.func.call(&consumed).map_err(|e| match e {
+        SnetError::BoxFailure { .. } => e,
+        other => SnetError::BoxFailure {
+            name: def.sig.name.clone(),
+            cause: other.to_string(),
+        },
+    })?;
+    let mut records = out.records;
+    flow::inherit_all(&mut records, &rest);
+    Ok(StepOut {
+        records,
+        work: out.work,
+        matched: true,
+    })
+}
+
+/// Feeds one record to a filter.
+pub fn filter_step(
+    spec: &FilterSpec,
+    rec: Record,
+    policy: MismatchPolicy,
+) -> Result<StepOut, SnetError> {
+    if !spec.pattern.matches(&rec) {
+        return match policy {
+            MismatchPolicy::Forward => Ok(StepOut::passthrough(rec)),
+            MismatchPolicy::Error => Err(SnetError::TypeMismatch {
+                expected: spec.pattern.to_string(),
+                got: format!("{rec:?}"),
+            }),
+        };
+    }
+    let records = spec.apply(&rec)?;
+    Ok(StepOut {
+        records,
+        work: Work::ZERO,
+        matched: true,
+    })
+}
+
+/// Best-match branch selection for parallel composition.
+///
+/// Returns the indices of all branches achieving the maximal match score
+/// (callers break ties: the reference interpreter picks the first, the
+/// threaded engine may rotate). Returns an empty vector when no branch
+/// matches.
+pub fn matching_branches(branch_patterns: &[Vec<Pattern>], rec: &Record) -> Vec<usize> {
+    let mut best = None;
+    let mut winners = Vec::new();
+    for (i, patterns) in branch_patterns.iter().enumerate() {
+        let score = patterns.iter().filter_map(|p| p.match_score(rec)).max();
+        if let Some(s) = score {
+            match best {
+                None => {
+                    best = Some(s);
+                    winners.push(i);
+                }
+                Some(b) if s > b => {
+                    best = Some(s);
+                    winners.clear();
+                    winners.push(i);
+                }
+                Some(b) if s == b => winners.push(i),
+                _ => {}
+            }
+        }
+    }
+    winners
+}
+
+/// Deterministic tie-break: first winner in declaration order.
+pub fn best_branch(branch_patterns: &[Vec<Pattern>], rec: &Record) -> Option<usize> {
+    matching_branches(branch_patterns, rec).first().copied()
+}
+
+impl fmt::Display for StepOut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "StepOut({} records, {} ops, matched={})",
+            self.records.len(),
+            self.work.ops,
+            self.matched
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boxdef::{BoxOutput, BoxSig};
+    use crate::filter::{FilterSpec, OutputTemplate};
+    use crate::rtype::Variant;
+    use crate::value::Value;
+
+    fn adder_box() -> BoxDef {
+        BoxDef::from_fn(
+            BoxSig::parse("adder", &["x", "<k>"], &[&["y"]]),
+            |input| {
+                let x = input.field("x").and_then(|v| v.as_int()).unwrap();
+                let k = input.tag("k").unwrap();
+                Ok(BoxOutput::one(
+                    Record::new().with_field("y", Value::Int(x + k)),
+                    Work::ops(1),
+                ))
+            },
+        )
+    }
+
+    #[test]
+    fn box_step_applies_inheritance() {
+        let rec = Record::new()
+            .with_field("x", Value::Int(40))
+            .with_tag("k", 2)
+            .with_tag("extra", 7)
+            .with_field("scene", Value::from("s"));
+        let out = box_step(&adder_box(), rec, MismatchPolicy::Forward).unwrap();
+        assert!(out.matched);
+        let y = &out.records[0];
+        assert_eq!(y.field("y").unwrap().as_int(), Some(42));
+        assert_eq!(y.tag("extra"), Some(7)); // inherited
+        assert!(y.has_field("scene")); // inherited
+        assert_eq!(y.tag("k"), None); // consumed
+        assert!(!y.has_field("x")); // consumed
+    }
+
+    #[test]
+    fn box_step_passthrough_on_mismatch() {
+        let rec = Record::new().with_tag("other", 1);
+        let out = box_step(&adder_box(), rec.clone(), MismatchPolicy::Forward).unwrap();
+        assert!(!out.matched);
+        assert_eq!(out.records, vec![rec]);
+    }
+
+    #[test]
+    fn box_step_strict_errors_on_mismatch() {
+        let rec = Record::new().with_tag("other", 1);
+        assert!(matches!(
+            box_step(&adder_box(), rec, MismatchPolicy::Error),
+            Err(SnetError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn box_failure_is_attributed() {
+        let failing = BoxDef::from_fn(BoxSig::parse("bad", &[], &[&[]]), |_| {
+            Err(SnetError::Engine("boom".into()))
+        });
+        let err = box_step(&failing, Record::new(), MismatchPolicy::Forward).unwrap_err();
+        match err {
+            SnetError::BoxFailure { name, cause } => {
+                assert_eq!(name, "bad");
+                assert!(cause.contains("boom"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filter_step_passthrough() {
+        let f = FilterSpec::new(
+            Pattern::from_variant(Variant::parse_labels(&["a"], &[])),
+            vec![OutputTemplate::empty().keep_field("a")],
+        );
+        let rec = Record::new().with_field("b", Value::Unit);
+        let out = filter_step(&f, rec.clone(), MismatchPolicy::Forward).unwrap();
+        assert!(!out.matched);
+        assert_eq!(out.records, vec![rec]);
+    }
+
+    #[test]
+    fn best_match_prefers_specificity() {
+        // Branch 0: merge box {chunk, pic}; branch 1: identity [].
+        let branches = vec![
+            vec![Pattern::from_variant(Variant::parse_labels(
+                &["chunk", "pic"],
+                &[],
+            ))],
+            vec![Pattern::any()],
+        ];
+        let merged = Record::new()
+            .with_field("chunk", Value::Unit)
+            .with_field("pic", Value::Unit);
+        let lone_chunk = Record::new().with_field("chunk", Value::Unit);
+        assert_eq!(best_branch(&branches, &merged), Some(0));
+        assert_eq!(best_branch(&branches, &lone_chunk), Some(1));
+    }
+
+    #[test]
+    fn ties_reported_in_declaration_order() {
+        let branches = vec![
+            vec![Pattern::from_variant(Variant::parse_labels(&["a"], &[]))],
+            vec![Pattern::from_variant(Variant::parse_labels(&["b"], &[]))],
+        ];
+        let rec = Record::new()
+            .with_field("a", Value::Unit)
+            .with_field("b", Value::Unit);
+        assert_eq!(matching_branches(&branches, &rec), vec![0, 1]);
+        assert_eq!(best_branch(&branches, &rec), Some(0));
+    }
+
+    #[test]
+    fn no_match_is_empty() {
+        let branches = vec![vec![Pattern::from_variant(Variant::parse_labels(
+            &["a"],
+            &[],
+        ))]];
+        assert!(matching_branches(&branches, &Record::new()).is_empty());
+    }
+}

@@ -1,0 +1,262 @@
+//! Synchrocells: `[| pattern₁, pattern₂, … |]`.
+//!
+//! The only stateful entity in S-Net (§III): it holds the first incoming
+//! record matching each still-open pattern; once every pattern has been
+//! matched the stored records are merged into a single record which is
+//! released downstream. A fired synchrocell behaves as the identity for
+//! all subsequent records — which is exactly what lets chunks stream
+//! through the already-satisfied cells of the unrolled merger star in
+//! Fig 3.
+
+use crate::pattern::Pattern;
+use crate::record::Record;
+use std::fmt;
+
+/// Static description of a synchrocell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SyncSpec {
+    /// The patterns to synchronize on (at least two in useful cells).
+    pub patterns: Vec<Pattern>,
+}
+
+impl SyncSpec {
+    pub fn new(patterns: Vec<Pattern>) -> SyncSpec {
+        SyncSpec { patterns }
+    }
+
+    /// Fresh runtime state for one instance of this cell.
+    pub fn new_state(&self) -> SyncState {
+        SyncState {
+            slots: vec![None; self.patterns.len()],
+            fired: false,
+        }
+    }
+}
+
+impl fmt::Display for SyncSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[| ")?;
+        for (i, p) in self.patterns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, " |]")
+    }
+}
+
+/// Mutable state of one synchrocell instance.
+#[derive(Clone, Debug)]
+pub struct SyncState {
+    slots: Vec<Option<Record>>,
+    fired: bool,
+}
+
+/// What happened when a record hit a synchrocell.
+#[derive(Debug, PartialEq)]
+pub enum SyncOutcome {
+    /// The record filled an open slot; nothing is emitted yet.
+    Stored,
+    /// The record passed through unchanged (cell already fired, or the
+    /// record only matches already-filled patterns / no pattern at all).
+    Passed(Record),
+    /// The record completed the match; the merged record is emitted and
+    /// the cell is now transparent.
+    Fired(Record),
+}
+
+impl SyncState {
+    /// Has the cell fired (become transparent)?
+    pub fn is_fired(&self) -> bool {
+        self.fired
+    }
+
+    /// Records currently held in open slots (used for EOS diagnostics:
+    /// a net that terminates with records stuck in a synchrocell usually
+    /// indicates a coordination bug).
+    pub fn pending(&self) -> impl Iterator<Item = &Record> {
+        self.slots.iter().filter_map(|s| s.as_ref())
+    }
+
+    /// Feeds one record through the cell.
+    ///
+    /// Matching rules (per the S-Net language report, simplified to the
+    /// features the paper uses):
+    /// * a fired cell passes everything through;
+    /// * the record is stored into the **first open pattern** it matches;
+    /// * if it matches only filled patterns (or none), it passes through;
+    /// * when the last open slot fills, the stored records are merged —
+    ///   earlier patterns take precedence on label collisions — and the
+    ///   merge is emitted.
+    pub fn push(&mut self, spec: &SyncSpec, rec: Record) -> SyncOutcome {
+        if self.fired {
+            return SyncOutcome::Passed(rec);
+        }
+        let mut target = None;
+        for (i, p) in spec.patterns.iter().enumerate() {
+            if self.slots[i].is_none() && p.matches(&rec) {
+                target = Some(i);
+                break;
+            }
+        }
+        let Some(i) = target else {
+            return SyncOutcome::Passed(rec);
+        };
+        self.slots[i] = Some(rec);
+        if self.slots.iter().all(|s| s.is_some()) {
+            self.fired = true;
+            let mut it = self.slots.iter_mut();
+            let mut merged = it.next().unwrap().take().unwrap();
+            for slot in it {
+                let r = slot.take().unwrap();
+                merged.absorb(&r);
+            }
+            SyncOutcome::Fired(merged)
+        } else {
+            SyncOutcome::Stored
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtype::Variant;
+    use crate::value::Value;
+
+    fn pic_chunk_cell() -> SyncSpec {
+        // [| {pic}, {chunk} |] from Fig 3.
+        SyncSpec::new(vec![
+            Pattern::from_variant(Variant::parse_labels(&["pic"], &[])),
+            Pattern::from_variant(Variant::parse_labels(&["chunk"], &[])),
+        ])
+    }
+
+    #[test]
+    fn stores_then_fires() {
+        let spec = pic_chunk_cell();
+        let mut st = spec.new_state();
+        let pic = Record::new().with_field("pic", Value::Int(1)).with_tag("cnt", 1);
+        let chunk = Record::new().with_field("chunk", Value::Int(2)).with_tag("tasks", 8);
+        assert_eq!(st.push(&spec, pic), SyncOutcome::Stored);
+        match st.push(&spec, chunk) {
+            SyncOutcome::Fired(m) => {
+                assert!(m.has_field("pic") && m.has_field("chunk"));
+                assert_eq!(m.tag("cnt"), Some(1));
+                assert_eq!(m.tag("tasks"), Some(8));
+            }
+            other => panic!("expected fire, got {other:?}"),
+        }
+        assert!(st.is_fired());
+    }
+
+    #[test]
+    fn fired_cell_is_identity() {
+        let spec = pic_chunk_cell();
+        let mut st = spec.new_state();
+        st.push(&spec, Record::new().with_field("pic", Value::Unit));
+        st.push(&spec, Record::new().with_field("chunk", Value::Unit));
+        let extra = Record::new().with_field("chunk", Value::Int(9));
+        assert_eq!(st.push(&spec, extra.clone()), SyncOutcome::Passed(extra));
+    }
+
+    #[test]
+    fn record_matching_filled_pattern_passes_through() {
+        let spec = pic_chunk_cell();
+        let mut st = spec.new_state();
+        let first = Record::new().with_field("chunk", Value::Int(1));
+        let second = Record::new().with_field("chunk", Value::Int(2));
+        assert_eq!(st.push(&spec, first), SyncOutcome::Stored);
+        // {chunk} slot is filled; the next chunk must flow on to the next
+        // star instance instead of replacing the stored one.
+        assert_eq!(st.push(&spec, second.clone()), SyncOutcome::Passed(second));
+        assert!(!st.is_fired());
+    }
+
+    #[test]
+    fn unmatched_record_passes_through() {
+        let spec = pic_chunk_cell();
+        let mut st = spec.new_state();
+        let other = Record::new().with_tag("node", 3);
+        assert_eq!(st.push(&spec, other.clone()), SyncOutcome::Passed(other));
+    }
+
+    #[test]
+    fn merge_precedence_earlier_pattern_wins() {
+        let spec = pic_chunk_cell();
+        let mut st = spec.new_state();
+        let pic = Record::new().with_field("pic", Value::Unit).with_tag("shared", 1);
+        let chunk = Record::new().with_field("chunk", Value::Unit).with_tag("shared", 2);
+        st.push(&spec, pic);
+        match st.push(&spec, chunk) {
+            SyncOutcome::Fired(m) => assert_eq!(m.tag("shared"), Some(1)),
+            other => panic!("expected fire, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn record_matching_both_fills_first_open() {
+        // A record carrying both pic and chunk fills the first pattern;
+        // the cell still waits for a separate chunk.
+        let spec = pic_chunk_cell();
+        let mut st = spec.new_state();
+        let both = Record::new()
+            .with_field("pic", Value::Unit)
+            .with_field("chunk", Value::Unit);
+        assert_eq!(st.push(&spec, both), SyncOutcome::Stored);
+        assert!(!st.is_fired());
+        assert_eq!(st.pending().count(), 1);
+    }
+
+    #[test]
+    fn three_way_sync() {
+        let spec = SyncSpec::new(vec![
+            Pattern::from_variant(Variant::parse_labels(&["a"], &[])),
+            Pattern::from_variant(Variant::parse_labels(&["b"], &[])),
+            Pattern::from_variant(Variant::parse_labels(&["c"], &[])),
+        ]);
+        let mut st = spec.new_state();
+        assert_eq!(
+            st.push(&spec, Record::new().with_field("b", Value::Unit)),
+            SyncOutcome::Stored
+        );
+        assert_eq!(
+            st.push(&spec, Record::new().with_field("a", Value::Unit)),
+            SyncOutcome::Stored
+        );
+        match st.push(&spec, Record::new().with_field("c", Value::Unit)) {
+            SyncOutcome::Fired(m) => {
+                assert!(m.has_field("a") && m.has_field("b") && m.has_field("c"))
+            }
+            other => panic!("expected fire, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sect_node_cell_from_fig4() {
+        // [| {sect}, {<node>} |]: joins a queued section with a node token.
+        let spec = SyncSpec::new(vec![
+            Pattern::from_variant(Variant::parse_labels(&["sect"], &[])),
+            Pattern::from_variant(Variant::parse_labels(&[], &["node"])),
+        ]);
+        let mut st = spec.new_state();
+        let sect = Record::new()
+            .with_field("sect", Value::Int(3))
+            .with_field("scene", Value::Unit);
+        let token = Record::new().with_tag("node", 5);
+        st.push(&spec, sect);
+        match st.push(&spec, token) {
+            SyncOutcome::Fired(m) => {
+                assert_eq!(m.tag("node"), Some(5));
+                assert!(m.has_field("sect") && m.has_field("scene"));
+            }
+            other => panic!("expected fire, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(pic_chunk_cell().to_string(), "[| {pic}, {chunk} |]");
+    }
+}

@@ -1,0 +1,244 @@
+//! Property tests for the S-Net type system and record semantics.
+//!
+//! The laws under test are the ones the paper's §III relies on:
+//! structural subtyping is a partial order compatible with matching;
+//! flow inheritance loses nothing and overrides correctly; filters
+//! produce records conforming to their declared shape; synchrocells
+//! neither duplicate nor invent labels.
+
+use proptest::prelude::*;
+use snet_core::filter::{FilterSpec, OutputTemplate};
+use snet_core::{
+    flow, BinOp, Label, Pattern, Record, SyncOutcome, SyncSpec, TagExpr, Value, Variant,
+};
+
+const FIELDS: [&str; 5] = ["a", "b", "c", "d", "e"];
+const TAGS: [&str; 4] = ["t", "u", "v", "w"];
+
+fn arb_variant() -> impl Strategy<Value = Variant> {
+    (
+        prop::collection::btree_set(0usize..FIELDS.len(), 0..4),
+        prop::collection::btree_set(0usize..TAGS.len(), 0..3),
+    )
+        .prop_map(|(fs, ts)| {
+            Variant::parse_labels(
+                &fs.iter().map(|&i| FIELDS[i]).collect::<Vec<_>>(),
+                &ts.iter().map(|&i| TAGS[i]).collect::<Vec<_>>(),
+            )
+        })
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (
+        prop::collection::btree_map(0usize..FIELDS.len(), 0i64..100, 0..5),
+        prop::collection::btree_map(0usize..TAGS.len(), -10i64..10, 0..4),
+    )
+        .prop_map(|(fs, ts)| {
+            let mut r = Record::new();
+            for (i, v) in fs {
+                r.set_field(FIELDS[i], Value::Int(v));
+            }
+            for (i, v) in ts {
+                r.set_tag(TAGS[i], v);
+            }
+            r
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ---- subtyping is a partial order --------------------------------
+
+    #[test]
+    fn subtyping_reflexive(v in arb_variant()) {
+        prop_assert!(v.is_subtype_of(&v));
+    }
+
+    #[test]
+    fn subtyping_antisymmetric(a in arb_variant(), b in arb_variant()) {
+        if a.is_subtype_of(&b) && b.is_subtype_of(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn subtyping_transitive(a in arb_variant(), b in arb_variant(), c in arb_variant()) {
+        // Build a chain by unioning, then check transitivity on it plus
+        // whatever the raw triple satisfies.
+        let ab = a.union(&b);
+        let abc = ab.union(&c);
+        prop_assert!(abc.is_subtype_of(&ab));
+        prop_assert!(ab.is_subtype_of(&a));
+        prop_assert!(abc.is_subtype_of(&a)); // the chained instance
+        if a.is_subtype_of(&b) && b.is_subtype_of(&c) {
+            prop_assert!(a.is_subtype_of(&c));
+        }
+    }
+
+    // ---- matching is compatible with subtyping -----------------------
+
+    #[test]
+    fn subtype_records_match_supertype_patterns(r in arb_record(), v in arb_variant()) {
+        // If the record's own variant is a subtype of v, then v accepts
+        // the record — "a component expecting {a,b} can also accept
+        // {a,c,b}" (§III).
+        if r.variant().is_subtype_of(&v) {
+            prop_assert!(v.accepts(&r));
+        }
+        // And conversely: acceptance is exactly the subtype relation on
+        // the record's variant.
+        prop_assert_eq!(v.accepts(&r), r.variant().is_subtype_of(&v));
+    }
+
+    #[test]
+    fn match_score_monotone_in_specificity(r in arb_record(), v in arb_variant(), w in arb_variant()) {
+        // If both match, the more specific (larger) variant never scores
+        // lower — the "better match" routing rule.
+        let u = v.union(&w);
+        if let (Some(sv), Some(su)) = (v.match_score(&r), u.match_score(&r)) {
+            prop_assert!(su >= sv, "union {su} vs part {sv}");
+        }
+    }
+
+    // ---- flow inheritance --------------------------------------------
+
+    #[test]
+    fn split_partitions_exactly(r in arb_record(), v in arb_variant()) {
+        let (consumed, rest) = flow::split(&r, &v);
+        // No overlap, full coverage.
+        prop_assert_eq!(consumed.len() + rest.len(), r.len());
+        let mut merged = consumed.clone();
+        merged.absorb(&rest);
+        prop_assert_eq!(merged, r.clone());
+        // Consumed part carries only labels of v.
+        for (l, _) in consumed.fields() {
+            prop_assert!(v.has_field(l));
+        }
+        for (l, _) in consumed.tags() {
+            prop_assert!(v.has_tag(l));
+        }
+    }
+
+    #[test]
+    fn inheritance_preserves_uninvolved_labels(r in arb_record(), v in arb_variant(), out in arb_record()) {
+        let (_, rest) = flow::split(&r, &v);
+        let mut enriched = out.clone();
+        flow::inherit(&mut enriched, &rest);
+        // Every label of `out` survives with its own value (override).
+        for (l, val) in out.fields() {
+            prop_assert_eq!(enriched.field(l), Some(val));
+        }
+        for (l, val) in out.tags() {
+            prop_assert_eq!(enriched.tag(l), Some(val));
+        }
+        // Every uninvolved label of `r` reaches the output.
+        for (l, val) in rest.fields() {
+            if !out.has_field(l) {
+                prop_assert_eq!(enriched.field(l), Some(val));
+            }
+        }
+        for (l, val) in rest.tags() {
+            if !out.has_tag(l) {
+                prop_assert_eq!(enriched.tag(l), Some(val));
+            }
+        }
+        // Nothing else appears.
+        prop_assert!(enriched.len() <= out.len() + rest.len());
+    }
+
+    // ---- filters ------------------------------------------------------
+
+    #[test]
+    fn filter_outputs_conform_to_declared_shape(r in arb_record(), v in arb_variant()) {
+        // [ v -> {<t' = 1>} ; {} ]: outputs must carry the template
+        // labels plus only inherited labels.
+        let spec = FilterSpec::new(
+            Pattern::from_variant(v.clone()),
+            vec![
+                OutputTemplate::empty().set_tag("fresh", TagExpr::Const(1)),
+                OutputTemplate::empty(),
+            ],
+        );
+        if !spec.pattern.matches(&r) {
+            return Ok(());
+        }
+        let outs = spec.apply(&r).unwrap();
+        prop_assert_eq!(outs.len(), 2);
+        prop_assert_eq!(outs[0].tag("fresh"), Some(1));
+        let fresh = Label::new("fresh");
+        for out in &outs {
+            for (l, _) in out.fields() {
+                // Field labels come only from inheritance (the template
+                // declares none).
+                prop_assert!(r.has_field(l) && !v.has_field(l), "leaked field {l}");
+            }
+            for (l, _) in out.tags() {
+                prop_assert!(
+                    l == fresh || (r.has_tag(l) && !v.has_tag(l)),
+                    "leaked tag {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn guard_evaluation_never_panics(r in arb_record()) {
+        // Guards over arbitrary tag combinations either evaluate or
+        // report missing tags / division by zero — no panics.
+        let g = TagExpr::bin(
+            BinOp::Div,
+            TagExpr::tag("t"),
+            TagExpr::bin(BinOp::Add, TagExpr::tag("u"), TagExpr::Const(0)),
+        );
+        let p = Pattern::guarded(Variant::empty(), g);
+        let _ = p.matches(&r); // bool either way
+    }
+
+    // ---- synchrocells ---------------------------------------------------
+
+    #[test]
+    fn sync_never_invents_or_duplicates_labels(records in prop::collection::vec(arb_record(), 1..12)) {
+        let spec = SyncSpec::new(vec![
+            Pattern::from_variant(Variant::parse_labels(&["a"], &[])),
+            Pattern::from_variant(Variant::parse_labels(&["b"], &[])),
+        ]);
+        let mut st = spec.new_state();
+        let mut stored_labels: Vec<Label> = Vec::new();
+        for r in records {
+            let labels: Vec<Label> = r
+                .fields()
+                .map(|(l, _)| l)
+                .chain(r.tags().map(|(l, _)| l))
+                .collect();
+            match st.push(&spec, r) {
+                SyncOutcome::Stored => stored_labels.extend(labels),
+                SyncOutcome::Passed(out) => {
+                    // Pass-through is exact.
+                    let out_labels: Vec<Label> = out
+                        .fields()
+                        .map(|(l, _)| l)
+                        .chain(out.tags().map(|(l, _)| l))
+                        .collect();
+                    prop_assert_eq!(out_labels, labels);
+                }
+                SyncOutcome::Fired(m) => {
+                    // The merge's labels are exactly the union of the
+                    // stored record's and this record's.
+                    for (l, _) in m.fields() {
+                        prop_assert!(
+                            stored_labels.contains(&l) || labels.contains(&l),
+                            "invented field {l}"
+                        );
+                    }
+                    for (l, _) in m.tags() {
+                        prop_assert!(
+                            stored_labels.contains(&l) || labels.contains(&l),
+                            "invented tag {l}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Static network checking and approximate signature inference.
+//!
+//! S-Net associates every network with a type signature "inferred by the
+//! compiler" (§III). Full inference in the presence of flow inheritance
+//! is undecidable without knowing the runtime record population, so this
+//! checker is deliberately approximate: it computes lower-bound input and
+//! output types per combinator and reports *structural* problems that are
+//! wrong for every record population:
+//!
+//! * a star whose exit pattern matches everything (`A * {}`) — the body
+//!   would never execute;
+//! * parallel branches with identical input patterns — routing between
+//!   them is a coin flip for every record;
+//! * a synchrocell with fewer than two patterns — it fires immediately;
+//! * serial composition whose right side can *never* accept anything the
+//!   left side emits, even with inheritance (disjoint at the level of
+//!   produced labels is fine, but a right side demanding a label that the
+//!   left consumes and provably never re-emits is flagged).
+
+use snet_core::{NetSpec, Pattern, RType, Variant};
+use std::fmt;
+
+/// Diagnostic severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Definitely wrong for every record population.
+    Error,
+    /// Suspicious; correct nets occasionally do this on purpose.
+    Warning,
+}
+
+/// One finding.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    /// Human-readable description with the offending sub-expression.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{tag}: {}", self.message)
+    }
+}
+
+/// Checks a network, returning all findings (empty = clean).
+pub fn check(net: &NetSpec) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    walk(net, &mut out);
+    out
+}
+
+fn walk(net: &NetSpec, out: &mut Vec<Diagnostic>) {
+    match net {
+        NetSpec::Box(_) | NetSpec::Filter(_) => {}
+        NetSpec::Sync(s) => {
+            if s.patterns.len() < 2 {
+                out.push(Diagnostic {
+                    severity: Severity::Warning,
+                    message: format!(
+                        "synchrocell {s} has fewer than two patterns and fires immediately"
+                    ),
+                });
+            }
+        }
+        NetSpec::Serial(a, b) => {
+            walk(a, out);
+            walk(b, out);
+        }
+        NetSpec::Parallel { branches, .. } => {
+            for b in branches {
+                walk(b, out);
+            }
+            let pats: Vec<Vec<Pattern>> = branches.iter().map(|b| b.input_patterns()).collect();
+            for i in 0..pats.len() {
+                for j in i + 1..pats.len() {
+                    if !pats[i].is_empty() && pats[i] == pats[j] {
+                        out.push(Diagnostic {
+                            severity: Severity::Warning,
+                            message: format!(
+                                "parallel branches {} and {} have identical input patterns; \
+                                 routing between them is nondeterministic for every record",
+                                branches[i], branches[j]
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        NetSpec::Star { body, exit, .. } => {
+            walk(body, out);
+            if exit.variant.is_empty() && exit.guard.is_none() {
+                out.push(Diagnostic {
+                    severity: Severity::Error,
+                    message: format!(
+                        "star over {body} exits on the empty pattern; its body is unreachable"
+                    ),
+                });
+            }
+        }
+        NetSpec::Split { body, .. } | NetSpec::At { body, .. } | NetSpec::Named { body, .. } => {
+            walk(body, out)
+        }
+    }
+}
+
+/// Approximate input/output types of a network.
+///
+/// These are *lower bounds*: actual records may carry more labels thanks
+/// to flow inheritance. The output type of a star is its exit pattern;
+/// the output of a synchrocell is the union of its patterns.
+pub fn infer(net: &NetSpec) -> (RType, RType) {
+    match net {
+        NetSpec::Box(b) => (
+            RType::single(b.sig.input_variant()),
+            b.sig.output_type(),
+        ),
+        NetSpec::Filter(f) => {
+            let out = RType::new(f.outputs.iter().map(|t| t.variant()));
+            (RType::single(f.pattern.variant.clone()), out)
+        }
+        NetSpec::Sync(s) => {
+            let input = RType::new(s.patterns.iter().map(|p| p.variant.clone()));
+            let merged = s
+                .patterns
+                .iter()
+                .fold(Variant::empty(), |acc, p| acc.union(&p.variant));
+            (input, RType::single(merged))
+        }
+        NetSpec::Serial(a, b) => {
+            let (ia, _) = infer(a);
+            let (_, ob) = infer(b);
+            (ia, ob)
+        }
+        NetSpec::Parallel { branches, .. } => {
+            let mut input = RType::default();
+            let mut output = RType::default();
+            for b in branches {
+                let (i, o) = infer(b);
+                input = input.join(&i);
+                output = output.join(&o);
+            }
+            (input, output)
+        }
+        NetSpec::Star { body, exit, .. } => {
+            let (ib, _) = infer(body);
+            let input = ib.join(&RType::single(exit.variant.clone()));
+            (input, RType::single(exit.variant.clone()))
+        }
+        NetSpec::Split { body, tag, .. } => {
+            let (ib, ob) = infer(body);
+            let input = RType::new(ib.variants().iter().map(|v| {
+                let mut v = v.clone();
+                v.add_tag(*tag);
+                v
+            }));
+            (input, ob)
+        }
+        NetSpec::At { body, .. } | NetSpec::Named { body, .. } => infer(body),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snet_core::filter::FilterSpec;
+    use snet_core::{Label, SyncSpec};
+
+    #[test]
+    fn clean_identity_net() {
+        assert!(check(&NetSpec::identity()).is_empty());
+    }
+
+    #[test]
+    fn empty_star_exit_is_an_error() {
+        let star = NetSpec::star(NetSpec::identity(), Pattern::any());
+        let diags = check(&star);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn duplicate_parallel_branches_warn() {
+        let net = NetSpec::parallel(vec![NetSpec::identity(), NetSpec::identity()]);
+        let diags = check(&net);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn single_pattern_sync_warns() {
+        let net = NetSpec::Sync(SyncSpec::new(vec![Pattern::from_variant(
+            Variant::parse_labels(&["a"], &[]),
+        )]));
+        assert_eq!(check(&net).len(), 1);
+    }
+
+    #[test]
+    fn infer_filter_types() {
+        let f = FilterSpec::new(
+            Pattern::from_variant(Variant::parse_labels(&["chunk"], &["node"])),
+            vec![
+                snet_core::filter::OutputTemplate::empty().keep_field("chunk"),
+                snet_core::filter::OutputTemplate::empty().keep_tag("node"),
+            ],
+        );
+        let (input, output) = infer(&NetSpec::Filter(f));
+        assert_eq!(input.variants().len(), 1);
+        assert_eq!(output.variants().len(), 2);
+        assert!(output.variants()[1].has_tag(Label::new("node")));
+    }
+
+    #[test]
+    fn infer_sync_merges() {
+        let s = SyncSpec::new(vec![
+            Pattern::from_variant(Variant::parse_labels(&["pic"], &[])),
+            Pattern::from_variant(Variant::parse_labels(&["chunk"], &[])),
+        ]);
+        let (_, output) = infer(&NetSpec::Sync(s));
+        let v = &output.variants()[0];
+        assert!(v.has_field(Label::new("pic")) && v.has_field(Label::new("chunk")));
+    }
+
+    #[test]
+    fn infer_star_output_is_exit() {
+        let star = NetSpec::star(
+            NetSpec::identity(),
+            Pattern::from_variant(Variant::parse_labels(&["chunk"], &[])),
+        );
+        let (input, output) = infer(&star);
+        assert_eq!(output.variants().len(), 1);
+        assert!(output.variants()[0].has_field(Label::new("chunk")));
+        assert_eq!(input.variants().len(), 2); // body ∪ exit
+    }
+}

@@ -1,0 +1,336 @@
+//! AST → [`NetSpec`] compilation.
+//!
+//! Box declarations are resolved against a [`BoxRegistry`]; net
+//! definitions introduce lexical scopes (their local declarations shadow
+//! outer ones, as in the S-Net report). The entry point of a program is
+//! its top-level `connect` expression, or — when the program is just a
+//! list of definitions — the last net defined.
+
+use crate::ast::{self, Item, NetExpr, OutItemAst, PatternAst, Program};
+use crate::parser::parse;
+use crate::registry::BoxRegistry;
+use snet_core::boxdef::BoxDef;
+use snet_core::filter::{FilterSpec, OutItem, OutputTemplate};
+use snet_core::{
+    BinOp, BoxSig, Label, NetSpec, Pattern, SigItem, SnetError, SyncSpec, TagExpr, Variant,
+};
+use std::collections::HashMap;
+
+/// Parses and compiles S-Net source into an executable topology.
+pub fn compile(src: &str, registry: &BoxRegistry) -> Result<NetSpec, SnetError> {
+    compile_ast(&parse(src)?, registry)
+}
+
+/// Compiles an already-parsed program.
+pub fn compile_ast(prog: &Program, registry: &BoxRegistry) -> Result<NetSpec, SnetError> {
+    let mut scopes = Scopes {
+        registry,
+        stack: vec![HashMap::new()],
+    };
+    let mut last_net: Option<NetSpec> = None;
+    for item in &prog.items {
+        let compiled = scopes.declare(item)?;
+        if let (Item::Net(_), Some(net)) = (item, compiled) {
+            last_net = Some(net);
+        }
+    }
+    match (&prog.top, last_net) {
+        (Some(expr), _) => scopes.net_expr(expr),
+        (None, Some(net)) => Ok(net),
+        (None, None) => Err(SnetError::Check(
+            "program has no top-level `connect` and defines no net".into(),
+        )),
+    }
+}
+
+#[derive(Clone)]
+enum Binding {
+    Box(BoxDef),
+    Net(NetSpec),
+}
+
+struct Scopes<'a> {
+    registry: &'a BoxRegistry,
+    stack: Vec<HashMap<String, Binding>>,
+}
+
+impl<'a> Scopes<'a> {
+    fn lookup(&self, name: &str) -> Option<&Binding> {
+        self.stack.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn bind(&mut self, name: &str, b: Binding) {
+        self.stack.last_mut().unwrap().insert(name.to_owned(), b);
+    }
+
+    /// Declares one item into the current scope; returns the compiled
+    /// net when the item is a net definition.
+    fn declare(&mut self, item: &Item) -> Result<Option<NetSpec>, SnetError> {
+        match item {
+            Item::Box(decl) => {
+                let func = self.registry.get_box(&decl.name).ok_or_else(|| {
+                    SnetError::Check(format!(
+                        "box `{}` declared but not registered (registered: {})",
+                        decl.name,
+                        self.registry.box_names().join(", ")
+                    ))
+                })?;
+                let sig = sig_from_ast(&decl.name, &decl.input, &decl.outputs);
+                self.bind(&decl.name, Binding::Box(BoxDef::new(sig, func)));
+                Ok(None)
+            }
+            Item::Net(def) => {
+                let net = match &def.body {
+                    Some(body) => {
+                        self.stack.push(HashMap::new());
+                        let result = (|| {
+                            for item in &def.items {
+                                self.declare(item)?;
+                            }
+                            self.net_expr(body)
+                        })();
+                        self.stack.pop();
+                        NetSpec::named(&def.name, result?)
+                    }
+                    None => self
+                        .registry
+                        .get_net(&def.name)
+                        .cloned()
+                        .ok_or_else(|| {
+                            SnetError::Check(format!(
+                                "net `{}` declared without a body and not registered",
+                                def.name
+                            ))
+                        })?,
+                };
+                self.bind(&def.name, Binding::Net(net.clone()));
+                Ok(Some(net))
+            }
+        }
+    }
+
+    fn net_expr(&mut self, expr: &NetExpr) -> Result<NetSpec, SnetError> {
+        Ok(match expr {
+            NetExpr::Ref(name) => match self.lookup(name) {
+                Some(Binding::Box(def)) => NetSpec::Box(def.clone()),
+                Some(Binding::Net(net)) => net.clone(),
+                None => {
+                    // Fall back to the registry for names used without a
+                    // source-level declaration.
+                    if let Some(net) = self.registry.get_net(name) {
+                        net.clone()
+                    } else {
+                        return Err(SnetError::Check(format!(
+                            "`{name}` is not declared as a box or net"
+                        )));
+                    }
+                }
+            },
+            NetExpr::Filter(f) => NetSpec::Filter(filter_from_ast(f)?),
+            NetExpr::Sync(patterns) => NetSpec::Sync(SyncSpec::new(
+                patterns.iter().map(pattern_from_ast).collect(),
+            )),
+            NetExpr::Serial(a, b) => {
+                NetSpec::serial(self.net_expr(a)?, self.net_expr(b)?)
+            }
+            NetExpr::Parallel { branches, det } => NetSpec::Parallel {
+                branches: branches
+                    .iter()
+                    .map(|b| self.net_expr(b))
+                    .collect::<Result<_, _>>()?,
+                det: *det,
+            },
+            NetExpr::Star { body, exit, det } => NetSpec::Star {
+                body: Box::new(self.net_expr(body)?),
+                exit: pattern_from_ast(exit),
+                det: *det,
+            },
+            NetExpr::Split { body, tag, placed } => NetSpec::Split {
+                body: Box::new(self.net_expr(body)?),
+                tag: Label::new(tag),
+                placed: *placed,
+            },
+            NetExpr::At { body, node } => {
+                let node = u32::try_from(*node).map_err(|_| {
+                    SnetError::Check(format!("invalid node number {node} in `@` placement"))
+                })?;
+                NetSpec::at(self.net_expr(body)?, node)
+            }
+        })
+    }
+}
+
+fn sig_from_ast(name: &str, input: &[ast::SigItem], outputs: &[Vec<ast::SigItem>]) -> BoxSig {
+    fn item(i: &ast::SigItem) -> SigItem {
+        match i {
+            ast::SigItem::Field(n) => SigItem::Field(Label::new(n)),
+            ast::SigItem::Tag(n) => SigItem::Tag(Label::new(n)),
+        }
+    }
+    BoxSig {
+        name: name.to_owned(),
+        input: input.iter().map(item).collect(),
+        outputs: outputs.iter().map(|o| o.iter().map(item).collect()).collect(),
+    }
+}
+
+/// Converts a pattern AST into a core pattern. Guard conjuncts are folded
+/// with `&&`; tags referenced by guards become required labels.
+pub fn pattern_from_ast(p: &PatternAst) -> Pattern {
+    let variant = Variant::new(
+        p.fields.iter().map(|n| Label::new(n)),
+        p.tags.iter().map(|n| Label::new(n)),
+    );
+    match p.guards.split_first() {
+        None => Pattern::from_variant(variant),
+        Some((first, rest)) => {
+            let guard = rest
+                .iter()
+                .fold(first.clone(), |acc, g| TagExpr::bin(BinOp::And, acc, g.clone()));
+            Pattern::guarded(variant, guard)
+        }
+    }
+}
+
+fn filter_from_ast(f: &ast::FilterAst) -> Result<FilterSpec, SnetError> {
+    if f.identity {
+        return Ok(FilterSpec::identity());
+    }
+    let pattern = pattern_from_ast(&f.pattern);
+    let outputs = f
+        .outputs
+        .iter()
+        .map(|items| {
+            let mut t = OutputTemplate::empty();
+            for item in items {
+                match item {
+                    OutItemAst::Field { dst, src } => t.items.push(OutItem::Field {
+                        dst: Label::new(dst),
+                        src: Label::new(src),
+                    }),
+                    OutItemAst::Tag { dst, expr } => t.items.push(OutItem::Tag {
+                        dst: Label::new(dst),
+                        expr: expr.clone(),
+                    }),
+                }
+            }
+            t
+        })
+        .collect();
+    Ok(FilterSpec::new(pattern, outputs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snet_core::{BoxOutput, Record, Work};
+
+    fn identity_registry(names: &[&str]) -> BoxRegistry {
+        let mut reg = BoxRegistry::new();
+        for n in names {
+            reg.register(n, |r: &Record| Ok(BoxOutput::one(r.clone(), Work::ZERO)));
+        }
+        reg
+    }
+
+    #[test]
+    fn compiles_fig2_shape() {
+        let src = r#"
+            net raytracing_stat
+            {
+                box splitter( (scene, <nodes>, <tasks>)
+                    -> (scene, sect, <node>, <tasks>, <fst>)
+                     | (scene, sect, <node>, <tasks> ));
+                box solver ( (scene, sect) -> (chunk));
+                net merger ( (chunk, <fst>) -> (pic),
+                             (chunk) -> (pic));
+                box genImg ( (pic) -> ());
+            } connect
+                splitter .. solver!@<node> .. merger .. genImg
+        "#;
+        let mut reg = identity_registry(&["splitter", "solver", "genImg"]);
+        reg.register_net("merger", NetSpec::identity());
+        let net = compile(src, &reg).unwrap();
+        // splitter, solver, merger(identity filter), genImg
+        assert_eq!(net.component_count(), 4);
+        let NetSpec::Named { name, body } = net else {
+            panic!("expected named net")
+        };
+        assert_eq!(name, "raytracing_stat");
+        let printed = body.to_string();
+        assert!(printed.contains("!@<node>"), "{printed}");
+    }
+
+    #[test]
+    fn unregistered_box_is_an_error() {
+        let err = compile("box b ((x) -> (y)); connect b", &BoxRegistry::new()).unwrap_err();
+        assert!(err.to_string().contains("not registered"), "{err}");
+    }
+
+    #[test]
+    fn undeclared_reference_is_an_error() {
+        let err = compile("connect ghost", &BoxRegistry::new()).unwrap_err();
+        assert!(err.to_string().contains("not declared"), "{err}");
+    }
+
+    #[test]
+    fn last_net_is_entry_without_connect() {
+        let src = r#"
+            net a { box b ((x) -> (x)); } connect b;
+            net c { box d ((y) -> (y)); } connect d .. d;
+        "#;
+        let reg = identity_registry(&["b", "d"]);
+        let net = compile(src, &reg).unwrap();
+        assert_eq!(net.component_count(), 2); // entry is `c`
+    }
+
+    #[test]
+    fn nested_scoping_shadows() {
+        let src = r#"
+            box f ((x) -> (y));
+            net outer {
+                box f ((a) -> (b));
+            } connect f;
+            connect outer .. f
+        "#;
+        let reg = identity_registry(&["f"]);
+        let net = compile(src, &reg).unwrap();
+        assert_eq!(net.component_count(), 2);
+    }
+
+    #[test]
+    fn guards_compile_into_patterns() {
+        let src = "connect [] * {<tasks> == <cnt>}";
+        let net = compile(src, &BoxRegistry::new()).unwrap();
+        let NetSpec::Star { exit, .. } = net else {
+            panic!()
+        };
+        assert!(exit.guard.is_some());
+        assert!(exit.variant.has_tag(Label::new("tasks")));
+        assert!(exit.variant.has_tag(Label::new("cnt")));
+    }
+
+    #[test]
+    fn filter_templates_compile() {
+        let src = "connect [ {chunk, <node>} -> {chunk}; {<node>} ]";
+        let net = compile(src, &BoxRegistry::new()).unwrap();
+        let NetSpec::Filter(f) = net else { panic!() };
+        assert_eq!(f.outputs.len(), 2);
+        let rec = Record::new()
+            .with_field("chunk", snet_core::Value::Int(1))
+            .with_tag("node", 2)
+            .with_tag("tasks", 3);
+        let outs = f.apply(&rec).unwrap();
+        assert_eq!(outs.len(), 2);
+        assert_eq!(outs[1].tag("node"), Some(2));
+    }
+
+    #[test]
+    fn negative_node_rejected() {
+        let err = compile("connect [] @ 0 .. [] @ 3", &BoxRegistry::new());
+        assert!(err.is_ok());
+        // negative literals do not lex as a single int, so `@ -1` fails at
+        // parse time already:
+        assert!(compile("connect [] @ -1", &BoxRegistry::new()).is_err());
+    }
+}

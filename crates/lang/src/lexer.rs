@@ -1,0 +1,473 @@
+//! The S-Net lexer.
+//!
+//! One subtlety: `<` is both the comparison operator and the opening of a
+//! tag reference. The lexer resolves this greedily — `<` followed by an
+//! identifier followed by `>` (whitespace allowed) lexes as a single
+//! [`TokenKind::TagRef`]. Tag *assignments* like `<cnt += 1>` keep their
+//! structure (`<`, `cnt`, `+=`, `1`, `>`) because the identifier is not
+//! directly followed by `>`.
+
+use crate::token::{Token, TokenKind};
+use snet_core::SnetError;
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+/// Tokenizes S-Net source text.
+pub fn lex(src: &str) -> Result<Vec<Token>, SnetError> {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    loop {
+        let tok = lx.next_token()?;
+        let eof = tok.kind == TokenKind::Eof;
+        out.push(tok);
+        if eof {
+            return Ok(out);
+        }
+    }
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> SnetError {
+        SnetError::Parse {
+            line: self.line,
+            col: self.col,
+            msg: msg.into(),
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), SnetError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let (line, col) = (self.line, self.col);
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(SnetError::Parse {
+                                    line,
+                                    col,
+                                    msg: "unterminated block comment".into(),
+                                })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    /// After consuming `<`, tries to lex `ident >` (with whitespace) as a
+    /// tag reference; on failure rewinds and returns `None`.
+    fn try_tag_ref(&mut self) -> Option<String> {
+        let save = (self.pos, self.line, self.col);
+        // skip spaces (not newlines-in-comments; plain ws is enough here)
+        while matches!(self.peek(), Some(c) if c == b' ' || c == b'\t') {
+            self.bump();
+        }
+        if !matches!(self.peek(), Some(c) if c.is_ascii_alphabetic() || c == b'_') {
+            (self.pos, self.line, self.col) = save;
+            return None;
+        }
+        let name = self.ident();
+        while matches!(self.peek(), Some(c) if c == b' ' || c == b'\t') {
+            self.bump();
+        }
+        if self.peek() == Some(b'>') {
+            self.bump();
+            Some(name)
+        } else {
+            (self.pos, self.line, self.col) = save;
+            None
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, SnetError> {
+        self.skip_trivia()?;
+        let (line, col) = (self.line, self.col);
+        let mk = |kind| Token { kind, line, col };
+        let Some(c) = self.peek() else {
+            return Ok(mk(TokenKind::Eof));
+        };
+        use TokenKind::*;
+        let kind = match c {
+            b'(' => {
+                self.bump();
+                LParen
+            }
+            b')' => {
+                self.bump();
+                RParen
+            }
+            b'{' => {
+                self.bump();
+                LBrace
+            }
+            b'}' => {
+                self.bump();
+                RBrace
+            }
+            b'[' => {
+                self.bump();
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    LSync
+                } else {
+                    LBracket
+                }
+            }
+            b']' => {
+                self.bump();
+                RBracket
+            }
+            b',' => {
+                self.bump();
+                Comma
+            }
+            b';' => {
+                self.bump();
+                Semi
+            }
+            b'?' => {
+                self.bump();
+                Question
+            }
+            b':' => {
+                self.bump();
+                Colon
+            }
+            b'.' => {
+                self.bump();
+                if self.peek() == Some(b'.') {
+                    self.bump();
+                    DotDot
+                } else {
+                    return Err(self.error("stray `.` (expected `..`)"));
+                }
+            }
+            b'|' => {
+                self.bump();
+                match self.peek() {
+                    Some(b']') => {
+                        self.bump();
+                        RSync
+                    }
+                    Some(b'|') => {
+                        self.bump();
+                        PipePipe
+                    }
+                    _ => Pipe,
+                }
+            }
+            b'*' => {
+                self.bump();
+                if self.peek() == Some(b'*') {
+                    self.bump();
+                    StarStar
+                } else {
+                    Star
+                }
+            }
+            b'!' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'@') => {
+                        self.bump();
+                        BangAt
+                    }
+                    Some(b'=') => {
+                        self.bump();
+                        Ne
+                    }
+                    _ => Bang,
+                }
+            }
+            b'@' => {
+                self.bump();
+                At
+            }
+            b'<' => {
+                self.bump();
+                if let Some(name) = self.try_tag_ref() {
+                    TagRef(name)
+                } else if self.peek() == Some(b'=') {
+                    self.bump();
+                    Le
+                } else {
+                    Lt
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ge
+                } else {
+                    Gt
+                }
+            }
+            b'=' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    EqEq
+                } else {
+                    Assign
+                }
+            }
+            b'+' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    PlusEq
+                } else {
+                    Plus
+                }
+            }
+            b'-' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'>') => {
+                        self.bump();
+                        Arrow
+                    }
+                    Some(b'=') => {
+                        self.bump();
+                        MinusEq
+                    }
+                    _ => Minus,
+                }
+            }
+            b'/' => {
+                self.bump();
+                Slash
+            }
+            b'%' => {
+                self.bump();
+                Percent
+            }
+            b'&' => {
+                self.bump();
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    Amp2
+                } else {
+                    return Err(self.error("stray `&` (expected `&&`)"));
+                }
+            }
+            b'0'..=b'9' => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+                Int(text
+                    .parse::<i64>()
+                    .map_err(|_| self.error(format!("integer literal `{text}` out of range")))?)
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let name = self.ident();
+                match name.as_str() {
+                    "net" => KwNet,
+                    "box" => KwBox,
+                    "connect" => KwConnect,
+                    "if" => KwIf,
+                    _ => Ident(name),
+                }
+            }
+            other => return Err(self.error(format!("unexpected character `{}`", other as char))),
+        };
+        Ok(mk(kind))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .filter(|k| *k != Eof)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("a .. b | c"),
+            vec![
+                Ident("a".into()),
+                DotDot,
+                Ident("b".into()),
+                Pipe,
+                Ident("c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn tag_ref_is_one_token() {
+        assert_eq!(kinds("<node>"), vec![TagRef("node".into())]);
+        assert_eq!(kinds("< node >"), vec![TagRef("node".into())]);
+    }
+
+    #[test]
+    fn tag_assignment_stays_structured() {
+        assert_eq!(
+            kinds("<cnt+=1>"),
+            vec![Lt, Ident("cnt".into()), PlusEq, Int(1), Gt]
+        );
+        assert_eq!(
+            kinds("<cnt=1>"),
+            vec![Lt, Ident("cnt".into()), Assign, Int(1), Gt]
+        );
+    }
+
+    #[test]
+    fn sync_brackets() {
+        assert_eq!(
+            kinds("[| {pic}, {chunk} |]"),
+            vec![
+                LSync,
+                LBrace,
+                Ident("pic".into()),
+                RBrace,
+                Comma,
+                LBrace,
+                Ident("chunk".into()),
+                RBrace,
+                RSync
+            ]
+        );
+    }
+
+    #[test]
+    fn placement_operators() {
+        assert_eq!(
+            kinds("solver!@<node> @ 3 ! <cpu>"),
+            vec![
+                Ident("solver".into()),
+                BangAt,
+                TagRef("node".into()),
+                At,
+                Int(3),
+                Bang,
+                TagRef("cpu".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comparisons_vs_tags() {
+        // <tasks> == <cnt>  →  TagRef, EqEq, TagRef
+        assert_eq!(
+            kinds("<tasks> == <cnt>"),
+            vec![TagRef("tasks".into()), EqEq, TagRef("cnt".into())]
+        );
+        // a <= b stays a comparison
+        assert_eq!(
+            kinds("3 <= 4"),
+            vec![Int(3), Le, Int(4)]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // comment\n .. /* block\n comment */ b"),
+            vec![Ident("a".into()), DotDot, Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = lex("a\n  bb").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn keywords() {
+        assert_eq!(kinds("net box connect if"), vec![KwNet, KwBox, KwConnect, KwIf]);
+        assert_eq!(kinds("network"), vec![Ident("network".into())]);
+    }
+
+    #[test]
+    fn double_star_and_double_pipe() {
+        assert_eq!(kinds("a ** b || c"), vec![
+            Ident("a".into()), StarStar, Ident("b".into()), PipePipe, Ident("c".into())
+        ]);
+    }
+}

@@ -1,0 +1,97 @@
+//! The box registry: binds box *names* from S-Net source to executable
+//! Rust implementations.
+//!
+//! This is the Rust analogue of the paper's C interface for S-Net (§IV:
+//! "only small wrapper functions needed to be created"): algorithm
+//! engineering supplies functions, coordination engineering supplies the
+//! network text, and the registry is the seam between them. The registry
+//! can also hold pre-built subnets, which lets source text reference
+//! networks that were assembled programmatically.
+
+use snet_core::boxdef::BoxFn;
+use snet_core::{BoxOutput, NetSpec, Record, SnetError};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Maps box names to implementations and net names to prebuilt subnets.
+#[derive(Default, Clone)]
+pub struct BoxRegistry {
+    boxes: HashMap<String, Arc<dyn BoxFn>>,
+    nets: HashMap<String, NetSpec>,
+}
+
+impl BoxRegistry {
+    pub fn new() -> BoxRegistry {
+        BoxRegistry::default()
+    }
+
+    /// Registers a box implementation under `name`.
+    pub fn register<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: Fn(&Record) -> Result<BoxOutput, SnetError> + Send + Sync + 'static,
+    {
+        self.boxes.insert(name.to_owned(), Arc::new(f));
+        self
+    }
+
+    /// Registers an already-shared box implementation.
+    pub fn register_arc(&mut self, name: &str, f: Arc<dyn BoxFn>) -> &mut Self {
+        self.boxes.insert(name.to_owned(), f);
+        self
+    }
+
+    /// Registers a prebuilt subnet; `net name (sig);` declarations in
+    /// source resolve to it.
+    pub fn register_net(&mut self, name: &str, net: NetSpec) -> &mut Self {
+        self.nets.insert(name.to_owned(), net);
+        self
+    }
+
+    /// Looks up a box implementation.
+    pub fn get_box(&self, name: &str) -> Option<Arc<dyn BoxFn>> {
+        self.boxes.get(name).cloned()
+    }
+
+    /// Looks up a prebuilt net.
+    pub fn get_net(&self, name: &str) -> Option<&NetSpec> {
+        self.nets.get(name)
+    }
+
+    /// Registered box names (sorted, for diagnostics).
+    pub fn box_names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.boxes.keys().map(|s| s.as_str()).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl std::fmt::Debug for BoxRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoxRegistry")
+            .field("boxes", &self.box_names())
+            .field("nets", &self.nets.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snet_core::Work;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = BoxRegistry::new();
+        reg.register("id", |r: &Record| Ok(BoxOutput::one(r.clone(), Work::ZERO)));
+        assert!(reg.get_box("id").is_some());
+        assert!(reg.get_box("nope").is_none());
+        assert_eq!(reg.box_names(), vec!["id"]);
+    }
+
+    #[test]
+    fn register_net() {
+        let mut reg = BoxRegistry::new();
+        reg.register_net("merger", NetSpec::identity());
+        assert!(reg.get_net("merger").is_some());
+    }
+}

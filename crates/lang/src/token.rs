@@ -1,0 +1,118 @@
+//! Tokens of the S-Net surface syntax.
+
+use std::fmt;
+
+/// A lexical token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    Ident(String),
+    Int(i64),
+    /// `<ident>` recognized as one token (tag reference / tag label).
+    TagRef(String),
+
+    // keywords
+    KwNet,
+    KwBox,
+    KwConnect,
+    KwIf,
+
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,  // [
+    RBracket,  // ]
+    LSync,     // [|
+    RSync,     // |]
+    Comma,
+    Semi,
+    Arrow,     // ->
+    DotDot,    // ..
+    Pipe,      // |
+    PipePipe,  // ||
+    Star,      // *
+    StarStar,  // **
+    Bang,      // !
+    BangAt,    // !@
+    At,        // @
+    Lt,        // <
+    Gt,        // >
+    Le,        // <=
+    Ge,        // >=
+    EqEq,      // ==
+    Ne,        // !=
+    Assign,    // =
+    PlusEq,    // +=
+    MinusEq,   // -=
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Amp2,      // &&
+    Question,  // ?
+    Colon,     // :
+
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TokenKind::*;
+        match self {
+            Ident(s) => write!(f, "identifier `{s}`"),
+            Int(v) => write!(f, "integer `{v}`"),
+            TagRef(s) => write!(f, "`<{s}>`"),
+            KwNet => write!(f, "`net`"),
+            KwBox => write!(f, "`box`"),
+            KwConnect => write!(f, "`connect`"),
+            KwIf => write!(f, "`if`"),
+            LParen => write!(f, "`(`"),
+            RParen => write!(f, "`)`"),
+            LBrace => write!(f, "`{{`"),
+            RBrace => write!(f, "`}}`"),
+            LBracket => write!(f, "`[`"),
+            RBracket => write!(f, "`]`"),
+            LSync => write!(f, "`[|`"),
+            RSync => write!(f, "`|]`"),
+            Comma => write!(f, "`,`"),
+            Semi => write!(f, "`;`"),
+            Arrow => write!(f, "`->`"),
+            DotDot => write!(f, "`..`"),
+            Pipe => write!(f, "`|`"),
+            PipePipe => write!(f, "`||`"),
+            Star => write!(f, "`*`"),
+            StarStar => write!(f, "`**`"),
+            Bang => write!(f, "`!`"),
+            BangAt => write!(f, "`!@`"),
+            At => write!(f, "`@`"),
+            Lt => write!(f, "`<`"),
+            Gt => write!(f, "`>`"),
+            Le => write!(f, "`<=`"),
+            Ge => write!(f, "`>=`"),
+            EqEq => write!(f, "`==`"),
+            Ne => write!(f, "`!=`"),
+            Assign => write!(f, "`=`"),
+            PlusEq => write!(f, "`+=`"),
+            MinusEq => write!(f, "`-=`"),
+            Plus => write!(f, "`+`"),
+            Minus => write!(f, "`-`"),
+            Slash => write!(f, "`/`"),
+            Percent => write!(f, "`%`"),
+            Amp2 => write!(f, "`&&`"),
+            Question => write!(f, "`?`"),
+            Colon => write!(f, "`:`"),
+            Eof => write!(f, "end of input"),
+        }
+    }
+}

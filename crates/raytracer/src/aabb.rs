@@ -1,0 +1,150 @@
+//! Axis-aligned bounding boxes for the BVH.
+
+use crate::ray::Ray;
+use crate::vec3::{v3, Vec3};
+
+/// An axis-aligned box `[min, max]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aabb {
+    pub min: Vec3,
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// The empty box (union identity).
+    pub fn empty() -> Aabb {
+        Aabb {
+            min: v3(f64::INFINITY, f64::INFINITY, f64::INFINITY),
+            max: v3(f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// Box spanning two corner points (any orientation).
+    pub fn from_corners(a: Vec3, b: Vec3) -> Aabb {
+        Aabb {
+            min: a.min(b),
+            max: a.max(b),
+        }
+    }
+
+    /// Smallest box containing both inputs.
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Grows to contain a point.
+    pub fn extend(&mut self, p: Vec3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Surface area — the cost heuristic of Goldsmith & Salmon's
+    /// automatic hierarchy construction \[6\]: the probability a random
+    /// ray hits a convex volume is proportional to its surface area.
+    pub fn surface_area(&self) -> f64 {
+        if self.min.x > self.max.x {
+            return 0.0; // empty
+        }
+        let d = self.max - self.min;
+        2.0 * (d.x * d.y + d.y * d.z + d.z * d.x)
+    }
+
+    /// Slab test: does `ray` intersect this box within `(t_min, t_max)`?
+    pub fn hit(&self, ray: &Ray, t_min: f64, t_max: f64) -> bool {
+        let mut t0 = t_min;
+        let mut t1 = t_max;
+        for axis in 0..3 {
+            let (lo, hi, o, d) = match axis {
+                0 => (self.min.x, self.max.x, ray.origin.x, ray.dir.x),
+                1 => (self.min.y, self.max.y, ray.origin.y, ray.dir.y),
+                _ => (self.min.z, self.max.z, ray.origin.z, ray.dir.z),
+            };
+            let inv = 1.0 / d;
+            let (mut near, mut far) = ((lo - o) * inv, (hi - o) * inv);
+            if inv < 0.0 {
+                std::mem::swap(&mut near, &mut far);
+            }
+            t0 = t0.max(near);
+            t1 = t1.min(far);
+            if t1 < t0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Center point (used by construction heuristics).
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Aabb {
+        Aabb::from_corners(v3(0.0, 0.0, 0.0), v3(1.0, 1.0, 1.0))
+    }
+
+    #[test]
+    fn union_and_extend() {
+        let a = unit();
+        let b = Aabb::from_corners(v3(2.0, -1.0, 0.5), v3(3.0, 0.5, 0.75));
+        let u = a.union(&b);
+        assert_eq!(u.min, v3(0.0, -1.0, 0.0));
+        assert_eq!(u.max, v3(3.0, 1.0, 1.0));
+        let mut c = Aabb::empty();
+        c.extend(v3(1.0, 2.0, 3.0));
+        c.extend(v3(-1.0, 0.0, 0.0));
+        assert_eq!(c.min, v3(-1.0, 0.0, 0.0));
+        assert_eq!(c.max, v3(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn surface_area_of_unit_cube_is_six() {
+        assert_eq!(unit().surface_area(), 6.0);
+        assert_eq!(Aabb::empty().surface_area(), 0.0);
+    }
+
+    #[test]
+    fn ray_hits_and_misses() {
+        let b = unit();
+        let toward = Ray::new(v3(0.5, 0.5, -2.0), v3(0.0, 0.0, 1.0));
+        let away = Ray::new(v3(0.5, 0.5, -2.0), v3(0.0, 0.0, -1.0));
+        let aside = Ray::new(v3(5.0, 5.0, -2.0), v3(0.0, 0.0, 1.0));
+        assert!(b.hit(&toward, 0.0, f64::INFINITY));
+        assert!(!b.hit(&away, 0.0, f64::INFINITY));
+        assert!(!b.hit(&aside, 0.0, f64::INFINITY));
+    }
+
+    #[test]
+    fn ray_starting_inside_hits() {
+        let b = unit();
+        let inside = Ray::new(v3(0.5, 0.5, 0.5), v3(1.0, 0.3, -0.2));
+        assert!(b.hit(&inside, 0.0, f64::INFINITY));
+    }
+
+    #[test]
+    fn t_range_limits_hits() {
+        let b = unit();
+        let r = Ray::new(v3(0.5, 0.5, -2.0), v3(0.0, 0.0, 1.0));
+        assert!(!b.hit(&r, 0.0, 1.0)); // box starts at t = 2
+        assert!(b.hit(&r, 0.0, 2.5));
+        assert!(!b.hit(&r, 3.5, 10.0)); // box ends at t = 3
+    }
+
+    #[test]
+    fn axis_parallel_ray_inside_slab() {
+        let b = unit();
+        // Parallel to x axis inside the box's y/z slabs.
+        let r = Ray::new(v3(-3.0, 0.5, 0.5), v3(1.0, 0.0, 0.0));
+        assert!(b.hit(&r, 0.0, f64::INFINITY));
+        // Parallel but outside the y slab.
+        let r = Ray::new(v3(-3.0, 2.0, 0.5), v3(1.0, 0.0, 0.0));
+        assert!(!b.hit(&r, 0.0, f64::INFINITY));
+    }
+}

@@ -1,0 +1,371 @@
+//! Bounding-Volume Hierarchy built by incremental insertion.
+//!
+//! "When adding an object to the BVH, it inserts the bounding volume
+//! that contains the object at the optimal place in the hierarchy using
+//! a branch-and-bound algorithm, which minimizes the cost estimation
+//! based on the surface area" (§II, citing Goldsmith & Salmon \[6\]).
+//!
+//! Insertion descends from the root, at every internal node choosing the
+//! child whose bounding box grows least (in surface area) when the new
+//! volume is added — Goldsmith & Salmon's area-based cost estimate —
+//! and pairs up with the reached leaf under a fresh internal node.
+//! Traversal is an ordinary stack walk that shrinks the ray interval as
+//! hits are found; every box test and node visit is counted for the
+//! simulator's cost model.
+
+use crate::aabb::Aabb;
+use crate::ray::{Counters, Ray};
+use crate::shape::{Hit, Shape};
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        aabb: Aabb,
+        shape: usize,
+    },
+    Internal {
+        aabb: Aabb,
+        left: usize,
+        right: usize,
+    },
+}
+
+impl Node {
+    fn aabb(&self) -> Aabb {
+        match self {
+            Node::Leaf { aabb, .. } | Node::Internal { aabb, .. } => *aabb,
+        }
+    }
+}
+
+/// A surface-area-guided bounding volume hierarchy over a shape list.
+#[derive(Clone, Debug, Default)]
+pub struct Bvh {
+    nodes: Vec<Node>,
+    root: Option<usize>,
+}
+
+impl Bvh {
+    /// Builds a hierarchy by inserting every shape in index order —
+    /// exactly the incremental construction of \[6\].
+    pub fn build(shapes: &[Shape]) -> Bvh {
+        let mut bvh = Bvh::default();
+        for (i, s) in shapes.iter().enumerate() {
+            bvh.insert(i, s.aabb());
+        }
+        bvh
+    }
+
+    /// Inserts one shape's bounding volume.
+    pub fn insert(&mut self, shape: usize, aabb: Aabb) {
+        let leaf = self.push(Node::Leaf { aabb, shape });
+        match self.root {
+            None => self.root = Some(leaf),
+            Some(root) => {
+                let new_root = self.insert_under(root, leaf, aabb);
+                self.root = Some(new_root);
+            }
+        }
+    }
+
+    /// Recursive descent: returns the node replacing `node` after the
+    /// leaf has been inserted somewhere below it.
+    fn insert_under(&mut self, node: usize, leaf: usize, leaf_box: Aabb) -> usize {
+        match self.nodes[node].clone() {
+            Node::Leaf { aabb, .. } => {
+                // Pair the two leaves under a fresh internal node.
+                self.push(Node::Internal {
+                    aabb: aabb.union(&leaf_box),
+                    left: node,
+                    right: leaf,
+                })
+            }
+            Node::Internal { aabb, left, right } => {
+                let la = self.nodes[left].aabb();
+                let ra = self.nodes[right].aabb();
+                // Goldsmith–Salmon cost estimate: surface-area increase
+                // of each subtree if it absorbs the new volume.
+                let dl = la.union(&leaf_box).surface_area() - la.surface_area();
+                let dr = ra.union(&leaf_box).surface_area() - ra.surface_area();
+                let (new_left, new_right) = if dl <= dr {
+                    (self.insert_under(left, leaf, leaf_box), right)
+                } else {
+                    (left, self.insert_under(right, leaf, leaf_box))
+                };
+                self.nodes[node] = Node::Internal {
+                    aabb: aabb.union(&leaf_box),
+                    left: new_left,
+                    right: new_right,
+                };
+                node
+            }
+        }
+    }
+
+    fn push(&mut self, n: Node) -> usize {
+        self.nodes.push(n);
+        self.nodes.len() - 1
+    }
+
+    /// Nearest hit of `ray` against `shapes` in `(t_min, t_max)`.
+    ///
+    /// `counters` accumulates box tests, node visits and primitive
+    /// tests — the deterministic work driving the cluster simulator.
+    pub fn intersect(
+        &self,
+        shapes: &[Shape],
+        ray: &Ray,
+        t_min: f64,
+        t_max: f64,
+        counters: &mut Counters,
+    ) -> Option<Hit> {
+        let root = self.root?;
+        let mut best: Option<Hit> = None;
+        let mut closest = t_max;
+        let mut stack = Vec::with_capacity(32);
+        stack.push(root);
+        while let Some(idx) = stack.pop() {
+            counters.bvh_nodes += 1;
+            counters.aabb_tests += 1;
+            let node = &self.nodes[idx];
+            if !node.aabb().hit(ray, t_min, closest) {
+                continue;
+            }
+            match *node {
+                Node::Leaf { shape, .. } => {
+                    counters.prim_tests += 1;
+                    if let Some(mut h) = shapes[shape].intersect(ray, t_min, closest) {
+                        h.shape = shape;
+                        closest = h.t;
+                        best = Some(h);
+                    }
+                }
+                Node::Internal { left, right, .. } => {
+                    stack.push(left);
+                    stack.push(right);
+                }
+            }
+        }
+        best
+    }
+
+    /// Any-hit query for shadow rays: true if *something* blocks the
+    /// interval. Stops at the first occluder.
+    pub fn occluded(
+        &self,
+        shapes: &[Shape],
+        ray: &Ray,
+        t_min: f64,
+        t_max: f64,
+        counters: &mut Counters,
+    ) -> bool {
+        let Some(root) = self.root else { return false };
+        let mut stack = Vec::with_capacity(32);
+        stack.push(root);
+        while let Some(idx) = stack.pop() {
+            counters.bvh_nodes += 1;
+            counters.aabb_tests += 1;
+            let node = &self.nodes[idx];
+            if !node.aabb().hit(ray, t_min, t_max) {
+                continue;
+            }
+            match *node {
+                Node::Leaf { shape, .. } => {
+                    counters.prim_tests += 1;
+                    if shapes[shape].intersect(ray, t_min, t_max).is_some() {
+                        return true;
+                    }
+                }
+                Node::Internal { left, right, .. } => {
+                    stack.push(left);
+                    stack.push(right);
+                }
+            }
+        }
+        false
+    }
+
+    /// Total node count (leaves + internals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum leaf depth.
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], idx: usize) -> usize {
+            match nodes[idx] {
+                Node::Leaf { .. } => 1,
+                Node::Internal { left, right, .. } => {
+                    1 + depth_of(nodes, left).max(depth_of(nodes, right))
+                }
+            }
+        }
+        self.root.map_or(0, |r| depth_of(&self.nodes, r))
+    }
+
+    /// Goldsmith–Salmon tree quality: sum of internal-node surface areas
+    /// relative to the root's (lower is better).
+    pub fn sah_cost(&self) -> f64 {
+        let Some(root) = self.root else { return 0.0 };
+        let root_sa = self.nodes[root].aabb().surface_area();
+        if root_sa <= 0.0 {
+            return 0.0;
+        }
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::Internal { aabb, .. } => aabb.surface_area() / root_sa,
+                Node::Leaf { .. } => 0.0,
+            })
+            .sum()
+    }
+}
+
+/// Reference oracle: test every shape (counts primitive tests only).
+pub fn intersect_brute(
+    shapes: &[Shape],
+    ray: &Ray,
+    t_min: f64,
+    t_max: f64,
+    counters: &mut Counters,
+) -> Option<Hit> {
+    let mut best: Option<Hit> = None;
+    let mut closest = t_max;
+    for (i, s) in shapes.iter().enumerate() {
+        counters.prim_tests += 1;
+        if let Some(mut h) = s.intersect(ray, t_min, closest) {
+            h.shape = i;
+            closest = h.t;
+            best = Some(h);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::v3;
+
+    fn grid_spheres(n: usize) -> Vec<Shape> {
+        (0..n)
+            .map(|i| Shape::Sphere {
+                center: v3((i % 10) as f64 * 3.0, ((i / 10) % 10) as f64 * 3.0, (i / 100) as f64 * 3.0 + 10.0),
+                radius: 1.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_bvh_hits_nothing() {
+        let bvh = Bvh::build(&[]);
+        let ray = Ray::new(v3(0.0, 0.0, 0.0), v3(0.0, 0.0, 1.0));
+        let mut c = Counters::default();
+        assert!(bvh.intersect(&[], &ray, 1e-6, f64::INFINITY, &mut c).is_none());
+        assert!(!bvh.occluded(&[], &ray, 1e-6, f64::INFINITY, &mut c));
+        assert_eq!(bvh.depth(), 0);
+    }
+
+    #[test]
+    fn single_shape() {
+        let shapes = vec![Shape::Sphere {
+            center: v3(0.0, 0.0, 5.0),
+            radius: 1.0,
+        }];
+        let bvh = Bvh::build(&shapes);
+        let ray = Ray::new(v3(0.0, 0.0, 0.0), v3(0.0, 0.0, 1.0));
+        let mut c = Counters::default();
+        let h = bvh.intersect(&shapes, &ray, 1e-6, f64::INFINITY, &mut c).unwrap();
+        assert_eq!(h.shape, 0);
+        assert!((h.t - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bvh_agrees_with_brute_force_on_grid() {
+        let shapes = grid_spheres(120);
+        let bvh = Bvh::build(&shapes);
+        for iy in -4..8 {
+            for ix in -4..8 {
+                let ray = Ray::new(
+                    v3(ix as f64 * 2.5, iy as f64 * 2.5, -5.0),
+                    v3(0.1 * ix as f64, 0.05 * iy as f64, 1.0),
+                );
+                let mut cb = Counters::default();
+                let mut cv = Counters::default();
+                let brute = intersect_brute(&shapes, &ray, 1e-6, f64::INFINITY, &mut cb);
+                let fast = bvh.intersect(&shapes, &ray, 1e-6, f64::INFINITY, &mut cv);
+                match (brute, fast) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.shape, b.shape);
+                        assert!((a.t - b.t).abs() < 1e-9);
+                    }
+                    other => panic!("disagreement: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bvh_prunes_primitive_tests() {
+        let shapes = grid_spheres(500);
+        let bvh = Bvh::build(&shapes);
+        let ray = Ray::new(v3(0.0, 0.0, 0.0), v3(0.0, 0.0, 1.0));
+        let mut c = Counters::default();
+        bvh.intersect(&shapes, &ray, 1e-6, f64::INFINITY, &mut c);
+        assert!(
+            c.prim_tests < shapes.len() as u64 / 4,
+            "BVH tested {} of {} primitives",
+            c.prim_tests,
+            shapes.len()
+        );
+    }
+
+    #[test]
+    fn tree_is_reasonably_balanced_on_uniform_input() {
+        let shapes = grid_spheres(256);
+        let bvh = Bvh::build(&shapes);
+        assert_eq!(bvh.node_count(), 2 * 256 - 1);
+        // log2(256) = 8; allow generous slack for the greedy heuristic.
+        assert!(bvh.depth() <= 40, "depth {}", bvh.depth());
+    }
+
+    #[test]
+    fn occlusion_matches_intersection() {
+        let shapes = grid_spheres(64);
+        let bvh = Bvh::build(&shapes);
+        for i in 0..32 {
+            let ray = Ray::new(
+                v3(i as f64 - 16.0, 2.0, -4.0),
+                v3(0.2, 0.1 * (i % 5) as f64, 1.0),
+            );
+            let mut c = Counters::default();
+            let hit = bvh.intersect(&shapes, &ray, 1e-6, 100.0, &mut c).is_some();
+            let occ = bvh.occluded(&shapes, &ray, 1e-6, 100.0, &mut c);
+            assert_eq!(hit, occ, "ray {i}");
+        }
+    }
+
+    #[test]
+    fn nearest_hit_wins_among_overlaps() {
+        let shapes = vec![
+            Shape::Sphere {
+                center: v3(0.0, 0.0, 10.0),
+                radius: 1.0,
+            },
+            Shape::Sphere {
+                center: v3(0.0, 0.0, 5.0),
+                radius: 1.0,
+            },
+            Shape::Sphere {
+                center: v3(0.0, 0.0, 7.5),
+                radius: 1.0,
+            },
+        ];
+        let bvh = Bvh::build(&shapes);
+        let ray = Ray::new(v3(0.0, 0.0, 0.0), v3(0.0, 0.0, 1.0));
+        let mut c = Counters::default();
+        let h = bvh.intersect(&shapes, &ray, 1e-6, f64::INFINITY, &mut c).unwrap();
+        assert_eq!(h.shape, 1);
+    }
+}

@@ -1,0 +1,238 @@
+//! Images, horizontal sections and rendered chunks.
+//!
+//! The parallel decomposition of the paper splits the image plane along
+//! the y axis into [`Section`]s (§V: "a scene of 3000×3000 pixels is
+//! split along the y axis"); a solver renders a section into a
+//! [`Chunk`]; the merger assembles chunks into an [`Image`].
+
+use std::io::Write;
+use std::path::Path;
+
+/// One 8-bit RGB pixel.
+pub type Rgb = [u8; 3];
+
+/// A horizontal strip of the image plane: rows `y0 .. y1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Section {
+    /// First row (inclusive).
+    pub y0: u32,
+    /// One past the last row.
+    pub y1: u32,
+}
+
+impl Section {
+    /// Builds a section; panics if empty or inverted.
+    pub fn new(y0: u32, y1: u32) -> Section {
+        assert!(y0 < y1, "section must contain at least one row");
+        Section { y0, y1 }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u32 {
+        self.y1 - self.y0
+    }
+}
+
+/// A rendered strip: the pixels of one section.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Chunk {
+    /// First image row this chunk covers.
+    pub y0: u32,
+    /// Image width in pixels.
+    pub width: u32,
+    /// Row-major pixels, `rows * width` of them.
+    pub pixels: Vec<Rgb>,
+}
+
+impl Chunk {
+    /// Rows covered.
+    pub fn rows(&self) -> u32 {
+        (self.pixels.len() as u32) / self.width.max(1)
+    }
+
+    /// The section this chunk covers.
+    pub fn section(&self) -> Section {
+        Section::new(self.y0, self.y0 + self.rows())
+    }
+
+    /// Nominal wire size (3 bytes per pixel plus a small header) — what
+    /// the simulated network charges for moving this chunk.
+    pub fn wire_bytes(&self) -> usize {
+        self.pixels.len() * 3 + 16
+    }
+}
+
+/// A complete (or in-assembly) image.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// Row-major pixels.
+    pub pixels: Vec<Rgb>,
+}
+
+impl Image {
+    /// A black image of the given dimensions.
+    pub fn new(width: u32, height: u32) -> Image {
+        Image {
+            width,
+            height,
+            pixels: vec![[0, 0, 0]; (width as usize) * (height as usize)],
+        }
+    }
+
+    /// Copies a chunk's rows into place. Panics if the chunk does not
+    /// fit (width mismatch or rows out of range) — that is always a
+    /// coordination bug worth failing loudly on.
+    pub fn blit(&mut self, chunk: &Chunk) {
+        assert_eq!(chunk.width, self.width, "chunk width mismatch");
+        let start = (chunk.y0 as usize) * (self.width as usize);
+        let end = start + chunk.pixels.len();
+        assert!(end <= self.pixels.len(), "chunk rows out of range");
+        self.pixels[start..end].copy_from_slice(&chunk.pixels);
+    }
+
+    /// Assembles chunks into a fresh image (order-insensitive).
+    pub fn assemble(width: u32, height: u32, chunks: &[Chunk]) -> Image {
+        let mut img = Image::new(width, height);
+        for c in chunks {
+            img.blit(c);
+        }
+        img
+    }
+
+    /// Nominal wire size of the full frame.
+    pub fn wire_bytes(&self) -> usize {
+        self.pixels.len() * 3 + 16
+    }
+
+    /// FNV-1a digest of the pixel data — the cheap way tests assert two
+    /// renders are byte-identical.
+    pub fn checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for px in &self.pixels {
+            for &b in px {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1_0000_01b3);
+            }
+        }
+        h
+    }
+
+    /// Writes a binary PPM (P6) file — the `genImg` box's output format.
+    pub fn write_ppm(&self, path: &Path) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut w = std::io::BufWriter::new(file);
+        write!(w, "P6\n{} {}\n255\n", self.width, self.height)?;
+        for px in &self.pixels {
+            w.write_all(px)?;
+        }
+        w.flush()
+    }
+}
+
+/// Splits `height` rows into `count` equal-as-possible sections (block
+/// decomposition; the remainder is distributed one row at a time to the
+/// leading sections).
+pub fn split_rows(height: u32, count: u32) -> Vec<Section> {
+    assert!(count > 0 && height >= count, "need at least one row per section");
+    let base = height / count;
+    let extra = height % count;
+    let mut out = Vec::with_capacity(count as usize);
+    let mut y = 0;
+    for i in 0..count {
+        let rows = base + u32::from(i < extra);
+        out.push(Section::new(y, y + rows));
+        y += rows;
+    }
+    debug_assert_eq!(y, height);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_rows_covers_exactly() {
+        for (h, n) in [(3000u32, 48u32), (600, 7), (10, 10), (11, 3)] {
+            let sections = split_rows(h, n);
+            assert_eq!(sections.len(), n as usize);
+            assert_eq!(sections[0].y0, 0);
+            assert_eq!(sections.last().unwrap().y1, h);
+            for w in sections.windows(2) {
+                assert_eq!(w[0].y1, w[1].y0, "sections must tile");
+            }
+            let max = sections.iter().map(|s| s.rows()).max().unwrap();
+            let min = sections.iter().map(|s| s.rows()).min().unwrap();
+            assert!(max - min <= 1, "block split must be even");
+        }
+    }
+
+    #[test]
+    fn chunk_geometry() {
+        let c = Chunk {
+            y0: 10,
+            width: 4,
+            pixels: vec![[1, 2, 3]; 12],
+        };
+        assert_eq!(c.rows(), 3);
+        assert_eq!(c.section(), Section::new(10, 13));
+        assert_eq!(c.wire_bytes(), 12 * 3 + 16);
+    }
+
+    #[test]
+    fn assemble_is_order_insensitive() {
+        let a = Chunk {
+            y0: 0,
+            width: 2,
+            pixels: vec![[1, 1, 1]; 4],
+        };
+        let b = Chunk {
+            y0: 2,
+            width: 2,
+            pixels: vec![[2, 2, 2]; 4],
+        };
+        let i1 = Image::assemble(2, 4, &[a.clone(), b.clone()]);
+        let i2 = Image::assemble(2, 4, &[b, a]);
+        assert_eq!(i1, i2);
+        assert_eq!(i1.pixels[0], [1, 1, 1]);
+        assert_eq!(i1.pixels[7], [2, 2, 2]);
+        assert_eq!(i1.checksum(), i2.checksum());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn blit_rejects_wrong_width() {
+        let mut img = Image::new(4, 4);
+        img.blit(&Chunk {
+            y0: 0,
+            width: 3,
+            pixels: vec![[0, 0, 0]; 3],
+        });
+    }
+
+    #[test]
+    fn checksums_differ_for_different_content() {
+        let mut a = Image::new(2, 2);
+        let b = Image::new(2, 2);
+        a.pixels[3] = [0, 0, 1];
+        assert_ne!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn ppm_round_trip_header() {
+        let dir = std::env::temp_dir().join("rsnet-image-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.ppm");
+        let mut img = Image::new(3, 2);
+        img.pixels[0] = [255, 0, 0];
+        img.write_ppm(&path).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        assert!(data.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(data.len(), 11 + 3 * 2 * 3);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,114 @@
+//! Rays and work accounting.
+
+use crate::vec3::Vec3;
+
+/// A half-line `origin + t * dir`, `t >= 0`. Directions are kept
+/// normalized by construction.
+#[derive(Clone, Copy, Debug)]
+pub struct Ray {
+    pub origin: Vec3,
+    pub dir: Vec3,
+}
+
+impl Ray {
+    /// Builds a ray, normalizing the direction.
+    pub fn new(origin: Vec3, dir: Vec3) -> Ray {
+        Ray {
+            origin,
+            dir: dir.normalized(),
+        }
+    }
+
+    /// Point at parameter `t`.
+    pub fn at(&self, t: f64) -> Vec3 {
+        self.origin + self.dir * t
+    }
+}
+
+/// Deterministic work counters collected during rendering.
+///
+/// These are the tracer's "hardware-neutral instruction counts": the
+/// cluster simulator converts them to virtual CPU seconds. Two renders
+/// of the same section always produce identical counters, which is what
+/// makes the benchmark figures reproducible.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Primary rays generated.
+    pub primary_rays: u64,
+    /// Secondary rays (reflection + refraction).
+    pub secondary_rays: u64,
+    /// Shadow rays.
+    pub shadow_rays: u64,
+    /// Ray–AABB slab tests (BVH traversal).
+    pub aabb_tests: u64,
+    /// BVH nodes visited.
+    pub bvh_nodes: u64,
+    /// Ray–primitive intersection tests.
+    pub prim_tests: u64,
+    /// Shading evaluations.
+    pub shades: u64,
+}
+
+/// Cost weights (abstract ops per event), roughly proportional to the
+/// flop counts of the corresponding kernels.
+pub mod cost {
+    pub const PRIMARY_RAY: u64 = 10;
+    pub const SECONDARY_RAY: u64 = 14;
+    pub const SHADOW_RAY: u64 = 6;
+    pub const AABB_TEST: u64 = 6;
+    pub const BVH_NODE: u64 = 2;
+    pub const PRIM_TEST: u64 = 16;
+    pub const SHADE: u64 = 30;
+}
+
+impl Counters {
+    /// Total abstract operations represented by these counters.
+    pub fn ops(&self) -> u64 {
+        self.primary_rays * cost::PRIMARY_RAY
+            + self.secondary_rays * cost::SECONDARY_RAY
+            + self.shadow_rays * cost::SHADOW_RAY
+            + self.aabb_tests * cost::AABB_TEST
+            + self.bvh_nodes * cost::BVH_NODE
+            + self.prim_tests * cost::PRIM_TEST
+            + self.shades * cost::SHADE
+    }
+
+    /// Component-wise accumulation.
+    pub fn merge(&mut self, other: &Counters) {
+        self.primary_rays += other.primary_rays;
+        self.secondary_rays += other.secondary_rays;
+        self.shadow_rays += other.shadow_rays;
+        self.aabb_tests += other.aabb_tests;
+        self.bvh_nodes += other.bvh_nodes;
+        self.prim_tests += other.prim_tests;
+        self.shades += other.shades;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::v3;
+
+    #[test]
+    fn ray_direction_is_normalized() {
+        let r = Ray::new(v3(0.0, 0.0, 0.0), v3(0.0, 3.0, 4.0));
+        assert!((r.dir.length() - 1.0).abs() < 1e-12);
+        assert_eq!(r.at(5.0), v3(0.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn counters_merge_and_ops() {
+        let mut a = Counters {
+            primary_rays: 1,
+            ..Counters::default()
+        };
+        let b = Counters {
+            shades: 2,
+            prim_tests: 3,
+            ..Counters::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.ops(), cost::PRIMARY_RAY + 2 * cost::SHADE + 3 * cost::PRIM_TEST);
+    }
+}

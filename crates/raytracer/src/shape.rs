@@ -1,0 +1,295 @@
+//! Primitives and materials.
+
+use crate::aabb::Aabb;
+use crate::ray::Ray;
+use crate::vec3::{v3, Vec3};
+
+/// Surface material: Phong shading parameters plus reflectivity and
+/// transparency for Whitted-style secondary rays.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Material {
+    /// Diffuse albedo (also the ambient color).
+    pub diffuse: Vec3,
+    /// Specular highlight strength.
+    pub specular: f64,
+    /// Phong exponent.
+    pub shininess: f64,
+    /// Fraction of light mirrored (spawns reflection rays when > 0).
+    pub reflectivity: f64,
+    /// Fraction of light transmitted (spawns refraction rays when > 0).
+    pub transparency: f64,
+    /// Index of refraction (used when `transparency > 0`).
+    pub ior: f64,
+}
+
+impl Material {
+    /// A plain diffuse surface.
+    pub fn matte(diffuse: Vec3) -> Material {
+        Material {
+            diffuse,
+            specular: 0.2,
+            shininess: 16.0,
+            reflectivity: 0.0,
+            transparency: 0.0,
+            ior: 1.0,
+        }
+    }
+
+    /// A polished mirror-like surface.
+    pub fn mirror(diffuse: Vec3, reflectivity: f64) -> Material {
+        Material {
+            diffuse,
+            specular: 0.8,
+            shininess: 64.0,
+            reflectivity,
+            transparency: 0.0,
+            ior: 1.0,
+        }
+    }
+
+    /// A transparent glass-like surface.
+    pub fn glass(diffuse: Vec3, transparency: f64, ior: f64) -> Material {
+        Material {
+            diffuse,
+            specular: 0.9,
+            shininess: 96.0,
+            reflectivity: 0.1,
+            transparency,
+            ior,
+        }
+    }
+}
+
+/// Result of a successful ray–primitive intersection.
+#[derive(Clone, Copy, Debug)]
+pub struct Hit {
+    /// Ray parameter of the hit point.
+    pub t: f64,
+    /// World-space hit point.
+    pub point: Vec3,
+    /// Unit outward surface normal at the hit point.
+    pub normal: Vec3,
+    /// Index of the primitive hit (set by the scene/BVH layer).
+    pub shape: usize,
+}
+
+/// A renderable primitive.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Shape {
+    /// A sphere.
+    Sphere { center: Vec3, radius: f64 },
+    /// An axis-aligned rectangle at `y = level` spanning
+    /// `[-half, half]²` in x/z — the scene floor.
+    Floor { level: f64, half: f64 },
+    /// A triangle (counter-clockwise winding defines the normal).
+    Triangle { a: Vec3, b: Vec3, c: Vec3 },
+}
+
+impl Shape {
+    /// Bounding box of the primitive.
+    pub fn aabb(&self) -> Aabb {
+        match *self {
+            Shape::Sphere { center, radius } => Aabb::from_corners(
+                center - v3(radius, radius, radius),
+                center + v3(radius, radius, radius),
+            ),
+            Shape::Floor { level, half } => Aabb::from_corners(
+                v3(-half, level - 1e-4, -half),
+                v3(half, level + 1e-4, half),
+            ),
+            Shape::Triangle { a, b, c } => {
+                let mut bb = Aabb::empty();
+                bb.extend(a);
+                bb.extend(b);
+                bb.extend(c);
+                // Pad degenerate (axis-aligned flat) triangles slightly.
+                bb.min -= v3(1e-6, 1e-6, 1e-6);
+                bb.max += v3(1e-6, 1e-6, 1e-6);
+                bb
+            }
+        }
+    }
+
+    /// Nearest intersection with `ray` in `(t_min, t_max)`, if any.
+    /// The returned hit's `shape` index is zero; callers stamp it.
+    pub fn intersect(&self, ray: &Ray, t_min: f64, t_max: f64) -> Option<Hit> {
+        match *self {
+            Shape::Sphere { center, radius } => {
+                let oc = ray.origin - center;
+                let b = oc.dot(ray.dir);
+                let c = oc.length_squared() - radius * radius;
+                let disc = b * b - c;
+                if disc < 0.0 {
+                    return None;
+                }
+                let sqrt_d = disc.sqrt();
+                let mut t = -b - sqrt_d;
+                if t <= t_min || t >= t_max {
+                    t = -b + sqrt_d;
+                    if t <= t_min || t >= t_max {
+                        return None;
+                    }
+                }
+                let point = ray.at(t);
+                Some(Hit {
+                    t,
+                    point,
+                    normal: (point - center) / radius,
+                    shape: 0,
+                })
+            }
+            Shape::Floor { level, half } => {
+                if ray.dir.y.abs() < 1e-12 {
+                    return None;
+                }
+                let t = (level - ray.origin.y) / ray.dir.y;
+                if t <= t_min || t >= t_max {
+                    return None;
+                }
+                let p = ray.at(t);
+                if p.x.abs() > half || p.z.abs() > half {
+                    return None;
+                }
+                Some(Hit {
+                    t,
+                    point: p,
+                    normal: v3(0.0, if ray.dir.y < 0.0 { 1.0 } else { -1.0 }, 0.0),
+                    shape: 0,
+                })
+            }
+            Shape::Triangle { a, b, c } => {
+                // Möller–Trumbore.
+                let e1 = b - a;
+                let e2 = c - a;
+                let pvec = ray.dir.cross(e2);
+                let det = e1.dot(pvec);
+                if det.abs() < 1e-12 {
+                    return None;
+                }
+                let inv_det = 1.0 / det;
+                let tvec = ray.origin - a;
+                let u = tvec.dot(pvec) * inv_det;
+                if !(0.0..=1.0).contains(&u) {
+                    return None;
+                }
+                let qvec = tvec.cross(e1);
+                let v = ray.dir.dot(qvec) * inv_det;
+                if v < 0.0 || u + v > 1.0 {
+                    return None;
+                }
+                let t = e2.dot(qvec) * inv_det;
+                if t <= t_min || t >= t_max {
+                    return None;
+                }
+                let mut normal = e1.cross(e2).normalized();
+                if normal.dot(ray.dir) > 0.0 {
+                    normal = -normal; // face the ray
+                }
+                Some(Hit {
+                    t,
+                    point: ray.at(t),
+                    normal,
+                    shape: 0,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sphere_hit_from_outside() {
+        let s = Shape::Sphere {
+            center: v3(0.0, 0.0, 5.0),
+            radius: 1.0,
+        };
+        let r = Ray::new(v3(0.0, 0.0, 0.0), v3(0.0, 0.0, 1.0));
+        let h = s.intersect(&r, 1e-6, f64::INFINITY).unwrap();
+        assert!((h.t - 4.0).abs() < 1e-9);
+        assert!((h.normal - v3(0.0, 0.0, -1.0)).length() < 1e-9);
+    }
+
+    #[test]
+    fn sphere_hit_from_inside_uses_far_root() {
+        let s = Shape::Sphere {
+            center: v3(0.0, 0.0, 0.0),
+            radius: 2.0,
+        };
+        let r = Ray::new(v3(0.0, 0.0, 0.0), v3(1.0, 0.0, 0.0));
+        let h = s.intersect(&r, 1e-6, f64::INFINITY).unwrap();
+        assert!((h.t - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sphere_miss() {
+        let s = Shape::Sphere {
+            center: v3(0.0, 0.0, 5.0),
+            radius: 1.0,
+        };
+        let r = Ray::new(v3(0.0, 3.0, 0.0), v3(0.0, 0.0, 1.0));
+        assert!(s.intersect(&r, 1e-6, f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn floor_hit_and_bounds() {
+        let f = Shape::Floor {
+            level: 0.0,
+            half: 10.0,
+        };
+        let down = Ray::new(v3(1.0, 5.0, 1.0), v3(0.0, -1.0, 0.0));
+        let h = f.intersect(&down, 1e-6, f64::INFINITY).unwrap();
+        assert!((h.t - 5.0).abs() < 1e-9);
+        assert_eq!(h.normal, v3(0.0, 1.0, 0.0));
+        let off_edge = Ray::new(v3(50.0, 5.0, 0.0), v3(0.0, -1.0, 0.0));
+        assert!(f.intersect(&off_edge, 1e-6, f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn triangle_hit_inside_and_miss_outside() {
+        let t = Shape::Triangle {
+            a: v3(0.0, 0.0, 5.0),
+            b: v3(2.0, 0.0, 5.0),
+            c: v3(0.0, 2.0, 5.0),
+        };
+        let inside = Ray::new(v3(0.5, 0.5, 0.0), v3(0.0, 0.0, 1.0));
+        let h = t.intersect(&inside, 1e-6, f64::INFINITY).unwrap();
+        assert!((h.t - 5.0).abs() < 1e-9);
+        let outside = Ray::new(v3(1.9, 1.9, 0.0), v3(0.0, 0.0, 1.0));
+        assert!(t.intersect(&outside, 1e-6, f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn triangle_normal_faces_the_ray() {
+        let t = Shape::Triangle {
+            a: v3(0.0, 0.0, 5.0),
+            b: v3(2.0, 0.0, 5.0),
+            c: v3(0.0, 2.0, 5.0),
+        };
+        let from_front = Ray::new(v3(0.5, 0.5, 0.0), v3(0.0, 0.0, 1.0));
+        let from_back = Ray::new(v3(0.5, 0.5, 10.0), v3(0.0, 0.0, -1.0));
+        let hf = t.intersect(&from_front, 1e-6, f64::INFINITY).unwrap();
+        let hb = t.intersect(&from_back, 1e-6, f64::INFINITY).unwrap();
+        assert!(hf.normal.dot(from_front.dir) < 0.0);
+        assert!(hb.normal.dot(from_back.dir) < 0.0);
+    }
+
+    #[test]
+    fn aabbs_contain_their_shapes() {
+        let s = Shape::Sphere {
+            center: v3(1.0, 2.0, 3.0),
+            radius: 0.5,
+        };
+        let bb = s.aabb();
+        assert_eq!(bb.min, v3(0.5, 1.5, 2.5));
+        assert_eq!(bb.max, v3(1.5, 2.5, 3.5));
+        let f = Shape::Floor {
+            level: -1.0,
+            half: 4.0,
+        };
+        let fb = f.aabb();
+        assert!(fb.min.y < -1.0 && fb.max.y > -1.0);
+    }
+}

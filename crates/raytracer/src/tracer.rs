@@ -1,0 +1,262 @@
+//! The Whitted ray tracer (Algorithms 1 and 2 of the paper).
+//!
+//! `Trace` follows a ray into the scene; at the closest hit it shades
+//! the point from every light (casting shadow rays) and recursively
+//! spawns reflection and transmission rays up to `MAX_RAY_DEPTH`, per
+//! Whitted's illumination model \[4\]. Rendering a [`Section`] yields a
+//! [`Chunk`] plus the deterministic [`Counters`] that drive the cluster
+//! simulator's cost model.
+
+use crate::bvh::Bvh;
+use crate::image::{Chunk, Image, Section};
+use crate::ray::{Counters, Ray};
+use crate::scene::Scene;
+use crate::vec3::Vec3;
+
+const EPS: f64 = 1e-6;
+/// Ambient light factor applied to every surface.
+const AMBIENT: f64 = 0.12;
+
+/// Algorithm 2: follows `ray`, returning the pixel color contribution.
+/// Selects the background color by default.
+pub fn trace(scene: &Scene, bvh: &Bvh, ray: &Ray, depth: u32, c: &mut Counters) -> Vec3 {
+    if depth >= scene.max_depth {
+        return scene.background;
+    }
+    match bvh.intersect(&scene.shapes, ray, EPS, f64::INFINITY, c) {
+        None => scene.background,
+        Some(hit) => shade(scene, bvh, ray, &hit, depth, c),
+    }
+}
+
+/// Computes the shade of a hit point: Phong direct lighting with shadow
+/// rays, plus reflective and refractive secondary rays.
+fn shade(
+    scene: &Scene,
+    bvh: &Bvh,
+    ray: &Ray,
+    hit: &crate::shape::Hit,
+    depth: u32,
+    c: &mut Counters,
+) -> Vec3 {
+    c.shades += 1;
+    let m = &scene.materials[hit.shape];
+    // Flip the normal to face the incoming ray (matters inside glass).
+    let outward = hit.normal.dot(ray.dir) < 0.0;
+    let n = if outward { hit.normal } else { -hit.normal };
+
+    let mut color = m.diffuse * AMBIENT;
+
+    for light in &scene.lights {
+        let to_light = light.pos - hit.point;
+        let dist = to_light.length();
+        let ldir = to_light / dist;
+        c.shadow_rays += 1;
+        let shadow = Ray::new(hit.point + n * EPS * 8.0, ldir);
+        if bvh.occluded(&scene.shapes, &shadow, EPS, dist, c) {
+            continue;
+        }
+        let lambert = n.dot(ldir).max(0.0);
+        if lambert > 0.0 {
+            color += m.diffuse.hadamard(light.color) * lambert;
+        }
+        if m.specular > 0.0 {
+            let refl = (-ldir).reflect(n);
+            let spec = refl.dot(ray.dir).max(0.0).powf(m.shininess);
+            color += light.color * (m.specular * spec);
+        }
+    }
+
+    if m.reflectivity > 0.0 {
+        c.secondary_rays += 1;
+        let rdir = ray.dir.reflect(n);
+        let reflected = trace(
+            scene,
+            bvh,
+            &Ray::new(hit.point + n * EPS * 8.0, rdir),
+            depth + 1,
+            c,
+        );
+        color += reflected * m.reflectivity;
+    }
+
+    if m.transparency > 0.0 {
+        let eta = if outward { 1.0 / m.ior } else { m.ior };
+        c.secondary_rays += 1;
+        match ray.dir.refract(n, eta) {
+            Some(tdir) => {
+                let transmitted = trace(
+                    scene,
+                    bvh,
+                    &Ray::new(hit.point - n * EPS * 8.0, tdir),
+                    depth + 1,
+                    c,
+                );
+                color += transmitted * m.transparency;
+            }
+            None => {
+                // Total internal reflection: everything mirrors.
+                let rdir = ray.dir.reflect(n);
+                let reflected = trace(
+                    scene,
+                    bvh,
+                    &Ray::new(hit.point + n * EPS * 8.0, rdir),
+                    depth + 1,
+                    c,
+                );
+                color += reflected * m.transparency;
+            }
+        }
+    }
+
+    color.clamp(0.0, 1.0)
+}
+
+fn to_rgb(color: Vec3) -> [u8; 3] {
+    // Simple gamma 2 for a less murky image; deterministic.
+    let g = |x: f64| (x.max(0.0).sqrt() * 255.0 + 0.5) as u8;
+    [g(color.x), g(color.y), g(color.z)]
+}
+
+/// Renders one horizontal section of the image plane (the solver box's
+/// algorithmic payload). Returns the chunk and the work performed.
+pub fn render_section(
+    scene: &Scene,
+    bvh: &Bvh,
+    width: u32,
+    height: u32,
+    section: Section,
+    c: &mut Counters,
+) -> Chunk {
+    assert!(section.y1 <= height, "section outside the image");
+    let mut pixels = Vec::with_capacity((section.rows() * width) as usize);
+    for y in section.y0..section.y1 {
+        for x in 0..width {
+            c.primary_rays += 1;
+            let ray = scene.camera.primary_ray(x, y, width, height);
+            let color = trace(scene, bvh, &ray, 0, c);
+            pixels.push(to_rgb(color));
+        }
+    }
+    Chunk {
+        y0: section.y0,
+        width,
+        pixels,
+    }
+}
+
+/// Algorithm 1: loops over the entire image, casting a single ray per
+/// pixel. The sequential reference every parallel variant must match
+/// byte-for-byte.
+pub fn render_full(scene: &Scene, width: u32, height: u32, c: &mut Counters) -> Image {
+    let (bvh, _) = scene.build_bvh();
+    let chunk = render_section(scene, &bvh, width, height, Section::new(0, height), c);
+    Image::assemble(width, height, &[chunk])
+}
+
+/// Per-section abstract work profile of a scene (used by tests and by
+/// the experiment drivers to reason about imbalance without running the
+/// full cluster simulation).
+pub fn section_ops(scene: &Scene, width: u32, height: u32, sections: &[Section]) -> Vec<u64> {
+    let (bvh, _) = scene.build_bvh();
+    sections
+        .iter()
+        .map(|s| {
+            let mut c = Counters::default();
+            render_section(scene, &bvh, width, height, *s, &mut c);
+            c.ops()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::split_rows;
+    use crate::scene::{Scene, ScenePreset};
+
+    const W: u32 = 96;
+    const H: u32 = 96;
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let scene = Scene::preset(ScenePreset::Clustered, 40, 11);
+        let mut c1 = Counters::default();
+        let mut c2 = Counters::default();
+        let a = render_full(&scene, W, H, &mut c1);
+        let b = render_full(&scene, W, H, &mut c2);
+        assert_eq!(a.checksum(), b.checksum());
+        assert_eq!(c1, c2, "work counters must be deterministic");
+    }
+
+    #[test]
+    fn sections_compose_to_the_full_image() {
+        let scene = Scene::preset(ScenePreset::Balanced, 30, 5);
+        let mut c = Counters::default();
+        let full = render_full(&scene, W, H, &mut c);
+        let (bvh, _) = scene.build_bvh();
+        let chunks: Vec<Chunk> = split_rows(H, 7)
+            .into_iter()
+            .map(|s| {
+                let mut sc = Counters::default();
+                render_section(&scene, &bvh, W, H, s, &mut sc)
+            })
+            .collect();
+        let assembled = Image::assemble(W, H, &chunks);
+        assert_eq!(full, assembled, "chunked render must be byte-identical");
+    }
+
+    #[test]
+    fn image_is_not_trivial() {
+        // The render actually draws something: more than 5% non-background
+        // pixels and at least two distinct colors.
+        let scene = Scene::preset(ScenePreset::Clustered, 50, 3);
+        let mut c = Counters::default();
+        let img = render_full(&scene, W, H, &mut c);
+        let bg = img.pixels[0];
+        let non_bg = img.pixels.iter().filter(|p| **p != bg).count();
+        assert!(non_bg > (img.pixels.len() / 20), "only {non_bg} non-background pixels");
+        assert!(c.shades > 0 && c.secondary_rays > 0 && c.shadow_rays > 0);
+    }
+
+    #[test]
+    fn deeper_recursion_costs_more() {
+        let mut scene = Scene::preset(ScenePreset::Clustered, 40, 9);
+        scene.max_depth = 1;
+        let mut shallow = Counters::default();
+        render_full(&scene, W, H, &mut shallow);
+        scene.max_depth = 6;
+        let mut deep = Counters::default();
+        render_full(&scene, W, H, &mut deep);
+        assert!(deep.ops() > shallow.ops());
+        assert!(deep.secondary_rays > shallow.secondary_rays);
+    }
+
+    #[test]
+    fn clustered_scene_is_row_imbalanced_and_balanced_is_not() {
+        fn imbalance(preset: ScenePreset) -> f64 {
+            let scene = Scene::preset(preset, 60, 21);
+            let ops = section_ops(&scene, W, H, &split_rows(H, 8));
+            let max = *ops.iter().max().unwrap() as f64;
+            let avg = ops.iter().sum::<u64>() as f64 / ops.len() as f64;
+            max / avg
+        }
+        let clustered = imbalance(ScenePreset::Clustered);
+        let balanced = imbalance(ScenePreset::Balanced);
+        assert!(
+            clustered > balanced,
+            "clustered {clustered:.2} must exceed balanced {balanced:.2}"
+        );
+        assert!(clustered > 1.6, "clustered imbalance too mild: {clustered:.2}");
+    }
+
+    #[test]
+    fn max_depth_terminates_recursion() {
+        // A mirror box of glass spheres cannot loop forever.
+        let mut scene = Scene::preset(ScenePreset::Clustered, 80, 2);
+        scene.max_depth = 3;
+        let mut c = Counters::default();
+        let img = render_full(&scene, 32, 32, &mut c);
+        assert_eq!(img.pixels.len(), 32 * 32);
+    }
+}

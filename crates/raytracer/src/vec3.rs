@@ -1,0 +1,201 @@
+//! Minimal 3-vector math for the tracer.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 3-component double-precision vector (points, directions, colors).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+/// Shorthand constructor.
+pub fn v3(x: f64, y: f64, z: f64) -> Vec3 {
+    Vec3 { x, y, z }
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        v3(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    pub fn length_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    pub fn length(self) -> f64 {
+        self.length_squared().sqrt()
+    }
+
+    /// Unit vector in this direction (returns self for near-zero input).
+    pub fn normalized(self) -> Vec3 {
+        let len = self.length();
+        if len < 1e-12 {
+            self
+        } else {
+            self / len
+        }
+    }
+
+    /// Component-wise product (color modulation).
+    pub fn hadamard(self, o: Vec3) -> Vec3 {
+        v3(self.x * o.x, self.y * o.y, self.z * o.z)
+    }
+
+    /// Mirror reflection of `self` about unit normal `n`.
+    pub fn reflect(self, n: Vec3) -> Vec3 {
+        self - n * (2.0 * self.dot(n))
+    }
+
+    /// Refraction of unit vector `self` entering a surface with unit
+    /// normal `n` and refraction ratio `eta` (n₁/n₂); `None` on total
+    /// internal reflection.
+    pub fn refract(self, n: Vec3, eta: f64) -> Option<Vec3> {
+        let cos_i = (-self.dot(n)).clamp(-1.0, 1.0);
+        let sin2_t = eta * eta * (1.0 - cos_i * cos_i);
+        if sin2_t > 1.0 {
+            return None;
+        }
+        let cos_t = (1.0 - sin2_t).sqrt();
+        Some(self * eta + n * (eta * cos_i - cos_t))
+    }
+
+    /// Component-wise min.
+    pub fn min(self, o: Vec3) -> Vec3 {
+        v3(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Component-wise max.
+    pub fn max(self, o: Vec3) -> Vec3 {
+        v3(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    /// Clamps each component into `[lo, hi]`.
+    pub fn clamp(self, lo: f64, hi: f64) -> Vec3 {
+        v3(self.x.clamp(lo, hi), self.y.clamp(lo, hi), self.z.clamp(lo, hi))
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        v3(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        v3(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    fn sub_assign(&mut self, o: Vec3) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f64) -> Vec3 {
+        v3(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    fn div(self, s: f64) -> Vec3 {
+        v3(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        v3(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_cross_orthogonality() {
+        let a = v3(1.0, 0.0, 0.0);
+        let b = v3(0.0, 1.0, 0.0);
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), v3(0.0, 0.0, 1.0));
+        assert_eq!(b.cross(a), v3(0.0, 0.0, -1.0));
+    }
+
+    #[test]
+    fn normalization() {
+        let n = v3(3.0, 4.0, 0.0).normalized();
+        assert!((n.length() - 1.0).abs() < 1e-12);
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn reflection_preserves_length_and_flips_normal_component() {
+        let d = v3(1.0, -1.0, 0.0).normalized();
+        let n = v3(0.0, 1.0, 0.0);
+        let r = d.reflect(n);
+        assert!((r.length() - 1.0).abs() < 1e-12);
+        assert!((r.y - (-d.y)).abs() < 1e-12);
+        assert!((r.x - d.x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refraction_straight_through_when_eta_is_one() {
+        let d = v3(0.3, -0.9, 0.1).normalized();
+        let n = v3(0.0, 1.0, 0.0);
+        let t = d.refract(n, 1.0).unwrap();
+        assert!((t - d).length() < 1e-12);
+    }
+
+    #[test]
+    fn total_internal_reflection_returns_none() {
+        // Grazing exit from dense to sparse medium.
+        let d = v3(1.0, -0.1, 0.0).normalized();
+        let n = v3(0.0, 1.0, 0.0);
+        assert!(d.refract(n, 1.5).is_none());
+    }
+
+    #[test]
+    fn snells_law_angles() {
+        // 45° into glass (eta = 1/1.5): sin θt = sin 45° / 1.5.
+        let d = v3(1.0, -1.0, 0.0).normalized();
+        let n = v3(0.0, 1.0, 0.0);
+        let t = d.refract(n, 1.0 / 1.5).unwrap();
+        let sin_t = t.cross(-n).length();
+        let expected = (45f64).to_radians().sin() / 1.5;
+        assert!((sin_t - expected).abs() < 1e-12, "{sin_t} vs {expected}");
+    }
+
+    #[test]
+    fn clamp_and_hadamard() {
+        let c = v3(2.0, -0.5, 0.25).clamp(0.0, 1.0);
+        assert_eq!(c, v3(1.0, 0.0, 0.25));
+        assert_eq!(v3(2.0, 3.0, 4.0).hadamard(v3(0.5, 0.0, 0.25)), v3(1.0, 0.0, 1.0));
+    }
+}

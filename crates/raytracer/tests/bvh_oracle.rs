@@ -1,0 +1,96 @@
+//! Property tests: the BVH is an exact accelerator.
+//!
+//! For random shape soups and random rays, BVH traversal must agree
+//! with the brute-force oracle on the hit shape and parameter, and the
+//! any-hit (occlusion) query must agree with "some hit exists".
+
+use proptest::prelude::*;
+use snet_raytracer::{intersect_brute, v3, Bvh, Counters, Ray, Shape, Vec3};
+
+fn arb_vec(range: f64) -> impl Strategy<Value = Vec3> {
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| v3(x, y, z))
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        (arb_vec(20.0), 0.2f64..3.0).prop_map(|(center, radius)| Shape::Sphere { center, radius }),
+        (arb_vec(20.0), arb_vec(20.0), arb_vec(20.0)).prop_filter_map(
+            "degenerate triangle",
+            |(a, b, c)| {
+                let area2 = (b - a).cross(c - a).length();
+                (area2 > 1e-6).then_some(Shape::Triangle { a, b, c })
+            }
+        ),
+    ]
+}
+
+fn arb_ray() -> impl Strategy<Value = Ray> {
+    (arb_vec(30.0), arb_vec(1.0)).prop_filter_map("zero direction", |(o, d)| {
+        (d.length() > 1e-3).then(|| Ray::new(o, d))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn bvh_equals_brute_force(
+        shapes in prop::collection::vec(arb_shape(), 0..60),
+        rays in prop::collection::vec(arb_ray(), 1..20),
+    ) {
+        let bvh = Bvh::build(&shapes);
+        for ray in &rays {
+            let mut cb = Counters::default();
+            let mut cv = Counters::default();
+            let brute = intersect_brute(&shapes, ray, 1e-6, f64::INFINITY, &mut cb);
+            let fast = bvh.intersect(&shapes, ray, 1e-6, f64::INFINITY, &mut cv);
+            match (brute, fast) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    // Overlapping shapes can tie on t; accept either
+                    // winner when the parameters are equal.
+                    prop_assert!(
+                        (a.t - b.t).abs() < 1e-9,
+                        "t mismatch: brute {} vs bvh {}", a.t, b.t
+                    );
+                }
+                other => {
+                    return Err(TestCaseError::fail(format!("hit disagreement: {other:?}")));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn occlusion_equals_hit_existence(
+        shapes in prop::collection::vec(arb_shape(), 0..40),
+        ray in arb_ray(),
+        t_max in 1.0f64..100.0,
+    ) {
+        let bvh = Bvh::build(&shapes);
+        let mut c = Counters::default();
+        let hit = bvh.intersect(&shapes, &ray, 1e-6, t_max, &mut c).is_some();
+        let occ = bvh.occluded(&shapes, &ray, 1e-6, t_max, &mut c);
+        prop_assert_eq!(hit, occ);
+    }
+
+    #[test]
+    fn insertion_order_does_not_change_results(
+        shapes in prop::collection::vec(arb_shape(), 2..30),
+        ray in arb_ray(),
+    ) {
+        let forward = Bvh::build(&shapes);
+        let mut rev: Vec<Shape> = shapes.clone();
+        rev.reverse();
+        let backward = Bvh::build(&rev);
+        let mut c1 = Counters::default();
+        let mut c2 = Counters::default();
+        let a = forward.intersect(&shapes, &ray, 1e-6, f64::INFINITY, &mut c1);
+        let b = backward.intersect(&rev, &ray, 1e-6, f64::INFINITY, &mut c2);
+        match (a, b) {
+            (None, None) => {}
+            (Some(x), Some(y)) => prop_assert!((x.t - y.t).abs() < 1e-9),
+            other => return Err(TestCaseError::fail(format!("order dependence: {other:?}"))),
+        }
+    }
+}

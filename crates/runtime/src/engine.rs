@@ -1,0 +1,731 @@
+//! The threaded engine: asynchronous components over bounded channels.
+//!
+//! Every primitive component instance (box, filter, synchrocell) and
+//! every piece of combinator glue (parallel dispatcher, star tap, index
+//! dispatcher) runs as its own thread, connected by bounded
+//! [`crossbeam_channel`] channels. This is a direct rendering of the
+//! paper's execution model (§III): components are "asynchronously
+//! executed, stateless stream-processing components"; merging of
+//! parallel branches is nondeterministic in arrival order; serial
+//! replication unrolls lazily "into copies of its operand"; bounded
+//! channels provide the throttling the coordination layer is responsible
+//! for.
+//!
+//! End-of-stream is channel disconnection: a component terminates when
+//! its input disconnects, and closes its output by dropping the sender.
+//! Collectors (the merge side of `|` and `!`) finish when *all* clones
+//! of the output sender have been dropped, which happens exactly when
+//! every branch has terminated.
+
+use crate::trace::Trace;
+use crossbeam_channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use snet_core::semantics::{self, MismatchPolicy};
+use snet_core::{NetSpec, Record, SnetError, SyncOutcome};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Capacity of every inter-component channel. Bounded channels give
+    /// backpressure ("throttling" in the paper's list of coordination
+    /// concerns); 0 would mean rendezvous, which deadlocks multi-output
+    /// filters feeding themselves through a star, so the minimum is 1.
+    pub channel_capacity: usize,
+    /// What to do when a record reaches a component it cannot match.
+    pub mismatch: MismatchPolicy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            channel_capacity: 64,
+            mismatch: MismatchPolicy::Forward,
+        }
+    }
+}
+
+/// A compiled network ready to execute records.
+///
+/// `Net` is reusable: every [`Net::start`] (or [`Net::run_batch`]) call
+/// instantiates a fresh set of component threads. Synchrocell and
+/// replication state never leaks between runs.
+pub struct Net {
+    spec: NetSpec,
+    config: EngineConfig,
+}
+
+impl Net {
+    /// Wraps a topology with default configuration.
+    pub fn new(spec: NetSpec) -> Net {
+        Net {
+            spec,
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Wraps a topology with explicit configuration.
+    pub fn with_config(spec: NetSpec, config: EngineConfig) -> Net {
+        Net { spec, config }
+    }
+
+    /// The underlying topology.
+    pub fn spec(&self) -> &NetSpec {
+        &self.spec
+    }
+
+    /// Instantiates the network and returns a handle for streaming
+    /// records in and out.
+    pub fn start(&self) -> NetHandle {
+        let shared = Arc::new(Shared {
+            threads: Mutex::new(Vec::new()),
+            error: Mutex::new(None),
+            trace: Arc::new(Trace::new()),
+            config: self.config,
+        });
+        let (in_tx, in_rx) = bounded(self.config.channel_capacity.max(1));
+        let (out_tx, out_rx) = bounded(self.config.channel_capacity.max(1));
+        build(&self.spec, in_rx, out_tx, &shared);
+        NetHandle {
+            input: Some(in_tx),
+            output: out_rx,
+            shared,
+        }
+    }
+
+    /// Feeds a batch of records, closes the input, and collects the
+    /// complete output stream.
+    ///
+    /// The batch is fed from a helper thread so that bounded channels
+    /// cannot deadlock against the draining loop.
+    pub fn run_batch(&self, records: Vec<Record>) -> Result<Vec<Record>, SnetError> {
+        let (outs, _trace) = self.run_batch_traced(records)?;
+        Ok(outs)
+    }
+
+    /// Like [`Net::run_batch`] but also returns the run's [`Trace`].
+    pub fn run_batch_traced(
+        &self,
+        records: Vec<Record>,
+    ) -> Result<(Vec<Record>, Arc<Trace>), SnetError> {
+        let mut handle = self.start();
+        let feeder_tx = handle.input.take().expect("fresh handle has an input");
+        let feeder = std::thread::spawn(move || {
+            for rec in records {
+                if feeder_tx.send(rec).is_err() {
+                    // The net tore down early (a component failed); the
+                    // error is recorded in `shared.error`.
+                    break;
+                }
+            }
+        });
+        let outs: Vec<Record> = handle.output.iter().collect();
+        feeder.join().expect("feeder thread never panics");
+        let trace = handle.trace_arc();
+        handle.finish()?;
+        Ok((outs, trace))
+    }
+}
+
+/// A running network instance.
+pub struct NetHandle {
+    input: Option<Sender<Record>>,
+    output: Receiver<Record>,
+    shared: Arc<Shared>,
+}
+
+impl NetHandle {
+    /// Sends one record into the network.
+    pub fn send(&self, rec: Record) -> Result<(), SnetError> {
+        match &self.input {
+            Some(tx) => tx
+                .send(rec)
+                .map_err(|_| self.current_error("input channel disconnected")),
+            None => Err(SnetError::Engine("input already closed".into())),
+        }
+    }
+
+    /// Closes the input stream (end-of-stream for the network).
+    pub fn close_input(&mut self) {
+        self.input = None;
+    }
+
+    /// Receives the next output record; `None` once the output stream
+    /// has terminated.
+    pub fn recv(&self) -> Option<Record> {
+        self.output.recv().ok()
+    }
+
+    /// The output stream receiver (for `select!`-style consumers).
+    pub fn output(&self) -> &Receiver<Record> {
+        &self.output
+    }
+
+    /// Shared event counters of this run.
+    pub fn trace(&self) -> &Trace {
+        &self.shared.trace
+    }
+
+    /// Clonable handle to the run's counters.
+    pub fn trace_arc(&self) -> Arc<Trace> {
+        Arc::clone(&self.shared.trace)
+    }
+
+    /// Waits for every component thread to terminate and reports the
+    /// first error raised during the run, if any.
+    pub fn finish(mut self) -> Result<(), SnetError> {
+        self.close_input();
+        // Drain the output so upstream senders cannot block forever.
+        while self.output.recv().is_ok() {}
+        loop {
+            let handle = self.shared.threads.lock().pop();
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        match self.shared.error.lock().take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn current_error(&self, fallback: &str) -> SnetError {
+        self.shared
+            .error
+            .lock()
+            .clone()
+            .unwrap_or_else(|| SnetError::Engine(fallback.into()))
+    }
+}
+
+struct Shared {
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    error: Mutex<Option<SnetError>>,
+    trace: Arc<Trace>,
+    config: EngineConfig,
+}
+
+impl Shared {
+    fn spawn<F: FnOnce() + Send + 'static>(self: &Arc<Self>, name: &str, f: F) {
+        let handle = std::thread::Builder::new()
+            .name(format!("snet-{name}"))
+            .spawn(f)
+            .expect("thread spawn");
+        self.threads.lock().push(handle);
+    }
+
+    fn fail(&self, e: SnetError) {
+        let mut slot = self.error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    }
+
+    fn chan(&self) -> (Sender<Record>, Receiver<Record>) {
+        bounded(self.config.channel_capacity.max(1))
+    }
+}
+
+/// Emits records downstream; a send failure means downstream tore down
+/// (an error was recorded elsewhere) and the component should stop.
+fn send_all(tx: &Sender<Record>, records: Vec<Record>) -> bool {
+    for rec in records {
+        if tx.send(rec).is_err() {
+            return false;
+        }
+    }
+    true
+}
+
+/// Recursively instantiates `spec` between `input` and `output`.
+fn build(spec: &NetSpec, input: Receiver<Record>, output: Sender<Record>, sh: &Arc<Shared>) {
+    match spec {
+        NetSpec::Box(def) => {
+            let def = def.clone();
+            let sh2 = Arc::clone(sh);
+            sh.spawn(&format!("box-{}", def.sig.name), move || {
+                for rec in input.iter() {
+                    // Box functions are user code: a panic must become a
+                    // reportable error, not a silently truncated stream.
+                    let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        semantics::box_step(&def, rec, sh2.config.mismatch)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        let cause = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_owned())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".into());
+                        Err(SnetError::BoxFailure {
+                            name: def.sig.name.clone(),
+                            cause: format!("panicked: {cause}"),
+                        })
+                    });
+                    match step {
+                        Ok(step) => {
+                            if step.matched {
+                                sh2.trace.count_box(step.work);
+                            } else {
+                                Trace::add(&sh2.trace.passthroughs, 1);
+                            }
+                            if !send_all(&output, step.records) {
+                                break;
+                            }
+                        }
+                        Err(e) => {
+                            sh2.fail(e);
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+        NetSpec::Filter(f) => {
+            let f = f.clone();
+            let sh2 = Arc::clone(sh);
+            sh.spawn("filter", move || {
+                for rec in input.iter() {
+                    match semantics::filter_step(&f, rec, sh2.config.mismatch) {
+                        Ok(step) => {
+                            if step.matched {
+                                Trace::add(&sh2.trace.filter_records, 1);
+                            } else {
+                                Trace::add(&sh2.trace.passthroughs, 1);
+                            }
+                            if !send_all(&output, step.records) {
+                                break;
+                            }
+                        }
+                        Err(e) => {
+                            sh2.fail(e);
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+        NetSpec::Sync(spec) => {
+            let spec = spec.clone();
+            let sh2 = Arc::clone(sh);
+            sh.spawn("sync", move || {
+                let mut state = spec.new_state();
+                for rec in input.iter() {
+                    let out = match state.push(&spec, rec) {
+                        SyncOutcome::Stored => {
+                            Trace::add(&sh2.trace.sync_stores, 1);
+                            continue;
+                        }
+                        SyncOutcome::Fired(m) => {
+                            Trace::add(&sh2.trace.sync_fires, 1);
+                            m
+                        }
+                        SyncOutcome::Passed(r) => r,
+                    };
+                    if output.send(out).is_err() {
+                        break;
+                    }
+                }
+                let stranded = state.pending().count() as u64;
+                if stranded > 0 {
+                    Trace::add(&sh2.trace.sync_stranded, stranded);
+                }
+            });
+        }
+        NetSpec::Serial(a, b) => {
+            let (mid_tx, mid_rx) = sh.chan();
+            build(a, input, mid_tx, sh);
+            build(b, mid_rx, output, sh);
+        }
+        NetSpec::Parallel { branches, .. } => {
+            // One bounded channel per branch; every branch writes to a
+            // clone of `output`, so the merge is arrival-order — the
+            // paper's nondeterministic merger.
+            let mut branch_txs = Vec::with_capacity(branches.len());
+            let mut patterns = Vec::with_capacity(branches.len());
+            for branch in branches {
+                let (tx, rx) = sh.chan();
+                build(branch, rx, output.clone(), sh);
+                branch_txs.push(tx);
+                patterns.push(branch.input_patterns());
+            }
+            let sh2 = Arc::clone(sh);
+            sh.spawn("par-dispatch", move || {
+                for rec in input.iter() {
+                    let winners = semantics::matching_branches(&patterns, &rec);
+                    match winners.first() {
+                        Some(&i) => {
+                            Trace::add(&sh2.trace.dispatched, 1);
+                            if branch_txs[i].send(rec).is_err() {
+                                break;
+                            }
+                        }
+                        None => match sh2.config.mismatch {
+                            MismatchPolicy::Forward => {
+                                Trace::add(&sh2.trace.passthroughs, 1);
+                                if output.send(rec).is_err() {
+                                    break;
+                                }
+                            }
+                            MismatchPolicy::Error => {
+                                sh2.fail(SnetError::TypeMismatch {
+                                    expected: "any parallel branch".into(),
+                                    got: format!("{rec:?}"),
+                                });
+                                break;
+                            }
+                        },
+                    }
+                }
+                // Dropping branch_txs and output here closes every branch.
+            });
+        }
+        NetSpec::Star { body, exit, .. } => {
+            build_star_tap(body, exit.clone(), input, output, sh);
+        }
+        NetSpec::Split { body, tag, .. } => {
+            // The threaded engine ignores placement; `snet-dist` honours
+            // it on the simulated cluster.
+            let body = (**body).clone();
+            let tag = *tag;
+            let sh2 = Arc::clone(sh);
+            sh.spawn("split-dispatch", move || {
+                let mut replicas: HashMap<i64, Sender<Record>> = HashMap::new();
+                for rec in input.iter() {
+                    let Some(value) = rec.tag(tag) else {
+                        sh2.fail(SnetError::MissingTag(tag));
+                        break;
+                    };
+                    let tx = replicas.entry(value).or_insert_with(|| {
+                        Trace::add(&sh2.trace.split_replicas, 1);
+                        let (tx, rx) = sh2.chan();
+                        build(&body, rx, output.clone(), &sh2);
+                        tx
+                    });
+                    Trace::add(&sh2.trace.dispatched, 1);
+                    if tx.send(rec).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        NetSpec::At { body, .. } | NetSpec::Named { body, .. } => {
+            build(body, input, output, sh);
+        }
+    }
+}
+
+/// One tap of a serial-replication star.
+///
+/// The tap inspects every record *before* the replica (§III: "the chain
+/// is tapped before every replica"): matching records exit to `output`;
+/// the rest enter a lazily instantiated replica of `body` whose output
+/// stream feeds the next tap.
+fn build_star_tap(
+    body: &NetSpec,
+    exit: snet_core::Pattern,
+    input: Receiver<Record>,
+    output: Sender<Record>,
+    sh: &Arc<Shared>,
+) {
+    let body = body.clone();
+    let sh2 = Arc::clone(sh);
+    sh.spawn("star-tap", move || {
+        let mut into_body: Option<Sender<Record>> = None;
+        for rec in input.iter() {
+            if exit.matches(&rec) {
+                if output.send(rec).is_err() {
+                    break;
+                }
+                continue;
+            }
+            let tx = into_body.get_or_insert_with(|| {
+                Trace::add(&sh2.trace.star_unfoldings, 1);
+                let (body_tx, body_rx) = sh2.chan();
+                let (next_tx, next_rx) = sh2.chan();
+                build(&body, body_rx, next_tx, &sh2);
+                build_star_tap(&body, exit.clone(), next_rx, output.clone(), &sh2);
+                body_tx
+            });
+            if tx.send(rec).is_err() {
+                break;
+            }
+        }
+    });
+}
+
+/// Convenience: total abstract work recorded by a trace.
+pub fn traced_ops(trace: &Trace) -> u64 {
+    trace.box_ops.load(Ordering::Relaxed)
+}
+
+/// Convenience: reads any trace counter.
+pub fn counter(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snet_core::boxdef::{BoxDef, BoxOutput, BoxSig, Work};
+    use snet_core::{Pattern, Value, Variant};
+
+    fn int_box(name: &str, input: &str, output: &str, f: fn(i64) -> i64) -> NetSpec {
+        let out_label = output.to_owned();
+        NetSpec::Box(BoxDef::from_fn(
+            BoxSig::parse(name, &[input], &[&[output]]),
+            move |r| {
+                let x = r
+                    .fields()
+                    .next()
+                    .and_then(|(_, v)| v.as_int())
+                    .ok_or_else(|| SnetError::Engine("expected int field".into()))?;
+                Ok(BoxOutput::one(
+                    Record::new().with_field(out_label.as_str(), Value::Int(f(x))),
+                    Work::ops(1),
+                ))
+            },
+        ))
+    }
+
+    fn ints(records: &[Record], label: &str) -> Vec<i64> {
+        let mut v: Vec<i64> = records
+            .iter()
+            .filter_map(|r| r.field(label).and_then(|x| x.as_int()))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn single_box_pipeline() {
+        let net = Net::new(int_box("double", "x", "x", |x| 2 * x));
+        let outs = net
+            .run_batch((0..10).map(|i| Record::new().with_field("x", Value::Int(i))).collect())
+            .unwrap();
+        assert_eq!(ints(&outs, "x"), (0..10).map(|i| 2 * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_composes() {
+        let net = Net::new(NetSpec::serial(
+            int_box("inc", "x", "x", |x| x + 1),
+            int_box("sq", "x", "x", |x| x * x),
+        ));
+        let outs = net
+            .run_batch(vec![Record::new().with_field("x", Value::Int(3))])
+            .unwrap();
+        assert_eq!(ints(&outs, "x"), vec![16]);
+    }
+
+    #[test]
+    fn parallel_routes_by_best_match() {
+        // Branch 0 expects {a}, branch 1 expects {b}.
+        let net = Net::new(NetSpec::parallel(vec![
+            int_box("fa", "a", "ra", |x| x + 100),
+            int_box("fb", "b", "rb", |x| x + 200),
+        ]));
+        let outs = net
+            .run_batch(vec![
+                Record::new().with_field("a", Value::Int(1)),
+                Record::new().with_field("b", Value::Int(2)),
+                Record::new().with_field("a", Value::Int(3)),
+            ])
+            .unwrap();
+        assert_eq!(ints(&outs, "ra").len(), 2);
+        assert_eq!(ints(&outs, "rb"), vec![202]);
+    }
+
+    #[test]
+    fn star_unrolls_until_exit() {
+        // ( [ {<n>} -> {<n = n - 1>} ] ) * {<n> == 0}: decrement until zero.
+        let dec = NetSpec::Filter(snet_core::FilterSpec::new(
+            Pattern::from_variant(Variant::parse_labels(&[], &["n"])),
+            vec![snet_core::filter::OutputTemplate::empty().set_tag(
+                "n",
+                snet_core::TagExpr::bin(
+                    snet_core::BinOp::Sub,
+                    snet_core::TagExpr::tag("n"),
+                    snet_core::TagExpr::Const(1),
+                ),
+            )],
+        ));
+        let exit = Pattern::guarded(
+            Variant::empty(),
+            snet_core::TagExpr::bin(
+                snet_core::BinOp::Eq,
+                snet_core::TagExpr::tag("n"),
+                snet_core::TagExpr::Const(0),
+            ),
+        );
+        let net = Net::new(NetSpec::star(dec, exit));
+        let (outs, trace) = net
+            .run_batch_traced(vec![Record::new().with_tag("n", 5)])
+            .unwrap();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].tag("n"), Some(0));
+        assert_eq!(counter(&trace.star_unfoldings), 5);
+    }
+
+    #[test]
+    fn split_creates_replica_per_tag_value() {
+        let net = Net::new(NetSpec::split(int_box("id", "x", "x", |x| x), "k"));
+        let recs: Vec<Record> = (0..12)
+            .map(|i| Record::new().with_field("x", Value::Int(i)).with_tag("k", i % 3))
+            .collect();
+        let (outs, trace) = net.run_batch_traced(recs).unwrap();
+        assert_eq!(outs.len(), 12);
+        assert_eq!(counter(&trace.split_replicas), 3);
+    }
+
+    #[test]
+    fn split_without_tag_is_an_error() {
+        let net = Net::new(NetSpec::split(int_box("id", "x", "x", |x| x), "k"));
+        let err = net
+            .run_batch(vec![Record::new().with_field("x", Value::Int(1))])
+            .unwrap_err();
+        assert_eq!(err, SnetError::MissingTag(snet_core::Label::new("k")));
+    }
+
+    #[test]
+    fn sync_joins_in_stream() {
+        let cell = NetSpec::Sync(snet_core::SyncSpec::new(vec![
+            Pattern::from_variant(Variant::parse_labels(&["a"], &[])),
+            Pattern::from_variant(Variant::parse_labels(&["b"], &[])),
+        ]));
+        let net = Net::new(cell);
+        let outs = net
+            .run_batch(vec![
+                Record::new().with_field("a", Value::Int(1)),
+                Record::new().with_field("b", Value::Int(2)),
+            ])
+            .unwrap();
+        assert_eq!(outs.len(), 1);
+        assert!(outs[0].has_field("a") && outs[0].has_field("b"));
+    }
+
+    #[test]
+    fn stranded_sync_records_are_counted() {
+        let cell = NetSpec::Sync(snet_core::SyncSpec::new(vec![
+            Pattern::from_variant(Variant::parse_labels(&["a"], &[])),
+            Pattern::from_variant(Variant::parse_labels(&["b"], &[])),
+        ]));
+        let net = Net::new(cell);
+        let (outs, trace) = net
+            .run_batch_traced(vec![Record::new().with_field("a", Value::Int(1))])
+            .unwrap();
+        assert!(outs.is_empty());
+        assert_eq!(counter(&trace.sync_stranded), 1);
+    }
+
+    #[test]
+    fn box_error_propagates() {
+        let bad = NetSpec::Box(BoxDef::from_fn(
+            BoxSig::parse("bad", &["x"], &[&["y"]]),
+            |_| Err(SnetError::Engine("deliberate".into())),
+        ));
+        let net = Net::new(bad);
+        let err = net
+            .run_batch(vec![Record::new().with_field("x", Value::Int(1))])
+            .unwrap_err();
+        assert!(matches!(err, SnetError::BoxFailure { .. }), "{err}");
+    }
+
+    #[test]
+    fn panicking_box_is_reported_not_swallowed() {
+        let bomb = NetSpec::Box(BoxDef::from_fn(
+            BoxSig::parse("bomb", &["x"], &[&["y"]]),
+            |r| {
+                let x = r.field("x").and_then(|v| v.as_int()).unwrap_or(0);
+                if x == 2 {
+                    panic!("boom at {x}");
+                }
+                Ok(BoxOutput::one(r.clone(), Work::ZERO))
+            },
+        ));
+        let net = Net::new(bomb);
+        let err = net
+            .run_batch((0..5).map(|i| Record::new().with_field("x", Value::Int(i))).collect())
+            .unwrap_err();
+        match err {
+            SnetError::BoxFailure { name, cause } => {
+                assert_eq!(name, "bomb");
+                assert!(cause.contains("boom at 2"), "{cause}");
+            }
+            other => panic!("expected box failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_mismatch_policy_errors() {
+        let net = Net::with_config(
+            int_box("f", "x", "y", |x| x),
+            EngineConfig {
+                mismatch: MismatchPolicy::Error,
+                ..EngineConfig::default()
+            },
+        );
+        let err = net
+            .run_batch(vec![Record::new().with_field("other", Value::Int(1))])
+            .unwrap_err();
+        assert!(matches!(err, SnetError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn streaming_interface_overlaps() {
+        let net = Net::new(int_box("inc", "x", "x", |x| x + 1));
+        let mut h = net.start();
+        h.send(Record::new().with_field("x", Value::Int(1))).unwrap();
+        let first = h.recv().expect("one output while input still open");
+        assert_eq!(first.field("x").unwrap().as_int(), Some(2));
+        h.send(Record::new().with_field("x", Value::Int(5))).unwrap();
+        h.close_input();
+        let second = h.recv().expect("second output");
+        assert_eq!(second.field("x").unwrap().as_int(), Some(6));
+        assert!(h.recv().is_none());
+        h.finish().unwrap();
+    }
+
+    #[test]
+    fn net_is_reusable_with_fresh_state() {
+        // A synchrocell net must not remember fires across runs.
+        let cell = NetSpec::Sync(snet_core::SyncSpec::new(vec![
+            Pattern::from_variant(Variant::parse_labels(&["a"], &[])),
+            Pattern::from_variant(Variant::parse_labels(&["b"], &[])),
+        ]));
+        let net = Net::new(cell);
+        for _ in 0..2 {
+            let outs = net
+                .run_batch(vec![
+                    Record::new().with_field("a", Value::Int(1)),
+                    Record::new().with_field("b", Value::Int(2)),
+                ])
+                .unwrap();
+            assert_eq!(outs.len(), 1, "cell must fire in every fresh run");
+        }
+    }
+
+    #[test]
+    fn deep_pipeline_respects_backpressure() {
+        // Tiny channels + many records: exercises the bounded-channel
+        // path without deadlocking.
+        let stages: Vec<NetSpec> = (0..8).map(|_| int_box("inc", "x", "x", |x| x + 1)).collect();
+        let net = Net::with_config(
+            NetSpec::pipeline(stages),
+            EngineConfig {
+                channel_capacity: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let outs = net
+            .run_batch((0..200).map(|i| Record::new().with_field("x", Value::Int(i))).collect())
+            .unwrap();
+        assert_eq!(outs.len(), 200);
+        assert_eq!(ints(&outs, "x"), (8..208).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,41 @@
+//! # snet-runtime — executing S-Net networks
+//!
+//! Two engines over the same [`snet_core::NetSpec`] topology and the same
+//! shared small-step semantics:
+//!
+//! * [`engine::Net`] — the **threaded engine**: every component instance
+//!   is an asynchronous thread connected by bounded channels, exactly the
+//!   paper's model of "asynchronously executed, stateless
+//!   stream-processing components" (§III). End-of-stream is channel
+//!   disconnect; parallel merge is arrival-order (nondeterministic, as
+//!   specified); serial replication unfolds lazily.
+//! * [`interp::Interp`] — the **deterministic reference interpreter**:
+//!   single-threaded, FIFO scheduling, first-declared tie-breaks. It is
+//!   the executable semantics used as an oracle in property tests (the
+//!   threaded engine must produce the same output *multiset*).
+//!
+//! ```
+//! use snet_core::{NetSpec, Record, Value, BoxOutput, Work};
+//! use snet_core::boxdef::{BoxDef, BoxSig};
+//! use snet_runtime::engine::Net;
+//!
+//! let double = NetSpec::Box(BoxDef::from_fn(
+//!     BoxSig::parse("double", &["x"], &[&["x"]]),
+//!     |r| {
+//!         let x = r.field("x").and_then(|v| v.as_int()).unwrap();
+//!         Ok(BoxOutput::one(Record::new().with_field("x", Value::Int(2 * x)), Work::ZERO))
+//!     },
+//! ));
+//! let outs = Net::new(double).run_batch(vec![
+//!     Record::new().with_field("x", Value::Int(21)),
+//! ]).unwrap();
+//! assert_eq!(outs[0].field("x").unwrap().as_int(), Some(42));
+//! ```
+
+pub mod engine;
+pub mod interp;
+pub mod trace;
+
+pub use engine::{EngineConfig, Net, NetHandle};
+pub use interp::{Interp, InterpResult};
+pub use trace::Trace;

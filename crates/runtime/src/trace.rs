@@ -1,0 +1,93 @@
+//! Lightweight runtime instrumentation.
+//!
+//! A [`Trace`] is shared by all component threads of a running net and
+//! counts the events the tests and benchmarks care about: records
+//! handled per component kind, box invocations and their abstract work,
+//! synchrocell fires, star unfoldings, and records left stranded in
+//! unfired synchrocells at end-of-stream (almost always a coordination
+//! bug — the paper's merger net, for instance, must end with none).
+
+use snet_core::Work;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared event counters; all methods are thread-safe and cheap.
+#[derive(Debug, Default)]
+pub struct Trace {
+    /// Records fed through boxes (matched only).
+    pub box_records: AtomicU64,
+    /// Total abstract work reported by boxes.
+    pub box_ops: AtomicU64,
+    /// Records fed through filters (matched only).
+    pub filter_records: AtomicU64,
+    /// Records passed through any component untouched (type mismatch
+    /// under the permissive policy).
+    pub passthroughs: AtomicU64,
+    /// Synchrocell stores.
+    pub sync_stores: AtomicU64,
+    /// Synchrocell fires (merges emitted).
+    pub sync_fires: AtomicU64,
+    /// Records stranded in unfired synchrocells at end-of-stream.
+    pub sync_stranded: AtomicU64,
+    /// Star replica instantiations.
+    pub star_unfoldings: AtomicU64,
+    /// Index-split replica instantiations.
+    pub split_replicas: AtomicU64,
+    /// Records routed by parallel dispatchers.
+    pub dispatched: AtomicU64,
+}
+
+impl Trace {
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    pub(crate) fn count_box(&self, work: Work) {
+        self.box_records.fetch_add(1, Ordering::Relaxed);
+        self.box_ops.fetch_add(work.ops, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads a counter.
+    pub fn get(&self, counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "boxes: {} records / {} ops; filters: {}; dispatched: {}; \
+             sync: {} stores, {} fires, {} stranded; unfoldings: {} star, {} split; \
+             passthroughs: {}",
+            self.box_records.load(Ordering::Relaxed),
+            self.box_ops.load(Ordering::Relaxed),
+            self.filter_records.load(Ordering::Relaxed),
+            self.dispatched.load(Ordering::Relaxed),
+            self.sync_stores.load(Ordering::Relaxed),
+            self.sync_fires.load(Ordering::Relaxed),
+            self.sync_stranded.load(Ordering::Relaxed),
+            self.star_unfoldings.load(Ordering::Relaxed),
+            self.split_replicas.load(Ordering::Relaxed),
+            self.passthroughs.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let t = Trace::new();
+        t.count_box(Work::ops(10));
+        t.count_box(Work::ops(5));
+        Trace::add(&t.sync_fires, 1);
+        assert_eq!(t.get(&t.box_records), 2);
+        assert_eq!(t.get(&t.box_ops), 15);
+        assert!(t.summary().contains("2 records"));
+        assert!(t.summary().contains("1 fires"));
+    }
+}

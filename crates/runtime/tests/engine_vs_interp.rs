@@ -1,0 +1,190 @@
+//! Property test: the threaded engine and the deterministic reference
+//! interpreter agree on the output *multiset* for randomly generated
+//! networks and record batches.
+//!
+//! The generated networks are restricted to the confluent fragment of
+//! S-Net — stateless components composed with `..`, `|`, `*` (with a
+//! strictly decreasing body) and `!` — where the nondeterministic
+//! arrival-order merge cannot change the set of produced records, only
+//! their order. Synchrocells are covered separately with the cell in a
+//! deterministic (stream-head) position.
+
+use proptest::prelude::*;
+use snet_core::boxdef::{BoxDef, BoxOutput, BoxSig, Work};
+use snet_core::filter::OutputTemplate;
+use snet_core::{
+    BinOp, FilterSpec, NetSpec, Pattern, Record, SyncSpec, TagExpr, Value, Variant,
+};
+use snet_runtime::{Interp, Net};
+
+/// A box consuming `{a}` and emitting `{a: a + 1}`.
+fn add_box() -> NetSpec {
+    NetSpec::Box(BoxDef::from_fn(BoxSig::parse("add", &["a"], &[&["a"]]), |r| {
+        let a = r.field("a").and_then(|v| v.as_int()).unwrap_or(0);
+        Ok(BoxOutput::one(
+            Record::new().with_field("a", Value::Int(a + 1)),
+            Work::ops(1),
+        ))
+    }))
+}
+
+/// A box consuming `{a}` and emitting two records, `{a}` and `{b: a}`.
+fn dup_box() -> NetSpec {
+    NetSpec::Box(BoxDef::from_fn(BoxSig::parse("dup", &["a"], &[&["a"], &["b"]]), |r| {
+        let a = r.field("a").and_then(|v| v.as_int()).unwrap_or(0);
+        Ok(BoxOutput::many(
+            vec![
+                Record::new().with_field("a", Value::Int(a)),
+                Record::new().with_field("b", Value::Int(a)),
+            ],
+            Work::ops(2),
+        ))
+    }))
+}
+
+/// A filter renaming field `b` to `c`.
+fn rename_filter() -> NetSpec {
+    NetSpec::Filter(FilterSpec::new(
+        Pattern::from_variant(Variant::parse_labels(&["b"], &[])),
+        vec![OutputTemplate::empty().rename_field("c", "b")],
+    ))
+}
+
+/// A filter computing tag `<m> = <n> * 2` (leaves `<n>` untouched).
+fn tag_filter() -> NetSpec {
+    NetSpec::Filter(FilterSpec::new(
+        Pattern::from_variant(Variant::parse_labels(&[], &["n"])),
+        vec![OutputTemplate::empty()
+            .keep_tag("n")
+            .set_tag("m", TagExpr::bin(BinOp::Mul, TagExpr::tag("n"), TagExpr::Const(2)))],
+    ))
+}
+
+/// The strictly-decreasing star body: `[ {<n>} -> {<n = n - 1>} ]`.
+fn dec_filter() -> NetSpec {
+    NetSpec::Filter(FilterSpec::new(
+        Pattern::from_variant(Variant::parse_labels(&[], &["n"])),
+        vec![OutputTemplate::empty().set_tag(
+            "n",
+            TagExpr::bin(BinOp::Sub, TagExpr::tag("n"), TagExpr::Const(1)),
+        )],
+    ))
+}
+
+/// `(dec) * {<n> <= 0}` — always terminates for finite `<n>`.
+fn countdown_star() -> NetSpec {
+    NetSpec::star(
+        dec_filter(),
+        Pattern::guarded(
+            Variant::empty(),
+            TagExpr::bin(BinOp::Le, TagExpr::tag("n"), TagExpr::Const(0)),
+        ),
+    )
+}
+
+fn leaf() -> impl Strategy<Value = NetSpec> {
+    prop_oneof![
+        Just(NetSpec::identity()),
+        Just(add_box()),
+        Just(dup_box()),
+        Just(rename_filter()),
+        Just(tag_filter()),
+        Just(countdown_star()),
+    ]
+}
+
+fn arb_net() -> impl Strategy<Value = NetSpec> {
+    leaf().prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| NetSpec::serial(a, b)),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(NetSpec::parallel),
+            inner.prop_map(|body| NetSpec::split(body, "k")),
+        ]
+    })
+}
+
+/// Records always carry `<n>` and `<k>` (so stars terminate and splits
+/// route) plus a random subset of fields.
+fn arb_record() -> impl Strategy<Value = Record> {
+    (0i64..4, 0i64..3, prop::option::of(0i64..100), prop::option::of(0i64..100)).prop_map(
+        |(n, k, a, b)| {
+            let mut r = Record::new().with_tag("n", n).with_tag("k", k);
+            if let Some(a) = a {
+                r.set_field("a", Value::Int(a));
+            }
+            if let Some(b) = b {
+                r.set_field("b", Value::Int(b));
+            }
+            r
+        },
+    )
+}
+
+fn multiset(records: &[Record]) -> Vec<String> {
+    let mut v: Vec<String> = records.iter().map(|r| format!("{r:?}")).collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn engine_matches_interp_on_confluent_nets(
+        net in arb_net(),
+        batch in prop::collection::vec(arb_record(), 0..20),
+    ) {
+        let expected = Interp::new(&net).run_batch(batch.clone()).unwrap();
+        let actual = Net::new(net).run_batch(batch).unwrap();
+        prop_assert_eq!(multiset(&actual), multiset(&expected.outputs));
+    }
+
+    #[test]
+    fn engine_matches_interp_with_leading_sync(
+        net in arb_net(),
+        batch in prop::collection::vec(arb_record(), 0..20),
+    ) {
+        // [| {a}, {b} |] at the head of the stream is fed in batch order
+        // by both engines, so its merges are deterministic.
+        let cell = NetSpec::Sync(SyncSpec::new(vec![
+            Pattern::from_variant(Variant::parse_labels(&["a"], &[])),
+            Pattern::from_variant(Variant::parse_labels(&["b"], &[])),
+        ]));
+        let full = NetSpec::serial(cell, net);
+        let expected = Interp::new(&full).run_batch(batch.clone()).unwrap();
+        let actual = Net::new(full).run_batch(batch).unwrap();
+        prop_assert_eq!(multiset(&actual), multiset(&expected.outputs));
+    }
+
+    #[test]
+    fn engines_charge_identical_work(
+        net in arb_net(),
+        batch in prop::collection::vec(arb_record(), 0..16),
+    ) {
+        // Abstract work is part of the semantics (it drives the cluster
+        // simulator): both engines must charge the same total ops for
+        // the same inputs on confluent nets.
+        let expected = Interp::new(&net).run_batch(batch.clone()).unwrap();
+        let (_, trace) = Net::new(net).run_batch_traced(batch).unwrap();
+        prop_assert_eq!(
+            trace.box_ops.load(std::sync::atomic::Ordering::Relaxed),
+            expected.work.ops
+        );
+    }
+
+    #[test]
+    fn interp_is_deterministic(
+        net in arb_net(),
+        batch in prop::collection::vec(arb_record(), 0..16),
+    ) {
+        let a = Interp::new(&net).run_batch(batch.clone()).unwrap();
+        let b = Interp::new(&net).run_batch(batch).unwrap();
+        prop_assert_eq!(
+            a.outputs.iter().map(|r| format!("{r:?}")).collect::<Vec<_>>(),
+            b.outputs.iter().map(|r| format!("{r:?}")).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(a.work, b.work);
+        prop_assert_eq!(a.stranded, b.stranded);
+    }
+}

@@ -1,0 +1,263 @@
+//! The simulated compute cluster.
+//!
+//! Stands in for the paper's testbed: "an 8-node cluster where each
+//! node contains two Intel PIII 1.4GHz CPUs and 1024MB of RAM. The
+//! nodes are connected by a standard 100Mbit ethernet network" (§V).
+//!
+//! Each node has a FIFO pool of identical CPUs (compute charges virtual
+//! time per abstract operation) and a single transmit NIC (messages
+//! serialize onto the wire at link bandwidth, then arrive after the
+//! link latency). Intra-node communication bypasses the NIC and only
+//! pays an optional memory-copy cost.
+
+use crate::resource::Resource;
+use crate::sim::{SimCtx, SimHandle};
+use crate::time::{bytes_duration, ops_duration};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Static description of a homogeneous cluster.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusterSpec {
+    /// Number of compute nodes.
+    pub nodes: usize,
+    /// CPUs per node (the paper's nodes are dual-CPU).
+    pub cpus_per_node: usize,
+    /// Abstract operations per second per CPU. The unit is whatever the
+    /// application's work counters count; `snet-dist` calibrates it.
+    pub cpu_ops_per_sec: f64,
+    /// Link bandwidth in bytes/second (100 Mbit ≈ 12.5 MB/s).
+    pub link_bandwidth: f64,
+    /// One-way message latency.
+    pub link_latency: Duration,
+    /// Intra-node memory bandwidth for record hand-off copies
+    /// (bytes/second); `f64::INFINITY` disables the local copy cost.
+    pub mem_bandwidth: f64,
+    /// Preemption quantum: compute requests are sliced into bursts of
+    /// at most this long, re-queueing FIFO between bursts — the
+    /// round-robin time-sharing a preemptive OS gives co-scheduled
+    /// processes. `Duration::MAX` disables slicing (run-to-completion).
+    /// Without it, microsecond-scale runtime hops would wait behind
+    /// multi-second render slices, which no real scheduler does.
+    pub quantum: Duration,
+}
+
+impl ClusterSpec {
+    /// The paper's testbed shape: dual-CPU nodes on 100 Mbit ethernet.
+    ///
+    /// `cpu_ops_per_sec` is normalized so that one abstract op is one
+    /// "tracer operation" (≈ a handful of FLOPs); 40 Mops/s yields
+    /// single-CPU full-frame render times in the few-hundred-second
+    /// range at 3000×3000, matching the paper's magnitudes.
+    pub fn paper_testbed(nodes: usize) -> ClusterSpec {
+        ClusterSpec {
+            nodes,
+            cpus_per_node: 2,
+            cpu_ops_per_sec: 40.0e6,
+            link_bandwidth: 12.5e6,
+            link_latency: Duration::from_micros(120),
+            mem_bandwidth: 400.0e6,
+            quantum: Duration::from_millis(10),
+        }
+    }
+
+    /// Duration of `ops` abstract operations on one CPU.
+    pub fn compute_time(&self, ops: u64) -> Duration {
+        ops_duration(ops, self.cpu_ops_per_sec)
+    }
+}
+
+struct NodeInner {
+    cpu: Resource,
+    nic: Resource,
+}
+
+/// A running cluster bound to a simulation.
+#[derive(Clone)]
+pub struct Cluster {
+    spec: ClusterSpec,
+    nodes: Arc<Vec<NodeInner>>,
+}
+
+impl Cluster {
+    /// Instantiates the cluster's resources in a simulation.
+    pub fn new(handle: &SimHandle, spec: ClusterSpec) -> Cluster {
+        assert!(spec.nodes > 0, "cluster needs at least one node");
+        let nodes = (0..spec.nodes)
+            .map(|i| NodeInner {
+                cpu: Resource::new(handle, &format!("node{i}.cpu"), spec.cpus_per_node),
+                nic: Resource::new(handle, &format!("node{i}.nic"), 1),
+            })
+            .collect();
+        Cluster {
+            spec,
+            nodes: Arc::new(nodes),
+        }
+    }
+
+    /// The cluster's static description.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for a zero-node cluster (never constructed; for clippy).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Charges `ops` abstract operations of CPU time on `node`,
+    /// queueing FIFO behind other work on that node's CPUs and
+    /// re-queueing every [`ClusterSpec::quantum`] (preemptive
+    /// time-sharing).
+    pub fn compute(&self, ctx: &SimCtx, node: usize, ops: u64) {
+        if ops == 0 {
+            return;
+        }
+        self.compute_time_on(ctx, node, self.spec.compute_time(ops));
+    }
+
+    /// Charges a fixed CPU-time duration on `node`, in quantum slices.
+    pub fn compute_time_on(&self, ctx: &SimCtx, node: usize, d: Duration) {
+        let mut remaining = d;
+        let cpu = &self.nodes[node].cpu;
+        while !remaining.is_zero() {
+            let slice = remaining.min(self.spec.quantum);
+            // Short bursts run to completion without a trailing requeue.
+            if slice == remaining {
+                cpu.execute(ctx, remaining);
+                return;
+            }
+            cpu.execute(ctx, slice);
+            remaining -= slice;
+        }
+    }
+
+    /// Models sending `bytes` from `from` to `to`.
+    ///
+    /// Cross-node: the calling process occupies `from`'s transmit NIC
+    /// for the serialization time, and the returned duration (the link
+    /// latency) is the extra delivery delay the caller should apply to
+    /// the message. Intra-node: the caller pays a memory-copy delay
+    /// inline and the message is immediately deliverable.
+    pub fn transfer(&self, ctx: &SimCtx, from: usize, to: usize, bytes: usize) -> Duration {
+        if from == to {
+            let copy = bytes_duration(bytes, self.spec.mem_bandwidth);
+            ctx.advance(copy);
+            return Duration::ZERO;
+        }
+        let wire = bytes_duration(bytes, self.spec.link_bandwidth);
+        self.nodes[from].nic.execute(ctx, wire);
+        self.spec.link_latency
+    }
+
+    /// Direct access to a node's CPU pool (for gauges in tests).
+    pub fn cpu(&self, node: usize) -> &Resource {
+        &self.nodes[node].cpu
+    }
+
+    /// Per-node CPU busy time so far (the utilization numerator; divide
+    /// by `makespan * cpus_per_node` for a utilization fraction).
+    pub fn cpu_busy(&self) -> Vec<Duration> {
+        self.nodes.iter().map(|n| n.cpu.busy_time()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::SimQueue;
+    use crate::sim::Simulation;
+    use crate::time::SimTime;
+
+    fn small_spec() -> ClusterSpec {
+        ClusterSpec {
+            nodes: 2,
+            cpus_per_node: 2,
+            cpu_ops_per_sec: 1e6,
+            link_bandwidth: 1e6,
+            link_latency: Duration::from_millis(1),
+            mem_bandwidth: 100e6,
+            quantum: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn compute_charges_ops_over_cpus() {
+        let sim = Simulation::new();
+        let cluster = Cluster::new(sim.handle(), small_spec());
+        // 4 jobs of 1e6 ops on a 2-CPU node at 1e6 ops/s → 2 s.
+        for i in 0..4 {
+            let c = cluster.clone();
+            sim.spawn(&format!("w{i}"), move |ctx| {
+                c.compute(ctx, 0, 1_000_000);
+            });
+        }
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime::from_secs_f64(2.0));
+    }
+
+    #[test]
+    fn cross_node_transfer_charges_wire_and_latency() {
+        let sim = Simulation::new();
+        let cluster = Cluster::new(sim.handle(), small_spec());
+        let q: SimQueue<u64> = SimQueue::new(sim.handle(), "wire");
+        let (c, q2) = (cluster.clone(), q.clone());
+        sim.spawn("sender", move |ctx| {
+            // 1 MB at 1 MB/s = 1 s serialization + 1 ms latency.
+            let delay = c.transfer(ctx, 0, 1, 1_000_000);
+            q2.send_delayed(7, delay);
+            q2.close();
+        });
+        let arrived = std::sync::Arc::new(parking_lot::Mutex::new(SimTime::ZERO));
+        let arrived2 = std::sync::Arc::clone(&arrived);
+        sim.spawn("receiver", move |ctx| {
+            assert_eq!(q.recv(ctx), Some(7));
+            *arrived2.lock() = ctx.now();
+        });
+        sim.run().unwrap();
+        assert_eq!(*arrived.lock(), SimTime::from_secs_f64(1.001));
+    }
+
+    #[test]
+    fn nic_serializes_concurrent_senders() {
+        let sim = Simulation::new();
+        let cluster = Cluster::new(sim.handle(), small_spec());
+        // Two 1 MB messages from node 0 share the single NIC → the wire
+        // time alone is 2 s.
+        for i in 0..2 {
+            let c = cluster.clone();
+            sim.spawn(&format!("s{i}"), move |ctx| {
+                let _ = c.transfer(ctx, 0, 1, 1_000_000);
+            });
+        }
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime::from_secs_f64(2.0));
+    }
+
+    #[test]
+    fn local_transfer_pays_memcpy_only() {
+        let sim = Simulation::new();
+        let cluster = Cluster::new(sim.handle(), small_spec());
+        let c = cluster.clone();
+        sim.spawn("s", move |ctx| {
+            let delay = c.transfer(ctx, 1, 1, 100_000_000);
+            assert_eq!(delay, Duration::ZERO);
+        });
+        let report = sim.run().unwrap();
+        // 100 MB at 100 MB/s memcpy = 1 s, no latency, no NIC.
+        assert_eq!(report.end_time, SimTime::from_secs_f64(1.0));
+    }
+
+    #[test]
+    fn paper_testbed_shape() {
+        let spec = ClusterSpec::paper_testbed(8);
+        assert_eq!(spec.nodes, 8);
+        assert_eq!(spec.cpus_per_node, 2);
+        assert!(spec.link_bandwidth > 12e6 && spec.link_bandwidth < 13e6);
+    }
+}

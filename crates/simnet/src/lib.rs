@@ -1,0 +1,51 @@
+//! # snet-simnet — a deterministic discrete-event cluster simulator
+//!
+//! This crate is the hardware substitute for the paper's testbed (§V:
+//! eight dual-PIII nodes on 100 Mbit ethernet). It provides:
+//!
+//! * a **discrete-event kernel** ([`Simulation`], [`SimCtx`]) whose
+//!   processes are real threads running real application code under a
+//!   strict one-runnable-at-a-time hand-off, so virtual time is exact
+//!   and every run is deterministic;
+//! * **mailboxes** ([`SimQueue`]) with per-message delivery times;
+//! * **FIFO resources** ([`Resource`]) modelling CPU pools and NICs;
+//! * a **cluster model** ([`Cluster`], [`ClusterSpec`]) with per-node
+//!   CPU pools, per-node transmit NICs, link latency and memory-copy
+//!   costs;
+//! * **simulated MPI** ([`MpiComm`], [`MpiRank`]) — blocking p2p plus
+//!   broadcast/gather — on which both the paper's C/MPI baseline and
+//!   the Distributed S-Net transport run.
+//!
+//! ```
+//! use snet_simnet::{Simulation, SimQueue};
+//! use std::time::Duration;
+//!
+//! let sim = Simulation::new();
+//! let q: SimQueue<&str> = SimQueue::new(sim.handle(), "demo");
+//! let q2 = q.clone();
+//! sim.spawn("producer", move |ctx| {
+//!     ctx.advance(Duration::from_secs(2));
+//!     q2.send("hello");
+//!     q2.close();
+//! });
+//! sim.spawn("consumer", move |ctx| {
+//!     assert_eq!(q.recv(ctx), Some("hello"));
+//!     assert_eq!(ctx.now().as_secs_f64(), 2.0);
+//! });
+//! let report = sim.run().unwrap();
+//! assert_eq!(report.end_time.as_secs_f64(), 2.0);
+//! ```
+
+pub mod cluster;
+pub mod mpi;
+pub mod queue;
+pub mod resource;
+pub mod sim;
+pub mod time;
+
+pub use cluster::{Cluster, ClusterSpec};
+pub use mpi::{MpiComm, MpiMsg, MpiRank};
+pub use queue::SimQueue;
+pub use resource::Resource;
+pub use sim::{ProcId, SimCtx, SimError, SimHandle, SimReport, Simulation};
+pub use time::{bytes_duration, ops_duration, SimTime};

@@ -1,0 +1,333 @@
+//! Simulated MPI: rank processes with blocking point-to-point messages
+//! and the collectives the paper's baseline needs.
+//!
+//! The prototype implementation of Distributed S-Net "is based on MPI
+//! where numbers correspond to MPI task identifiers" (§III), and the
+//! baseline is a C/MPI ray tracer. Both run here on the same simulated
+//! transport: a rank is a simulated process pinned to a cluster node; a
+//! send occupies the sender's NIC for the serialization time and lands
+//! in the receiver's mailbox after the link latency.
+//!
+//! Message payloads are ordinary Rust values (the *simulated* wire size
+//! is passed explicitly, so a payload can be an `Arc` without cheating
+//! the network model).
+
+use crate::cluster::Cluster;
+use crate::queue::SimQueue;
+use crate::sim::{SimCtx, SimHandle};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// An MPI message: source rank, nominal wire size, payload.
+#[derive(Debug, Clone)]
+pub struct MpiMsg<M> {
+    /// Sending rank.
+    pub src: usize,
+    /// Bytes charged on the simulated network.
+    pub bytes: usize,
+    /// The payload.
+    pub payload: M,
+}
+
+/// A communicator: one mailbox per rank plus the rank→node map.
+pub struct MpiComm<M> {
+    mailboxes: Arc<Vec<SimQueue<MpiMsg<M>>>>,
+    node_of_rank: Arc<Vec<usize>>,
+    cluster: Cluster,
+}
+
+impl<M> Clone for MpiComm<M> {
+    fn clone(&self) -> Self {
+        MpiComm {
+            mailboxes: Arc::clone(&self.mailboxes),
+            node_of_rank: Arc::clone(&self.node_of_rank),
+            cluster: self.cluster.clone(),
+        }
+    }
+}
+
+impl<M: Send + 'static> MpiComm<M> {
+    /// Creates a communicator with `node_of_rank[r]` hosting rank `r`.
+    pub fn new(handle: &SimHandle, cluster: &Cluster, node_of_rank: Vec<usize>) -> MpiComm<M> {
+        assert!(!node_of_rank.is_empty(), "need at least one rank");
+        for &n in &node_of_rank {
+            assert!(n < cluster.len(), "rank placed on nonexistent node {n}");
+        }
+        let mailboxes = (0..node_of_rank.len())
+            .map(|r| SimQueue::new(handle, &format!("mpi.rank{r}")))
+            .collect();
+        MpiComm {
+            mailboxes: Arc::new(mailboxes),
+            node_of_rank: Arc::new(node_of_rank),
+            cluster: cluster.clone(),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.node_of_rank.len()
+    }
+
+    /// The cluster node hosting `rank`.
+    pub fn node_of(&self, rank: usize) -> usize {
+        self.node_of_rank[rank]
+    }
+
+    /// The per-rank view used inside a rank process.
+    pub fn rank_ctx(&self, rank: usize) -> MpiRank<M> {
+        MpiRank {
+            comm: self.clone(),
+            rank,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Spawns one process per rank on its node; `f` receives
+    /// `(sim ctx, rank view)`.
+    pub fn spawn_ranks<F>(&self, handle: &SimHandle, f: F)
+    where
+        F: Fn(&SimCtx, &mut MpiRank<M>) + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        for rank in 0..self.size() {
+            let comm = self.clone();
+            let f = Arc::clone(&f);
+            handle.spawn(&format!("mpi-rank{rank}"), move |ctx| {
+                let mut view = comm.rank_ctx(rank);
+                f(ctx, &mut view);
+            });
+        }
+    }
+}
+
+/// One rank's endpoint: blocking send/recv plus simple collectives.
+pub struct MpiRank<M> {
+    comm: MpiComm<M>,
+    rank: usize,
+    /// Messages received while waiting for a specific source.
+    pending: VecDeque<MpiMsg<M>>,
+}
+
+impl<M: Send + 'static> MpiRank<M> {
+    /// This rank's number.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    pub fn size(&self) -> usize {
+        self.comm.size()
+    }
+
+    /// The node hosting this rank.
+    pub fn node(&self) -> usize {
+        self.comm.node_of(self.rank)
+    }
+
+    /// Blocking send of `payload`, charging `bytes` on the network.
+    ///
+    /// Mirrors a buffered `MPI_Send`: the sender blocks for wire
+    /// serialization (shared NIC) and the message lands after the link
+    /// latency. Intra-node ranks pay the memory-copy cost instead.
+    pub fn send(&self, ctx: &SimCtx, dst: usize, bytes: usize, payload: M) {
+        let from = self.comm.node_of(self.rank);
+        let to = self.comm.node_of(dst);
+        let delay = self.comm.cluster.transfer(ctx, from, to, bytes);
+        self.comm.mailboxes[dst].send_delayed(
+            MpiMsg {
+                src: self.rank,
+                bytes,
+                payload,
+            },
+            delay,
+        );
+    }
+
+    /// Blocking receive from any source.
+    pub fn recv_any(&mut self, ctx: &SimCtx) -> MpiMsg<M> {
+        if let Some(m) = self.pending.pop_front() {
+            return m;
+        }
+        self.comm.mailboxes[self.rank]
+            .recv(ctx)
+            .expect("mpi mailboxes are never closed")
+    }
+
+    /// Blocking receive from a specific source (later messages from
+    /// other sources are buffered, preserving per-source order).
+    pub fn recv_from(&mut self, ctx: &SimCtx, src: usize) -> MpiMsg<M> {
+        if let Some(pos) = self.pending.iter().position(|m| m.src == src) {
+            return self.pending.remove(pos).expect("position just found");
+        }
+        loop {
+            let m = self.comm.mailboxes[self.rank]
+                .recv(ctx)
+                .expect("mpi mailboxes are never closed");
+            if m.src == src {
+                return m;
+            }
+            self.pending.push_back(m);
+        }
+    }
+}
+
+impl<M: Clone + Send + 'static> MpiRank<M> {
+    /// Broadcast from `root`: root sends one copy to every other rank;
+    /// the others block until it arrives. Returns the payload.
+    pub fn bcast(&mut self, ctx: &SimCtx, root: usize, bytes: usize, payload: Option<M>) -> M {
+        if self.rank == root {
+            let value = payload.expect("root must supply the broadcast payload");
+            for dst in 0..self.size() {
+                if dst != root {
+                    self.send(ctx, dst, bytes, value.clone());
+                }
+            }
+            value
+        } else {
+            self.recv_from(ctx, root).payload
+        }
+    }
+
+    /// Gather to `root`: every non-root rank sends `(bytes, payload)`;
+    /// root returns all payloads indexed by rank (its own included).
+    pub fn gather(
+        &mut self,
+        ctx: &SimCtx,
+        root: usize,
+        bytes: usize,
+        payload: M,
+    ) -> Option<Vec<M>> {
+        if self.rank == root {
+            let mut slots: Vec<Option<M>> = (0..self.size()).map(|_| None).collect();
+            slots[root] = Some(payload);
+            for _ in 0..self.size() - 1 {
+                let m = self.recv_any(ctx);
+                slots[m.src] = Some(m.payload);
+            }
+            Some(slots.into_iter().map(|s| s.expect("all ranks sent")).collect())
+        } else {
+            self.send(ctx, root, bytes, payload);
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+    use crate::sim::Simulation;
+    use crate::time::SimTime;
+    use parking_lot::Mutex;
+    use std::time::Duration;
+
+    fn spec(nodes: usize) -> ClusterSpec {
+        ClusterSpec {
+            nodes,
+            cpus_per_node: 1,
+            cpu_ops_per_sec: 1e6,
+            link_bandwidth: 1e6,
+            link_latency: Duration::from_millis(10),
+            mem_bandwidth: f64::INFINITY,
+            quantum: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn ping_pong_timing() {
+        let sim = Simulation::new();
+        let cluster = Cluster::new(sim.handle(), spec(2));
+        let comm: MpiComm<u64> = MpiComm::new(sim.handle(), &cluster, vec![0, 1]);
+        comm.spawn_ranks(sim.handle(), |ctx, mpi| {
+            if mpi.rank() == 0 {
+                mpi.send(ctx, 1, 1_000_000, 42);
+                let reply = mpi.recv_from(ctx, 1);
+                assert_eq!(reply.payload, 43);
+            } else {
+                let m = mpi.recv_from(ctx, 0);
+                mpi.send(ctx, 0, 1_000_000, m.payload + 1);
+            }
+        });
+        let report = sim.run().unwrap();
+        // Each direction: 1 s wire + 10 ms latency.
+        assert_eq!(report.end_time, SimTime::from_secs_f64(2.020));
+    }
+
+    #[test]
+    fn intra_node_ranks_skip_the_nic() {
+        let sim = Simulation::new();
+        let cluster = Cluster::new(sim.handle(), spec(1));
+        let comm: MpiComm<u64> = MpiComm::new(sim.handle(), &cluster, vec![0, 0]);
+        comm.spawn_ranks(sim.handle(), |ctx, mpi| {
+            if mpi.rank() == 0 {
+                mpi.send(ctx, 1, 1_000_000, 1);
+            } else {
+                mpi.recv_from(ctx, 0);
+            }
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime::ZERO); // infinite mem bandwidth
+    }
+
+    #[test]
+    fn recv_from_buffers_other_sources() {
+        let sim = Simulation::new();
+        let cluster = Cluster::new(sim.handle(), spec(3));
+        let comm: MpiComm<&'static str> = MpiComm::new(sim.handle(), &cluster, vec![0, 1, 2]);
+        let seen = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let seen2 = std::sync::Arc::clone(&seen);
+        comm.spawn_ranks(sim.handle(), move |ctx, mpi| match mpi.rank() {
+            0 => {
+                // Rank 2's message arrives first (rank 1 delays), but we
+                // insist on rank 1 first.
+                let a = mpi.recv_from(ctx, 1);
+                let b = mpi.recv_from(ctx, 2);
+                seen2.lock().push(a.payload);
+                seen2.lock().push(b.payload);
+            }
+            1 => {
+                ctx.advance(Duration::from_secs(1));
+                mpi.send(ctx, 0, 8, "from-1");
+            }
+            2 => mpi.send(ctx, 0, 8, "from-2"),
+            _ => unreachable!(),
+        });
+        sim.run().unwrap();
+        assert_eq!(*seen.lock(), vec!["from-1", "from-2"]);
+    }
+
+    #[test]
+    fn bcast_and_gather_round_trip() {
+        let sim = Simulation::new();
+        let cluster = Cluster::new(sim.handle(), spec(4));
+        let comm: MpiComm<u64> = MpiComm::new(sim.handle(), &cluster, vec![0, 1, 2, 3]);
+        let gathered = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let g2 = std::sync::Arc::clone(&gathered);
+        comm.spawn_ranks(sim.handle(), move |ctx, mpi| {
+            let seed = mpi.bcast(ctx, 0, 8, (mpi.rank() == 0).then_some(100));
+            assert_eq!(seed, 100);
+            let mine = seed + mpi.rank() as u64;
+            if let Some(all) = mpi.gather(ctx, 0, 8, mine) {
+                *g2.lock() = all;
+            }
+        });
+        sim.run().unwrap();
+        assert_eq!(*gathered.lock(), vec![100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn gather_timing_shares_root_nic() {
+        // 3 remote ranks each send 1 MB to root: root's *receive* side is
+        // not the bottleneck in this model, but each sender's NIC is
+        // distinct, so arrival is ~1 s + latency, and the root finishes
+        // after the last arrival.
+        let sim = Simulation::new();
+        let cluster = Cluster::new(sim.handle(), spec(4));
+        let comm: MpiComm<u8> = MpiComm::new(sim.handle(), &cluster, vec![0, 1, 2, 3]);
+        comm.spawn_ranks(sim.handle(), |ctx, mpi| {
+            mpi.gather(ctx, 0, 1_000_000, 0u8);
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime::from_secs_f64(1.010));
+    }
+}

@@ -1,0 +1,317 @@
+//! Simulated mailboxes: message queues with per-message readiness times.
+//!
+//! A [`SimQueue`] is the communication primitive between simulated
+//! processes. Senders never block; each message carries a *ready time*
+//! (now + delivery delay) before which receivers cannot observe it —
+//! this is how network latency reaches the receiving process.
+//! Receivers block until a ready message exists (or the queue is closed
+//! and drained).
+
+use crate::sim::{ProcId, SimCtx, SimHandle};
+use crate::time::SimTime;
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Item<T> {
+    ready: SimTime,
+    seq: u64,
+    value: T,
+}
+
+impl<T> PartialEq for Item<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.ready, self.seq) == (other.ready, other.seq)
+    }
+}
+impl<T> Eq for Item<T> {}
+impl<T> PartialOrd for Item<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Item<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.ready, self.seq).cmp(&(other.ready, other.seq))
+    }
+}
+
+struct QueueState<T> {
+    items: BinaryHeap<Reverse<Item<T>>>,
+    seq: u64,
+    closed: bool,
+    waiters: VecDeque<ProcId>,
+}
+
+/// A multi-producer, multi-consumer simulated mailbox.
+///
+/// Cloning shares the queue. Messages become visible at their ready
+/// time; ties deliver in send order.
+pub struct SimQueue<T> {
+    state: Arc<Mutex<QueueState<T>>>,
+    handle: SimHandle,
+    name: String,
+}
+
+impl<T> Clone for SimQueue<T> {
+    fn clone(&self) -> Self {
+        SimQueue {
+            state: Arc::clone(&self.state),
+            handle: self.handle.clone(),
+            name: self.name.clone(),
+        }
+    }
+}
+
+impl<T: Send + 'static> SimQueue<T> {
+    /// Creates an empty queue bound to a simulation.
+    pub fn new(handle: &SimHandle, name: &str) -> SimQueue<T> {
+        SimQueue {
+            state: Arc::new(Mutex::new(QueueState {
+                items: BinaryHeap::new(),
+                seq: 0,
+                closed: false,
+                waiters: VecDeque::new(),
+            })),
+            handle: handle.clone(),
+            name: name.to_owned(),
+        }
+    }
+
+    /// Sends a message that is immediately visible.
+    pub fn send(&self, value: T) {
+        self.send_delayed(value, Duration::ZERO);
+    }
+
+    /// Sends a message that becomes visible after `delay` (network
+    /// latency, memcpy completion, …). Never blocks the sender.
+    pub fn send_delayed(&self, value: T, delay: Duration) {
+        let now = self.handle.now();
+        let ready = now + delay;
+        let waiters: Vec<ProcId> = {
+            let mut st = self.state.lock();
+            st.seq += 1;
+            let seq = st.seq;
+            st.items.push(Reverse(Item { ready, seq, value }));
+            st.waiters.drain(..).collect()
+        };
+        let mut kernel = self.handle.kernel.lock();
+        for w in waiters {
+            kernel.schedule_wake(w, ready);
+        }
+    }
+
+    /// Marks the queue closed; receivers drain the remaining messages
+    /// and then observe `None`.
+    pub fn close(&self) {
+        let waiters: Vec<ProcId> = {
+            let mut st = self.state.lock();
+            st.closed = true;
+            st.waiters.drain(..).collect()
+        };
+        let mut kernel = self.handle.kernel.lock();
+        let now = kernel.now();
+        for w in waiters {
+            kernel.schedule_wake(w, now);
+        }
+    }
+
+    /// Non-blocking receive of a ready message.
+    pub fn try_recv(&self) -> Option<T> {
+        let now = self.handle.now();
+        let mut st = self.state.lock();
+        if st.items.peek().is_some_and(|Reverse(item)| item.ready <= now) {
+            return st.items.pop().map(|Reverse(item)| item.value);
+        }
+        None
+    }
+
+    /// Blocking receive: waits until a message is ready; `None` when the
+    /// queue is closed and fully drained.
+    pub fn recv(&self, ctx: &SimCtx) -> Option<T> {
+        loop {
+            {
+                let now = self.handle.now();
+                let mut st = self.state.lock();
+                match st.items.peek() {
+                    Some(Reverse(item)) if item.ready <= now => {
+                        return st.items.pop().map(|Reverse(item)| item.value);
+                    }
+                    Some(Reverse(item)) => {
+                        // A message exists but is still in flight: wake
+                        // ourselves when it lands.
+                        let ready = item.ready;
+                        st.waiters.push_back(ctx.pid());
+                        drop(st);
+                        self.handle.kernel.lock().schedule_wake(ctx.pid(), ready);
+                    }
+                    None if st.closed => return None,
+                    None => {
+                        st.waiters.push_back(ctx.pid());
+                    }
+                }
+            }
+            ctx.block(&format!("recv {}", self.name));
+        }
+    }
+
+    /// Messages currently stored (ready or not).
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// Is the queue currently empty (ready or not)?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Has `close` been called?
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulation;
+    use parking_lot::Mutex as PMutex;
+
+    #[test]
+    fn fifo_within_equal_ready_times() {
+        let sim = Simulation::new();
+        let q: SimQueue<i32> = SimQueue::new(sim.handle(), "q");
+        let seen = Arc::new(PMutex::new(Vec::new()));
+        let q2 = q.clone();
+        sim.spawn("producer", move |_ctx| {
+            for i in 0..5 {
+                q2.send(i);
+            }
+            q2.close();
+        });
+        let seen2 = Arc::clone(&seen);
+        sim.spawn("consumer", move |ctx| {
+            while let Some(v) = q.recv(ctx) {
+                seen2.lock().push(v);
+            }
+        });
+        sim.run().unwrap();
+        assert_eq!(*seen.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn delayed_delivery_blocks_receiver_until_ready() {
+        let sim = Simulation::new();
+        let q: SimQueue<&'static str> = SimQueue::new(sim.handle(), "q");
+        let q2 = q.clone();
+        sim.spawn("producer", move |_ctx| {
+            q2.send_delayed("late", Duration::from_secs(2));
+            q2.close();
+        });
+        let arrival = Arc::new(PMutex::new(SimTime::ZERO));
+        let arrival2 = Arc::clone(&arrival);
+        sim.spawn("consumer", move |ctx| {
+            assert_eq!(q.recv(ctx), Some("late"));
+            *arrival2.lock() = ctx.now();
+            assert_eq!(q.recv(ctx), None);
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(*arrival.lock(), SimTime::from_secs_f64(2.0));
+        assert_eq!(report.end_time, SimTime::from_secs_f64(2.0));
+    }
+
+    #[test]
+    fn delays_reorder_messages_by_ready_time() {
+        let sim = Simulation::new();
+        let q: SimQueue<&'static str> = SimQueue::new(sim.handle(), "q");
+        let q2 = q.clone();
+        sim.spawn("producer", move |_ctx| {
+            q2.send_delayed("slow", Duration::from_secs(5));
+            q2.send_delayed("fast", Duration::from_secs(1));
+            q2.close();
+        });
+        let seen = Arc::new(PMutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        sim.spawn("consumer", move |ctx| {
+            while let Some(v) = q.recv(ctx) {
+                seen2.lock().push(v);
+            }
+        });
+        sim.run().unwrap();
+        assert_eq!(*seen.lock(), vec!["fast", "slow"]);
+    }
+
+    #[test]
+    fn close_unblocks_waiting_receiver() {
+        let sim = Simulation::new();
+        let q: SimQueue<i32> = SimQueue::new(sim.handle(), "q");
+        let q2 = q.clone();
+        sim.spawn("closer", move |ctx| {
+            ctx.advance(Duration::from_secs(1));
+            q2.close();
+        });
+        sim.spawn("consumer", move |ctx| {
+            assert_eq!(q.recv(ctx), None);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn blocked_receiver_without_sender_is_a_deadlock() {
+        let sim = Simulation::new();
+        let q: SimQueue<i32> = SimQueue::new(sim.handle(), "orphan");
+        sim.spawn("consumer", move |ctx| {
+            q.recv(ctx);
+        });
+        match sim.run() {
+            Err(crate::sim::SimError::Deadlock { blocked, .. }) => {
+                assert_eq!(blocked.len(), 1);
+                assert!(blocked[0].contains("consumer"));
+                assert!(blocked[0].contains("orphan"));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_recv_sees_only_ready_messages() {
+        let sim = Simulation::new();
+        let q: SimQueue<i32> = SimQueue::new(sim.handle(), "q");
+        sim.spawn("p", move |ctx| {
+            q.send_delayed(1, Duration::from_secs(1));
+            assert_eq!(q.try_recv(), None);
+            ctx.advance(Duration::from_secs(1));
+            assert_eq!(q.try_recv(), Some(1));
+            assert_eq!(q.try_recv(), None);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn multiple_consumers_share_the_stream() {
+        let sim = Simulation::new();
+        let q: SimQueue<u32> = SimQueue::new(sim.handle(), "q");
+        let total = Arc::new(PMutex::new(0u32));
+        for i in 0..3 {
+            let q = q.clone();
+            let total = Arc::clone(&total);
+            sim.spawn(&format!("c{i}"), move |ctx| {
+                while let Some(v) = q.recv(ctx) {
+                    *total.lock() += v;
+                }
+            });
+        }
+        let q2 = q.clone();
+        sim.spawn("producer", move |_ctx| {
+            for i in 1..=10 {
+                q2.send(i);
+            }
+            q2.close();
+        });
+        sim.run().unwrap();
+        assert_eq!(*total.lock(), 55);
+    }
+}

@@ -1,0 +1,300 @@
+//! FIFO server resources: the contention model for CPUs and NICs.
+//!
+//! A [`Resource`] has `capacity` identical servers. Processes acquire a
+//! server (waiting FIFO when all are busy), hold it while virtual time
+//! passes, and release it. Strict FIFO hand-off: a released server goes
+//! to the longest-waiting process even if another process could grab it
+//! "instantaneously" — this mirrors a run queue, keeps the model fair,
+//! and keeps runs deterministic.
+
+use crate::sim::{ProcId, SimCtx, SimHandle};
+use parking_lot::Mutex;
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct ResourceState {
+    capacity: usize,
+    in_use: usize,
+    waiters: VecDeque<ProcId>,
+    /// Processes that were handed a server on release and have not yet
+    /// resumed to claim it.
+    granted: HashSet<ProcId>,
+}
+
+/// A pool of identical servers with a FIFO wait queue.
+#[derive(Clone)]
+pub struct Resource {
+    state: Arc<Mutex<ResourceState>>,
+    handle: SimHandle,
+    name: String,
+    busy_nanos: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl Resource {
+    /// Creates a pool with `capacity` servers.
+    pub fn new(handle: &SimHandle, name: &str, capacity: usize) -> Resource {
+        assert!(capacity > 0, "resource must have at least one server");
+        Resource {
+            state: Arc::new(Mutex::new(ResourceState {
+                capacity,
+                in_use: 0,
+                waiters: VecDeque::new(),
+                granted: HashSet::new(),
+            })),
+            handle: handle.clone(),
+            name: name.to_owned(),
+            busy_nanos: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        }
+    }
+
+    /// Acquires one server, waiting FIFO if none is free.
+    pub fn acquire(&self, ctx: &SimCtx) {
+        loop {
+            {
+                let mut st = self.state.lock();
+                if st.granted.remove(&ctx.pid()) {
+                    // A releasing process transferred its server to us.
+                    return;
+                }
+                if st.waiters.is_empty() && st.in_use < st.capacity {
+                    st.in_use += 1;
+                    return;
+                }
+                // A stale wake (e.g. a message landing in a queue we
+                // waited on earlier) can re-run this loop while we are
+                // already enqueued; registering twice would let a later
+                // grant go to the dead duplicate and leak the server.
+                if !st.waiters.contains(&ctx.pid()) {
+                    st.waiters.push_back(ctx.pid());
+                }
+            }
+            ctx.block(&format!("acquire {}", self.name));
+        }
+    }
+
+    /// Releases a previously acquired server, handing it directly to
+    /// the longest-waiting process if any.
+    pub fn release(&self) {
+        let woken: Option<ProcId> = {
+            let mut st = self.state.lock();
+            match st.waiters.pop_front() {
+                Some(w) => {
+                    st.granted.insert(w);
+                    Some(w)
+                }
+                None => {
+                    debug_assert!(st.in_use > 0, "release without acquire");
+                    st.in_use = st.in_use.saturating_sub(1);
+                    None
+                }
+            }
+        };
+        if let Some(w) = woken {
+            let mut kernel = self.handle.kernel.lock();
+            let now = kernel.now();
+            kernel.schedule_wake(w, now);
+        }
+    }
+
+    /// Acquires a server, holds it for `d` of virtual time, releases it.
+    pub fn execute(&self, ctx: &SimCtx, d: Duration) {
+        self.acquire(ctx);
+        ctx.advance(d);
+        self.busy_nanos
+            .fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, std::sync::atomic::Ordering::Relaxed);
+        self.release();
+    }
+
+    /// Total virtual time servers of this pool have been held via
+    /// [`Resource::execute`] — the utilization numerator.
+    pub fn busy_time(&self) -> Duration {
+        Duration::from_nanos(self.busy_nanos.load(std::sync::atomic::Ordering::Relaxed))
+    }
+
+    /// Number of servers currently held.
+    pub fn in_use(&self) -> usize {
+        let st = self.state.lock();
+        st.in_use + st.granted.len()
+    }
+
+    /// Number of processes waiting.
+    pub fn queue_len(&self) -> usize {
+        self.state.lock().waiters.len()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.state.lock().capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulation;
+    use crate::time::SimTime;
+    use parking_lot::Mutex as PMutex;
+
+    #[test]
+    fn uncontended_execute_takes_its_duration() {
+        let sim = Simulation::new();
+        let cpu = Resource::new(sim.handle(), "cpu", 1);
+        sim.spawn("worker", move |ctx| {
+            cpu.execute(ctx, Duration::from_secs(5));
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime::from_secs_f64(5.0));
+    }
+
+    #[test]
+    fn contention_serializes_on_one_server() {
+        // 4 jobs of 1 s on a single CPU → makespan 4 s.
+        let sim = Simulation::new();
+        let cpu = Resource::new(sim.handle(), "cpu", 1);
+        for i in 0..4 {
+            let cpu = cpu.clone();
+            sim.spawn(&format!("w{i}"), move |ctx| {
+                cpu.execute(ctx, Duration::from_secs(1));
+            });
+        }
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime::from_secs_f64(4.0));
+    }
+
+    #[test]
+    fn two_servers_halve_the_makespan() {
+        let sim = Simulation::new();
+        let cpu = Resource::new(sim.handle(), "cpu", 2);
+        for i in 0..4 {
+            let cpu = cpu.clone();
+            sim.spawn(&format!("w{i}"), move |ctx| {
+                cpu.execute(ctx, Duration::from_secs(1));
+            });
+        }
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime::from_secs_f64(2.0));
+    }
+
+    #[test]
+    fn fifo_ordering_of_waiters() {
+        let sim = Simulation::new();
+        let cpu = Resource::new(sim.handle(), "cpu", 1);
+        let order = Arc::new(PMutex::new(Vec::new()));
+        for i in 0..4 {
+            let cpu = cpu.clone();
+            let order = Arc::clone(&order);
+            sim.spawn(&format!("w{i}"), move |ctx| {
+                // Stagger arrivals so the queue order is w0, w1, w2, w3.
+                ctx.advance(Duration::from_millis(i));
+                cpu.acquire(ctx);
+                order.lock().push(i);
+                ctx.advance(Duration::from_secs(1));
+                cpu.release();
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn release_transfers_directly_to_waiter() {
+        // A process that arrives exactly when a server frees must not
+        // jump ahead of an already-waiting process.
+        let sim = Simulation::new();
+        let cpu = Resource::new(sim.handle(), "cpu", 1);
+        let order = Arc::new(PMutex::new(Vec::new()));
+
+        let c0 = cpu.clone();
+        sim.spawn("holder", move |ctx| {
+            c0.acquire(ctx);
+            ctx.advance(Duration::from_secs(2));
+            c0.release();
+        });
+        let c1 = cpu.clone();
+        let o1 = Arc::clone(&order);
+        sim.spawn("waiter", move |ctx| {
+            ctx.advance(Duration::from_secs(1));
+            c1.acquire(ctx);
+            o1.lock().push("waiter");
+            c1.release();
+        });
+        let c2 = cpu.clone();
+        let o2 = Arc::clone(&order);
+        sim.spawn("latecomer", move |ctx| {
+            ctx.advance(Duration::from_secs(2)); // arrives at the release instant
+            c2.acquire(ctx);
+            o2.lock().push("latecomer");
+            c2.release();
+        });
+        sim.run().unwrap();
+        assert_eq!(*order.lock(), vec!["waiter", "latecomer"]);
+    }
+
+    #[test]
+    fn stale_wakes_do_not_leak_servers() {
+        // Regression: a process woken by a *stale* queue event while
+        // already enqueued on a resource used to register twice; the
+        // duplicate entry swallowed a later grant and permanently leaked
+        // the server. The victim here accumulates a pending wake (for a
+        // delayed message it ends up not needing), then waits on the
+        // CPU; the stale wake fires mid-wait.
+        use crate::queue::SimQueue;
+        let sim = Simulation::new();
+        let cpu = Resource::new(sim.handle(), "cpu", 1);
+        let q: SimQueue<&'static str> = SimQueue::new(sim.handle(), "q");
+
+        let c0 = cpu.clone();
+        sim.spawn("holder", move |ctx| {
+            c0.acquire(ctx);
+            ctx.advance(Duration::from_secs(5));
+            c0.release();
+        });
+        let q_prod = q.clone();
+        sim.spawn("producer", move |ctx| {
+            q_prod.send_delayed("slow", Duration::from_secs(3));
+            ctx.advance(Duration::from_secs(1));
+            q_prod.send("fast");
+        });
+        let (c1, q1) = (cpu.clone(), q.clone());
+        sim.spawn("victim", move |ctx| {
+            // Waits for the slow message, schedules a wake at t=3, but
+            // is released early by the fast message at t=1 — the t=3
+            // wake is now stale and will fire while we sit in the CPU
+            // queue.
+            assert_eq!(q1.recv(ctx), Some("fast"));
+            c1.acquire(ctx);
+            ctx.advance(Duration::from_secs(1));
+            c1.release();
+        });
+        let c2 = cpu.clone();
+        sim.spawn("third", move |ctx| {
+            ctx.advance(Duration::from_secs(2));
+            c2.execute(ctx, Duration::from_secs(1));
+        });
+        let c3 = cpu.clone();
+        sim.spawn("fourth", move |ctx| {
+            ctx.advance(Duration::from_secs(8));
+            c3.execute(ctx, Duration::from_secs(1));
+        });
+        // Without the duplicate-registration guard this deadlocks.
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, SimTime::from_secs_f64(9.0));
+    }
+
+    #[test]
+    fn gauges_report_usage() {
+        let sim = Simulation::new();
+        let cpu = Resource::new(sim.handle(), "cpu", 2);
+        assert_eq!(cpu.capacity(), 2);
+        let c = cpu.clone();
+        sim.spawn("w", move |ctx| {
+            c.acquire(ctx);
+            assert_eq!(c.in_use(), 1);
+            assert_eq!(c.queue_len(), 0);
+            c.release();
+            assert_eq!(c.in_use(), 0);
+        });
+        sim.run().unwrap();
+    }
+}

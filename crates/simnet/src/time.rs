@@ -1,0 +1,129 @@
+//! Virtual time.
+//!
+//! The simulator's clock is a 64-bit nanosecond counter — fine enough to
+//! resolve single memory copies, wide enough for ~584 years of virtual
+//! time. Durations are plain [`std::time::Duration`]s.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An instant of virtual time (nanoseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds from raw nanoseconds.
+    pub fn from_nanos(nanos: u64) -> SimTime {
+        SimTime(nanos)
+    }
+
+    /// Builds from (possibly fractional) seconds. Negative and
+    /// non-finite inputs clamp to zero.
+    pub fn from_secs_f64(secs: f64) -> SimTime {
+        if !secs.is_finite() || secs <= 0.0 {
+            return SimTime(0);
+        }
+        SimTime((secs * 1e9).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating difference.
+    pub fn saturating_sub(self, other: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(d.as_nanos().min(u64::MAX as u128) as u64))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, d: Duration) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, other: SimTime) -> Duration {
+        self.saturating_sub(other)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+/// Duration for `ops` operations at `ops_per_sec` throughput.
+pub fn ops_duration(ops: u64, ops_per_sec: f64) -> Duration {
+    if ops == 0 || ops_per_sec <= 0.0 {
+        return Duration::ZERO;
+    }
+    Duration::from_secs_f64(ops as f64 / ops_per_sec)
+}
+
+/// Duration to move `bytes` at `bytes_per_sec` throughput.
+pub fn bytes_duration(bytes: usize, bytes_per_sec: f64) -> Duration {
+    if bytes == 0 || bytes_per_sec <= 0.0 {
+        return Duration::ZERO;
+    }
+    Duration::from_secs_f64(bytes as f64 / bytes_per_sec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t = SimTime::ZERO + Duration::from_millis(1500);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert_eq!(t.as_secs_f64(), 1.5);
+        assert_eq!(t - SimTime::from_secs_f64(1.0), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        assert_eq!(SimTime::ZERO - SimTime::from_secs_f64(3.0), Duration::ZERO);
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+    }
+
+    #[test]
+    fn throughput_helpers() {
+        assert_eq!(ops_duration(0, 1e6), Duration::ZERO);
+        assert_eq!(ops_duration(1_000_000, 1e6), Duration::from_secs(1));
+        assert_eq!(bytes_duration(12_500_000, 12.5e6), Duration::from_secs(1));
+        assert_eq!(bytes_duration(10, 0.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_by_time() {
+        assert!(SimTime::from_secs_f64(1.0) < SimTime::from_secs_f64(2.0));
+        assert_eq!(format!("{}", SimTime::from_secs_f64(1.25)), "1.250s");
+    }
+}

@@ -1,0 +1,186 @@
+//! Property test: the simulator is deterministic.
+//!
+//! Random mixes of computing, messaging, and resource-contending
+//! processes must produce identical event logs, end times and side
+//! effects across repeated runs. This is the property that makes every
+//! benchmark figure in the workspace reproducible.
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use snet_simnet::{Cluster, ClusterSpec, MpiComm, Resource, SimQueue, SimTime, Simulation};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Debug, Clone)]
+struct Job {
+    node: usize,
+    ops: u64,
+    send_to: Option<usize>,
+    bytes: usize,
+}
+
+fn arb_job(nodes: usize) -> impl Strategy<Value = Job> {
+    (
+        0..nodes,
+        1u64..500_000,
+        prop::option::of(0..nodes),
+        1usize..200_000,
+    )
+        .prop_map(|(node, ops, send_to, bytes)| Job {
+            node,
+            ops,
+            send_to,
+            bytes,
+        })
+}
+
+fn spec(nodes: usize) -> ClusterSpec {
+    ClusterSpec {
+        nodes,
+        cpus_per_node: 2,
+        cpu_ops_per_sec: 1e6,
+        link_bandwidth: 2e6,
+        link_latency: Duration::from_micros(500),
+        mem_bandwidth: 50e6,
+        quantum: Duration::from_millis(10),
+    }
+}
+
+type EventSig = Vec<(u64, u32)>;
+type RecvLog = Vec<(usize, usize)>;
+
+/// Runs a workload and returns `(end time, event log signature, receive log)`.
+fn run_workload(nodes: usize, jobs: &[Job]) -> (SimTime, EventSig, RecvLog) {
+    let sim = Simulation::new();
+    let cluster = Cluster::new(sim.handle(), spec(nodes));
+    let inbox: Vec<SimQueue<(usize, usize)>> = (0..nodes)
+        .map(|n| SimQueue::new(sim.handle(), &format!("inbox{n}")))
+        .collect();
+    let recv_log = Arc::new(Mutex::new(Vec::new()));
+
+    // One collector per node, draining its inbox.
+    for (n, q) in inbox.iter().enumerate() {
+        let q = q.clone();
+        let log = Arc::clone(&recv_log);
+        sim.spawn(&format!("collector{n}"), move |ctx| {
+            while let Some(msg) = q.recv(ctx) {
+                log.lock().push(msg);
+            }
+        });
+    }
+
+    let inbox = Arc::new(inbox);
+    let mut producer_counts = vec![0usize; nodes];
+    for job in jobs {
+        if let Some(dst) = job.send_to {
+            producer_counts[dst] += 1;
+        }
+    }
+    let closers: Arc<Vec<Mutex<usize>>> =
+        Arc::new(producer_counts.iter().map(|&c| Mutex::new(c)).collect());
+    // Close inboxes with no producers immediately.
+    for (n, q) in inbox.iter().enumerate() {
+        if producer_counts[n] == 0 {
+            q.close();
+        }
+    }
+
+    for (i, job) in jobs.iter().enumerate() {
+        let cluster = cluster.clone();
+        let inbox = Arc::clone(&inbox);
+        let closers = Arc::clone(&closers);
+        let job = job.clone();
+        sim.spawn(&format!("job{i}"), move |ctx| {
+            cluster.compute(ctx, job.node, job.ops);
+            if let Some(dst) = job.send_to {
+                let delay = cluster.transfer(ctx, job.node, dst, job.bytes);
+                inbox[dst].send_delayed((job.node, job.bytes), delay);
+                let mut remaining = closers[dst].lock();
+                *remaining -= 1;
+                if *remaining == 0 {
+                    inbox[dst].close();
+                }
+            }
+        });
+    }
+
+    let report = sim.run().expect("workload must terminate");
+    let sig = report
+        .event_log
+        .iter()
+        .map(|(t, p)| (t.as_nanos(), p.index()))
+        .collect();
+    let log = Arc::try_unwrap(recv_log)
+        .map(|m| m.into_inner())
+        .unwrap_or_default();
+    (report.end_time, sig, log)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn identical_runs_produce_identical_histories(
+        nodes in 1usize..5,
+        jobs in prop::collection::vec(arb_job(4), 1..20),
+    ) {
+        let jobs: Vec<Job> = jobs
+            .into_iter()
+            .map(|mut j| {
+                j.node %= nodes;
+                j.send_to = j.send_to.map(|d| d % nodes);
+                j
+            })
+            .collect();
+        let a = run_workload(nodes, &jobs);
+        let b = run_workload(nodes, &jobs);
+        prop_assert_eq!(a.0, b.0, "end times differ");
+        prop_assert_eq!(a.1, b.1, "event logs differ");
+        prop_assert_eq!(a.2, b.2, "receive logs differ");
+    }
+
+    #[test]
+    fn resource_conservation(
+        capacity in 1usize..4,
+        durations in prop::collection::vec(1u64..1000, 1..16),
+    ) {
+        // Total busy time is conserved: makespan * capacity >= sum of
+        // durations, and makespan >= max duration.
+        let sim = Simulation::new();
+        let pool = Resource::new(sim.handle(), "pool", capacity);
+        for (i, ms) in durations.iter().copied().enumerate() {
+            let pool = pool.clone();
+            sim.spawn(&format!("w{i}"), move |ctx| {
+                pool.execute(ctx, Duration::from_millis(ms));
+            });
+        }
+        let report = sim.run().unwrap();
+        let total: u64 = durations.iter().sum();
+        let longest: u64 = durations.iter().copied().max().unwrap_or(0);
+        let makespan_ms = report.end_time.as_nanos() / 1_000_000;
+        prop_assert!(makespan_ms >= longest);
+        prop_assert!(makespan_ms.saturating_mul(capacity as u64) >= total);
+        // With FIFO work-conservation the makespan never exceeds the
+        // serial sum.
+        prop_assert!(makespan_ms <= total);
+    }
+
+    #[test]
+    fn mpi_gather_collects_every_rank(ranks in 2usize..8) {
+        let sim = Simulation::new();
+        let cluster = Cluster::new(sim.handle(), spec(ranks));
+        let comm: MpiComm<usize> =
+            MpiComm::new(sim.handle(), &cluster, (0..ranks).collect());
+        let result = Arc::new(Mutex::new(Vec::new()));
+        let r2 = Arc::clone(&result);
+        comm.spawn_ranks(sim.handle(), move |ctx, mpi| {
+            let payload = mpi.rank() * 10;
+            if let Some(all) = mpi.gather(ctx, 0, 64, payload) {
+                *r2.lock() = all;
+            }
+        });
+        sim.run().unwrap();
+        let expected: Vec<usize> = (0..ranks).map(|r| r * 10).collect();
+        prop_assert_eq!(result.lock().clone(), expected);
+    }
+}

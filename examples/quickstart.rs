@@ -1,0 +1,68 @@
+//! Quickstart: build a tiny S-Net streaming network and run it.
+//!
+//! Demonstrates the core methodology of the paper in ~60 lines:
+//! *algorithm engineering* is the plain `double` function; *concurrency
+//! engineering* is the coordination source text; the two only meet at
+//! the box signature. Flow inheritance carries labels the boxes never
+//! mention.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use snet_core::boxdef::{BoxOutput, Work};
+use snet_core::{Record, Value};
+use snet_lang::{compile, BoxRegistry};
+use snet_runtime::Net;
+
+fn main() {
+    // --- Algorithm engineering: an ordinary sequential function. -----
+    // `double` knows nothing about streams, threads or routing.
+    let mut registry = BoxRegistry::new();
+    registry.register("double", |r: &Record| {
+        let x = r.field("x").and_then(|v| v.as_int()).unwrap_or(0);
+        Ok(BoxOutput::one(
+            Record::new().with_field("x", Value::Int(2 * x)),
+            Work::ops(1),
+        ))
+    });
+
+    // --- Concurrency engineering: the coordination program. ----------
+    // Records with field `x` are doubled `<n>` times by unrolling a
+    // star; the filter decrements the counter after every pass.
+    let source = r#"
+        net repeat_double {
+            box double ((x) -> (x));
+        } connect
+            ( double .. [ {<n>} -> {<n = n - 1>} ] ) * {<n> == 0}
+    "#;
+    let net = compile(source, &registry).expect("the program is well-formed");
+    println!("network: {net}");
+
+    // --- Execution: asynchronous components over bounded channels. ---
+    let inputs: Vec<Record> = (1..=5)
+        .map(|i| Record::new().with_field("x", Value::Int(i)).with_tag("n", i))
+        .collect();
+    let outputs = Net::new(net).run_batch(inputs).expect("runs to completion");
+
+    let mut results: Vec<(i64, i64)> = outputs
+        .iter()
+        .map(|r| {
+            (
+                r.field("x").and_then(|v| v.as_int()).expect("x survives"),
+                r.tag("n").expect("n survives"),
+            )
+        })
+        .collect();
+    results.sort_unstable();
+    for (x, n) in &results {
+        println!("x = {x:3}  (counter ended at {n})");
+    }
+    // i doubled i times = i * 2^i.
+    assert_eq!(
+        results,
+        (1..=5).map(|i| (i << i, 0)).collect::<Vec<_>>(),
+        "each record is doubled <n> times"
+    );
+    println!("ok: every record was doubled exactly <n> times");
+}

@@ -1,0 +1,232 @@
+//! Cross-crate integration: the full ray-tracing pipelines (threaded
+//! engine and reference interpreter) produce pictures byte-identical
+//! to the sequential Algorithm 1 render, under every variant and under
+//! adversarial arrival orders in the merger.
+
+use snet_apps::{
+    image_slot, input_record, merger_net, raytracing_net, run_snet_local, ChunkData,
+    NetVariant, PicData, Schedule, SnetConfig, Workload,
+};
+use snet_core::{Record, Value};
+use snet_raytracer::{split_rows, Chunk, Image, ScenePreset};
+use snet_runtime::{Interp, Net};
+
+fn workload() -> Workload {
+    Workload {
+        preset: ScenePreset::Clustered,
+        spheres: 35,
+        seed: 77,
+        width: 80,
+        height: 80,
+    }
+}
+
+#[test]
+fn static_pipeline_on_threaded_engine_is_exact() {
+    let wl = workload();
+    let reference = wl.reference_image();
+    for tasks in [1u32, 3, 8] {
+        let cfg = SnetConfig {
+            variant: NetVariant::Static,
+            nodes: 4,
+            tasks,
+            tokens: tasks,
+            schedule: Schedule::Block,
+        };
+        let img = run_snet_local(&wl, &cfg).expect("pipeline completes");
+        assert_eq!(img, reference, "tasks = {tasks}");
+    }
+}
+
+#[test]
+fn dynamic_pipeline_on_threaded_engine_is_exact() {
+    let wl = workload();
+    let reference = wl.reference_image();
+    for (tasks, tokens) in [(8u32, 2u32), (8, 8), (10, 3)] {
+        let cfg = SnetConfig {
+            variant: NetVariant::Dynamic,
+            nodes: 4,
+            tasks,
+            tokens,
+            schedule: Schedule::Block,
+        };
+        let img = run_snet_local(&wl, &cfg).expect("pipeline completes");
+        assert_eq!(img, reference, "tasks = {tasks}, tokens = {tokens}");
+    }
+}
+
+#[test]
+fn factoring_schedule_end_to_end() {
+    let wl = workload();
+    let reference = wl.reference_image();
+    let cfg = SnetConfig {
+        variant: NetVariant::Static,
+        nodes: 4,
+        tasks: 8,
+        tokens: 8,
+        schedule: Schedule::paper_factoring(),
+    };
+    let img = run_snet_local(&wl, &cfg).expect("pipeline completes");
+    assert_eq!(img, reference);
+}
+
+#[test]
+fn reference_interpreter_runs_the_whole_static_pipeline() {
+    // The deterministic oracle executes the complete application net —
+    // stars, synchrocells, splits and all.
+    let wl = workload();
+    let reference = wl.reference_image();
+    let slot = image_slot();
+    let net = raytracing_net(NetVariant::Static, slot.clone(), None);
+    let cfg = SnetConfig {
+        variant: NetVariant::Static,
+        nodes: 3,
+        tasks: 6,
+        tokens: 6,
+        schedule: Schedule::Block,
+    };
+    let result = Interp::new(&net)
+        .run_batch(vec![input_record(&wl, &cfg)])
+        .expect("interpreter completes");
+    assert!(result.outputs.is_empty(), "genImg ends the stream");
+    assert_eq!(result.stranded, 0, "merger must leave no stranded records");
+    let img = slot.lock().take().expect("genImg filled the slot");
+    assert_eq!(img, reference);
+}
+
+/// Renders chunks directly and feeds them to the merger in a hostile
+/// order: the <fst> chunk last, the rest reversed.
+#[test]
+fn merger_tolerates_adversarial_arrival_order() {
+    let wl = workload();
+    let reference = wl.reference_image();
+    let (scene, bvh) = wl.scene();
+    let tasks = 6u32;
+    let mut records: Vec<Record> = split_rows(wl.height, tasks)
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut c = snet_raytracer::Counters::default();
+            let chunk = snet_raytracer::render_section(&scene, &bvh, wl.width, wl.height, s, &mut c);
+            let mut rec = Record::new()
+                .with_field("chunk", Value::data(ChunkData { chunk, img_height: wl.height }))
+                .with_tag("tasks", tasks as i64);
+            if i == 0 {
+                rec.set_tag("fst", 1);
+            }
+            rec
+        })
+        .collect();
+    records.reverse(); // <fst> arrives last
+    let outs = Net::new(merger_net()).run_batch(records).expect("merger completes");
+    assert_eq!(outs.len(), 1, "exactly one assembled picture");
+    let pic: &PicData = outs[0]
+        .field("pic")
+        .and_then(|v| v.downcast_ref())
+        .expect("pic payload");
+    assert_eq!(pic.0, reference);
+    assert_eq!(outs[0].tag("cnt"), Some(tasks as i64), "all chunks counted");
+}
+
+/// Duplicate-width chunks, single chunk, and a one-task merger.
+#[test]
+fn merger_single_chunk_degenerate_case() {
+    let img = Image::new(16, 16);
+    let chunk = Chunk {
+        y0: 0,
+        width: 16,
+        pixels: img.pixels.clone(),
+    };
+    let rec = Record::new()
+        .with_field("chunk", Value::data(ChunkData { chunk, img_height: 16 }))
+        .with_tag("tasks", 1)
+        .with_tag("fst", 1);
+    let outs = Net::new(merger_net()).run_batch(vec![rec]).expect("merger completes");
+    assert_eq!(outs.len(), 1);
+    let pic: &PicData = outs[0].field("pic").and_then(|v| v.downcast_ref()).unwrap();
+    assert_eq!(pic.0, img);
+}
+
+#[test]
+fn threaded_engine_matches_interpreter_on_the_real_merger() {
+    // The confluence property, exercised on the actual application
+    // net rather than synthetic nets: same output multiset.
+    let wl = workload();
+    let (scene, bvh) = wl.scene();
+    let tasks = 5u32;
+    let records: Vec<Record> = split_rows(wl.height, tasks)
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut c = snet_raytracer::Counters::default();
+            let chunk = snet_raytracer::render_section(&scene, &bvh, wl.width, wl.height, s, &mut c);
+            let mut rec = Record::new()
+                .with_field("chunk", Value::data(ChunkData { chunk, img_height: wl.height }))
+                .with_tag("tasks", tasks as i64);
+            if i == 0 {
+                rec.set_tag("fst", 1);
+            }
+            rec
+        })
+        .collect();
+    let from_interp = Interp::new(&merger_net())
+        .run_batch(records.clone())
+        .expect("interp completes");
+    let from_engine = Net::new(merger_net()).run_batch(records).expect("engine completes");
+    assert_eq!(from_engine.len(), from_interp.outputs.len());
+    let pic_a: &PicData = from_engine[0].field("pic").and_then(|v| v.downcast_ref()).unwrap();
+    let pic_b: &PicData = from_interp.outputs[0]
+        .field("pic")
+        .and_then(|v| v.downcast_ref())
+        .unwrap();
+    assert_eq!(pic_a.0, pic_b.0, "engines agree on the assembled picture");
+}
+
+#[test]
+fn many_sections_under_tight_backpressure() {
+    // Soak: 32 sections through the full static net with every channel
+    // capacity forced to 1 — maximal blocking/unblocking churn across
+    // ~hundreds of component threads must still produce the exact image.
+    use snet_runtime::{EngineConfig, Net};
+    let wl = workload();
+    let reference = wl.reference_image();
+    let slot = image_slot();
+    let net = raytracing_net(NetVariant::Static, slot.clone(), None);
+    let cfg = SnetConfig {
+        variant: NetVariant::Static,
+        nodes: 4,
+        tasks: 32,
+        tokens: 32,
+        schedule: Schedule::Block,
+    };
+    let engine = Net::with_config(
+        net,
+        EngineConfig {
+            channel_capacity: 1,
+            ..EngineConfig::default()
+        },
+    );
+    let outs = engine.run_batch(vec![input_record(&wl, &cfg)]).unwrap();
+    assert!(outs.is_empty());
+    let img = slot.lock().take().expect("picture produced");
+    assert_eq!(img, reference);
+}
+
+#[test]
+fn repeated_runs_share_nothing() {
+    // The same Net value re-instantiated 4 times: state (synchrocells,
+    // star replicas, counters) must never leak between runs.
+    let wl = workload();
+    let reference = wl.reference_image();
+    let cfg = SnetConfig {
+        variant: NetVariant::Dynamic,
+        nodes: 2,
+        tasks: 6,
+        tokens: 3,
+        schedule: Schedule::Block,
+    };
+    for round in 0..4 {
+        let img = run_snet_local(&wl, &cfg).unwrap();
+        assert_eq!(img, reference, "round {round}");
+    }
+}
