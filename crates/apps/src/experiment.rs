@@ -9,7 +9,7 @@ use crate::schedule::Schedule;
 use snet_core::{Record, SnetError, Value};
 use snet_dist::{run_on_cluster, OverheadModel, StatsSnapshot};
 use snet_raytracer::{Bvh, Counters, Image, Scene, ScenePreset};
-use snet_runtime::Net;
+use snet_runtime::{Net, SchedNet};
 use snet_simnet::ClusterSpec;
 use std::sync::Arc;
 
@@ -224,6 +224,20 @@ pub fn run_snet_local(wl: &Workload, cfg: &SnetConfig) -> Result<Image, SnetErro
     Ok(image)
 }
 
+/// Runs an S-Net variant on the local work-stealing scheduled engine —
+/// same network, fixed worker pool instead of a thread per component.
+pub fn run_snet_local_sched(wl: &Workload, cfg: &SnetConfig) -> Result<Image, SnetError> {
+    let slot = image_slot();
+    let net = SchedNet::new(raytracing_net(cfg.variant, Arc::clone(&slot), None));
+    let outputs = net.run_batch(vec![input_record(wl, cfg)])?;
+    debug_assert!(outputs.is_empty(), "genImg terminates the stream");
+    let image = slot
+        .lock()
+        .take()
+        .ok_or_else(|| SnetError::Engine("genImg never produced the picture".into()))?;
+    Ok(image)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,6 +328,14 @@ mod tests {
         let wl = Workload::small();
         let reference = wl.reference_image();
         let img = run_snet_local(&wl, &SnetConfig::fig6_static(2)).unwrap();
+        assert_eq!(img, reference);
+    }
+
+    #[test]
+    fn local_sched_run_matches_reference() {
+        let wl = Workload::small();
+        let reference = wl.reference_image();
+        let img = run_snet_local_sched(&wl, &SnetConfig::fig6_static(2)).unwrap();
         assert_eq!(img, reference);
     }
 

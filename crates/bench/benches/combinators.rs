@@ -1,17 +1,52 @@
-//! Ablation: per-record overhead of each S-Net combinator on the
-//! threaded engine.
+//! Ablation: per-record overhead of each S-Net combinator, per engine.
 //!
-//! The design decision under test (DESIGN.md §3): combinator glue —
-//! dispatchers, collectors, star taps — runs as separate components
-//! connected by bounded channels. These benches measure what one record
-//! pays per glue hop, per serial stage, per parallel branch set, per
-//! star unfolding and per split replica.
+//! The design decision under test: how much one record pays per glue
+//! hop, per serial stage, per parallel branch set, per star unfolding
+//! and per split replica — on the **threaded** engine (a thread per
+//! component, bounded channels) versus the **scheduled** engine (tasks
+//! on a fixed work-stealing pool). The scheduled engine's whole reason
+//! to exist is these numbers; `BENCH_threaded_vs_sched.json` (emitted
+//! by the `bench_engines` binary) tracks them across PRs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use snet_core::boxdef::{BoxDef, BoxOutput, BoxSig, Work};
 use snet_core::filter::OutputTemplate;
 use snet_core::{BinOp, FilterSpec, NetSpec, Pattern, Record, TagExpr, Value, Variant};
-use snet_runtime::Net;
+use snet_runtime::{Net, SchedNet};
+
+/// The engines under comparison.
+#[derive(Clone, Copy)]
+enum Engine {
+    Threaded,
+    Sched,
+}
+
+impl Engine {
+    const ALL: [Engine; 2] = [Engine::Threaded, Engine::Sched];
+
+    fn name(self) -> &'static str {
+        match self {
+            Engine::Threaded => "threaded",
+            Engine::Sched => "sched",
+        }
+    }
+
+    /// A reusable runner for one compiled network. Built *outside* the
+    /// timing loop: the measurement is per-record glue cost, not spec
+    /// cloning or engine construction.
+    fn runner(self, spec: &NetSpec) -> Box<dyn Fn(Vec<Record>) -> Vec<Record>> {
+        match self {
+            Engine::Threaded => {
+                let net = Net::new(spec.clone());
+                Box::new(move |records| net.run_batch(records).unwrap())
+            }
+            Engine::Sched => {
+                let net = SchedNet::new(spec.clone());
+                Box::new(move |records| net.run_batch(records).unwrap())
+            }
+        }
+    }
+}
 
 fn records(n: i64) -> Vec<Record> {
     (0..n)
@@ -32,11 +67,14 @@ fn inc_box() -> NetSpec {
 fn bench_serial_depth(c: &mut Criterion) {
     let mut g = c.benchmark_group("serial_depth");
     g.sample_size(20);
-    for depth in [1usize, 4, 16] {
-        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
-            let net = Net::new(NetSpec::pipeline((0..depth).map(|_| inc_box())));
-            b.iter(|| net.run_batch(records(256)).unwrap());
-        });
+    for engine in Engine::ALL {
+        for depth in [1usize, 4, 16] {
+            let id = BenchmarkId::new(engine.name(), depth);
+            g.bench_with_input(id, &depth, |b, &depth| {
+                let run = engine.runner(&NetSpec::pipeline((0..depth).map(|_| inc_box())));
+                b.iter(|| run(records(256)));
+            });
+        }
     }
     g.finish();
 }
@@ -44,11 +82,14 @@ fn bench_serial_depth(c: &mut Criterion) {
 fn bench_parallel_width(c: &mut Criterion) {
     let mut g = c.benchmark_group("parallel_width");
     g.sample_size(20);
-    for width in [2usize, 4, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &width| {
-            let net = Net::new(NetSpec::parallel((0..width).map(|_| inc_box()).collect()));
-            b.iter(|| net.run_batch(records(256)).unwrap());
-        });
+    for engine in Engine::ALL {
+        for width in [2usize, 4, 8] {
+            let id = BenchmarkId::new(engine.name(), width);
+            g.bench_with_input(id, &width, |b, &width| {
+                let run = engine.runner(&NetSpec::parallel((0..width).map(|_| inc_box()).collect()));
+                b.iter(|| run(records(256)));
+            });
+        }
     }
     g.finish();
 }
@@ -67,11 +108,14 @@ fn bench_star_unfolding(c: &mut Criterion) {
         Variant::empty(),
         TagExpr::bin(BinOp::Le, TagExpr::tag("n"), TagExpr::Const(0)),
     );
-    for depth in [4i64, 16, 64] {
-        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
-            let net = Net::new(NetSpec::star(dec.clone(), exit.clone()));
-            b.iter(|| net.run_batch(vec![Record::new().with_tag("n", depth)]).unwrap());
-        });
+    for engine in Engine::ALL {
+        for depth in [4i64, 16, 64] {
+            let id = BenchmarkId::new(engine.name(), depth);
+            g.bench_with_input(id, &depth, |b, &depth| {
+                let run = engine.runner(&NetSpec::star(dec.clone(), exit.clone()));
+                b.iter(|| run(vec![Record::new().with_tag("n", depth)]));
+            });
+        }
     }
     g.finish();
 }
@@ -79,14 +123,17 @@ fn bench_star_unfolding(c: &mut Criterion) {
 fn bench_split_fanout(c: &mut Criterion) {
     let mut g = c.benchmark_group("split_fanout");
     g.sample_size(20);
-    for fan in [2i64, 8, 32] {
-        g.bench_with_input(BenchmarkId::from_parameter(fan), &fan, |b, &fan| {
-            let net = Net::new(NetSpec::split(inc_box(), "r"));
-            let recs: Vec<Record> = (0..256)
-                .map(|i| Record::new().with_field("x", Value::Int(i)).with_tag("r", i % fan))
-                .collect();
-            b.iter(|| net.run_batch(recs.clone()).unwrap());
-        });
+    for engine in Engine::ALL {
+        for fan in [2i64, 8, 32] {
+            let id = BenchmarkId::new(engine.name(), fan);
+            g.bench_with_input(id, &fan, |b, &fan| {
+                let run = engine.runner(&NetSpec::split(inc_box(), "r"));
+                let recs: Vec<Record> = (0..256)
+                    .map(|i| Record::new().with_field("x", Value::Int(i)).with_tag("r", i % fan))
+                    .collect();
+                b.iter(|| run(recs.clone()));
+            });
+        }
     }
     g.finish();
 }

@@ -1,0 +1,137 @@
+//! Threaded vs. scheduled engine baseline: measures the combinator
+//! micro-benchmarks on both local engines and writes
+//! `BENCH_threaded_vs_sched.json` so later PRs have a perf trajectory.
+//!
+//! ```text
+//! cargo run -p snet-bench --release --bin bench_engines
+//! cargo run -p snet-bench --release --bin bench_engines -- --out path.json --samples 30
+//! ```
+//!
+//! The headline number is `serial_depth=16`: a 16-stage box pipeline
+//! over 256 records, where the threaded engine pays 17 thread spawns
+//! plus a channel hand-off per record per stage, and the scheduled
+//! engine runs the same graph on a fixed 4-worker pool.
+
+use snet_core::boxdef::{BoxDef, BoxOutput, BoxSig, Work};
+use snet_core::{NetSpec, Record, Value};
+use snet_runtime::{EngineConfig, Net, SchedNet};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+const RECORDS: i64 = 256;
+
+fn inc_box() -> NetSpec {
+    NetSpec::Box(BoxDef::from_fn(BoxSig::parse("inc", &["x"], &[&["x"]]), |r| {
+        let x = r.field("x").and_then(|v| v.as_int()).unwrap_or(0);
+        Ok(BoxOutput::one(
+            Record::new().with_field("x", Value::Int(x + 1)),
+            Work::ops(1),
+        ))
+    }))
+}
+
+fn records() -> Vec<Record> {
+    (0..RECORDS)
+        .map(|i| Record::new().with_field("x", Value::Int(i)).with_tag("k", i % 4))
+        .collect()
+}
+
+/// Median wall-clock duration of `f` over `samples` runs (after one
+/// warm-up run).
+fn median(samples: usize, mut f: impl FnMut()) -> Duration {
+    f(); // warm-up
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+struct Row {
+    topology: String,
+    threaded: Duration,
+    sched: Duration,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.threaded.as_secs_f64() / self.sched.as_secs_f64()
+    }
+}
+
+fn main() {
+    let mut out_path = "BENCH_threaded_vs_sched.json".to_owned();
+    let mut samples = 20usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--samples" => {
+                samples = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--samples needs a number");
+            }
+            other => panic!("unknown flag `{other}` (--out PATH, --samples N)"),
+        }
+    }
+
+    let config = EngineConfig::default();
+    let mut rows: Vec<Row> = Vec::new();
+    for depth in [1usize, 4, 16] {
+        let spec = NetSpec::pipeline((0..depth).map(|_| inc_box()));
+        // Engines are constructed once per topology, outside the timed
+        // routine: the measurement is batch execution, not setup.
+        let threaded_net = Net::with_config(spec.clone(), config);
+        let threaded = median(samples, || {
+            let outs = threaded_net.run_batch(records()).unwrap();
+            assert_eq!(outs.len(), RECORDS as usize);
+        });
+        let sched_net = SchedNet::with_config(spec, config);
+        let sched = median(samples, || {
+            let outs = sched_net.run_batch(records()).unwrap();
+            assert_eq!(outs.len(), RECORDS as usize);
+        });
+        let row = Row {
+            topology: format!("serial_depth={depth}"),
+            threaded,
+            sched,
+        };
+        eprintln!(
+            "{:>16}: threaded {:>10.3?}  sched {:>10.3?}  speedup {:.2}x",
+            row.topology, row.threaded, row.sched, row.speedup(),
+        );
+        rows.push(row);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"combinator serial pipelines, {RECORDS}-record batches\",");
+    let _ = writeln!(json, "  \"workers\": {},", config.workers);
+    let _ = writeln!(json, "  \"samples_per_point\": {samples},");
+    json.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"topology\": \"{}\", \"threaded_ns\": {}, \"sched_ns\": {}, \"speedup_sched_over_threaded\": {:.3}}}{}",
+            row.topology,
+            row.threaded.as_nanos(),
+            row.sched.as_nanos(),
+            row.speedup(),
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    println!("wrote {out_path}");
+
+    let headline = rows.last().expect("three rows");
+    println!(
+        "serial_depth=16: scheduled engine is {:.2}x the threaded engine's throughput",
+        headline.speedup()
+    );
+}

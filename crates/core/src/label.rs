@@ -14,7 +14,7 @@ use std::sync::OnceLock;
 /// Construction goes through a global interner, so two labels with the
 /// same spelling are always `==` and ordering is stable within a process
 /// (interning order). Use [`Label::as_str`] to recover the spelling.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Label(u32);
 
 struct Interner {
@@ -36,9 +36,15 @@ impl Label {
     /// Interns `name` and returns its label.
     pub fn new(name: &str) -> Label {
         let table = interner();
+        // Fast path under the read lock only.
         if let Some(&id) = table.read().by_name.get(name) {
             return Label(id);
         }
+        // The read lock was released above, so another thread may have
+        // interned the same spelling in the meantime: the lookup MUST be
+        // repeated under the write lock before inserting, or two ids
+        // could be handed out for one spelling (and `==` on labels would
+        // silently break).
         let mut w = table.write();
         if let Some(&id) = w.by_name.get(name) {
             return Label(id);
@@ -142,5 +148,40 @@ mod tests {
             .collect();
         let ids: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn racing_first_interns_agree_on_one_id() {
+        // Many threads race to intern the same *fresh* spellings
+        // simultaneously — the double-check under the write lock must
+        // guarantee one id per spelling. (A check-then-act race here
+        // would make equal spellings compare unequal forever after.)
+        use std::sync::Barrier;
+        const THREADS: usize = 16;
+        const LABELS: usize = 32;
+        let barrier = std::sync::Arc::new(Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let barrier = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    (0..LABELS)
+                        .map(|i| Label::new(&format!("race-label-{i}")).id())
+                        .collect::<Vec<u32>>()
+                })
+            })
+            .collect();
+        let per_thread: Vec<Vec<u32>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for ids in &per_thread {
+            assert_eq!(ids, &per_thread[0], "every thread must see the same ids");
+        }
+        // And the spellings round-trip.
+        for i in 0..LABELS {
+            assert_eq!(
+                Label::new(&format!("race-label-{i}")).as_str(),
+                format!("race-label-{i}")
+            );
+        }
     }
 }

@@ -3,21 +3,55 @@
 //! A record is a non-recursive set of label–value pairs, with labels
 //! subdivided into *fields* (opaque values) and *tags* (integers
 //! accessible to the coordination layer). See §III of the paper.
+//!
+//! # Representation
+//!
+//! Every component hop performs label lookups, projections and merges,
+//! so the representation is the hottest data structure in the workspace.
+//! Records are stored as two flat arrays ([`SmallVec`]s) sorted by
+//! interned label id: the 2–6-label records every benchmark and the
+//! paper's application produce fit one small contiguous allocation per
+//! namespace, lookups are a branch-light binary search over `u32` keys,
+//! and set operations (absorb/project/without) are linear merges —
+//! replacing the previous pointer-chasing `BTreeMap` pair. Iteration
+//! order is interning-id order: deterministic within a process, which is
+//! all the engines' multiset comparisons need.
 
 use crate::label::Label;
 use crate::rtype::Variant;
 use crate::value::Value;
-use std::collections::BTreeMap;
+use smallvec::SmallVec;
 use std::fmt;
+
+/// Sorted flat storage for one label namespace.
+type Pairs<V> = SmallVec<[(Label, V); 4]>;
+
+#[inline]
+fn find<V>(pairs: &[(Label, V)], label: Label) -> Result<usize, usize> {
+    pairs.binary_search_by(|(l, _)| l.id().cmp(&label.id()))
+}
+
+#[inline]
+fn upsert<V>(pairs: &mut Pairs<V>, label: Label, value: V) {
+    match find(pairs, label) {
+        Ok(i) => pairs[i].1 = value,
+        Err(i) => pairs.insert(i, (label, value)),
+    }
+}
+
+#[inline]
+fn get<V>(pairs: &[(Label, V)], label: Label) -> Option<&V> {
+    find(pairs, label).ok().map(|i| &pairs[i].1)
+}
 
 /// A data record flowing through a streaming network.
 ///
-/// Records are value-like: cloning clones the label maps but shares all
-/// opaque payloads (fields hold `Arc`ed values).
+/// Records are value-like: cloning clones the label arrays but shares
+/// all opaque payloads (fields hold `Arc`ed values).
 #[derive(Clone, Default, PartialEq)]
 pub struct Record {
-    fields: BTreeMap<Label, Value>,
-    tags: BTreeMap<Label, i64>,
+    fields: Pairs<Value>,
+    tags: Pairs<i64>,
 }
 
 impl Record {
@@ -28,62 +62,69 @@ impl Record {
 
     /// Builder-style field insertion.
     pub fn with_field(mut self, label: impl Into<Label>, value: impl Into<Value>) -> Record {
-        self.fields.insert(label.into(), value.into());
+        self.set_field(label, value);
         self
     }
 
     /// Builder-style tag insertion.
     pub fn with_tag(mut self, label: impl Into<Label>, value: i64) -> Record {
-        self.tags.insert(label.into(), value);
+        self.set_tag(label, value);
         self
     }
 
     /// Sets (or overwrites) a field.
     pub fn set_field(&mut self, label: impl Into<Label>, value: impl Into<Value>) {
-        self.fields.insert(label.into(), value.into());
+        upsert(&mut self.fields, label.into(), value.into());
     }
 
     /// Sets (or overwrites) a tag.
     pub fn set_tag(&mut self, label: impl Into<Label>, value: i64) {
-        self.tags.insert(label.into(), value);
+        upsert(&mut self.tags, label.into(), value);
     }
 
     /// Looks up a field.
     pub fn field(&self, label: impl Into<Label>) -> Option<&Value> {
-        self.fields.get(&label.into())
+        get(&self.fields, label.into())
     }
 
     /// Looks up a tag.
     pub fn tag(&self, label: impl Into<Label>) -> Option<i64> {
-        self.tags.get(&label.into()).copied()
+        get(&self.tags, label.into()).copied()
     }
 
     /// Removes and returns a field.
     pub fn take_field(&mut self, label: impl Into<Label>) -> Option<Value> {
-        self.fields.remove(&label.into())
+        match find(&self.fields, label.into()) {
+            Ok(i) => Some(self.fields.remove(i).1),
+            Err(_) => None,
+        }
     }
 
     /// Removes and returns a tag.
     pub fn take_tag(&mut self, label: impl Into<Label>) -> Option<i64> {
-        self.tags.remove(&label.into())
+        match find(&self.tags, label.into()) {
+            Ok(i) => Some(self.tags.remove(i).1),
+            Err(_) => None,
+        }
     }
 
     /// Does the record carry this field label?
     pub fn has_field(&self, label: impl Into<Label>) -> bool {
-        self.fields.contains_key(&label.into())
+        find(&self.fields, label.into()).is_ok()
     }
 
     /// Does the record carry this tag label?
     pub fn has_tag(&self, label: impl Into<Label>) -> bool {
-        self.tags.contains_key(&label.into())
+        find(&self.tags, label.into()).is_ok()
     }
 
-    /// Iterates over fields in label order.
+    /// Iterates over fields (interning-id order — deterministic within a
+    /// process).
     pub fn fields(&self) -> impl Iterator<Item = (Label, &Value)> {
         self.fields.iter().map(|(l, v)| (*l, v))
     }
 
-    /// Iterates over tags in label order.
+    /// Iterates over tags (interning-id order).
     pub fn tags(&self) -> impl Iterator<Item = (Label, i64)> + '_ {
         self.tags.iter().map(|(l, v)| (*l, *v))
     }
@@ -100,18 +141,25 @@ impl Record {
 
     /// The record's exact type (its label sets).
     pub fn variant(&self) -> Variant {
-        Variant::new(self.fields.keys().copied(), self.tags.keys().copied())
+        Variant::new(
+            self.fields.iter().map(|(l, _)| *l),
+            self.tags.iter().map(|(l, _)| *l),
+        )
     }
 
     /// Adds every label of `other` that is *absent* here (the
     /// no-overwrite union used by flow inheritance and synchrocell
     /// merging — the receiver's own labels win).
     pub fn absorb(&mut self, other: &Record) {
-        for (l, v) in &other.fields {
-            self.fields.entry(*l).or_insert_with(|| v.clone());
+        for (l, v) in other.fields.iter() {
+            if let Err(i) = find(&self.fields, *l) {
+                self.fields.insert(i, (*l, v.clone()));
+            }
         }
-        for (l, v) in &other.tags {
-            self.tags.entry(*l).or_insert(*v);
+        for (l, v) in other.tags.iter() {
+            if let Err(i) = find(&self.tags, *l) {
+                self.tags.insert(i, (*l, *v));
+            }
         }
     }
 
@@ -119,16 +167,20 @@ impl Record {
     /// (the "consumed" part a component actually sees).
     pub fn project(&self, variant: &Variant) -> Record {
         let mut out = Record::new();
+        // The variant's label sets are tiny; per-label binary search into
+        // the flat arrays keeps the scan allocation-free.
         for l in variant.fields() {
-            if let Some(v) = self.fields.get(&l) {
-                out.fields.insert(l, v.clone());
+            if let Some(v) = get(&self.fields, l) {
+                out.fields.push((l, v.clone()));
             }
         }
+        out.fields.sort_unstable_by_key(|(l, _)| l.id());
         for l in variant.tags() {
-            if let Some(v) = self.tags.get(&l) {
-                out.tags.insert(l, *v);
+            if let Some(v) = get(&self.tags, l) {
+                out.tags.push((l, *v));
             }
         }
+        out.tags.sort_unstable_by_key(|(l, _)| l.id());
         out
     }
 
@@ -136,23 +188,28 @@ impl Record {
     /// (the part flow inheritance forwards).
     pub fn without(&self, variant: &Variant) -> Record {
         let mut out = Record::new();
-        for (l, v) in &self.fields {
+        for (l, v) in self.fields.iter() {
             if !variant.has_field(*l) {
-                out.fields.insert(*l, v.clone());
+                out.fields.push((*l, v.clone()));
             }
         }
-        for (l, v) in &self.tags {
+        for (l, v) in self.tags.iter() {
             if !variant.has_tag(*l) {
-                out.tags.insert(*l, *v);
+                out.tags.push((*l, *v));
             }
         }
+        // Source arrays were sorted; filtered copies stay sorted.
         out
     }
 
     /// Approximate wire size: payload bytes plus a fixed per-label framing
     /// overhead (label id + discriminant ≈ 8 bytes, tag payload 8 bytes).
     pub fn approx_bytes(&self) -> usize {
-        let fields: usize = self.fields.values().map(|v| v.approx_bytes() + 8).sum();
+        let fields: usize = self
+            .fields
+            .iter()
+            .map(|(_, v)| v.approx_bytes() + 8)
+            .sum();
         let tags = self.tags.len() * 16;
         fields + tags
     }
@@ -160,16 +217,25 @@ impl Record {
 
 impl fmt::Debug for Record {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Storage is interning-id order (fast lookups), but printed
+        // output sorts by spelling via `Label`'s `Ord` so that logs,
+        // error messages and test multiset keys are identical across
+        // processes regardless of interning order. Printing is cold;
+        // the sort costs nothing that matters.
+        let mut fields: Vec<(Label, &Value)> = self.fields().collect();
+        fields.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        let mut tags: Vec<(Label, i64)> = self.tags().collect();
+        tags.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
         write!(f, "{{")?;
         let mut first = true;
-        for (l, v) in &self.fields {
+        for (l, v) in fields {
             if !first {
                 write!(f, ", ")?;
             }
             first = false;
             write!(f, "{l}={v:?}")?;
         }
-        for (l, v) in &self.tags {
+        for (l, v) in tags {
             if !first {
                 write!(f, ", ")?;
             }
@@ -279,5 +345,63 @@ mod tests {
     fn debug_format_is_stable() {
         let r = Record::new().with_field("a", Value::Int(1)).with_tag("t", 2);
         assert_eq!(format!("{r:?}"), "{a=1, <t=2>}");
+    }
+
+    #[test]
+    fn debug_prints_in_spelling_order_regardless_of_interning() {
+        // Intern in reverse lexicographic order on purpose: printed
+        // output must still be alphabetical.
+        let r = Record::new()
+            .with_tag("zz-debug-order", 1)
+            .with_tag("aa-debug-order", 2)
+            .with_field("mm-debug-order", Value::Int(3));
+        assert_eq!(
+            format!("{r:?}"),
+            "{mm-debug-order=3, <aa-debug-order=2>, <zz-debug-order=1>}"
+        );
+    }
+
+    #[test]
+    fn take_removes_and_returns() {
+        let mut r = sample();
+        assert_eq!(r.take_tag("node"), Some(2));
+        assert_eq!(r.take_tag("node"), None);
+        assert!(r.take_field("scene").is_some());
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_keeps_one_entry_per_label() {
+        let mut r = Record::new().with_tag("t", 1);
+        r.set_tag("t", 2);
+        r.set_tag("t", 3);
+        assert_eq!(r.tag("t"), Some(3));
+        assert_eq!(r.len(), 1);
+        let mut r = Record::new().with_field("f", Value::Int(1));
+        r.set_field("f", Value::Int(9));
+        assert_eq!(r.field("f").unwrap().as_int(), Some(9));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn storage_stays_sorted_under_random_insertion_orders() {
+        // The flat representation's invariant: equal label sets compare
+        // equal regardless of insertion order.
+        let names = ["m", "a", "z", "k", "b", "q", "c"];
+        let mut fwd = Record::new();
+        for (i, n) in names.iter().enumerate() {
+            fwd.set_tag(*n, i as i64);
+            fwd.set_field(*n, Value::Int(i as i64));
+        }
+        let mut rev = Record::new();
+        for (i, n) in names.iter().enumerate().rev() {
+            rev.set_tag(*n, i as i64);
+            rev.set_field(*n, Value::Int(i as i64));
+        }
+        assert_eq!(fwd, rev);
+        for (i, n) in names.iter().enumerate() {
+            assert_eq!(fwd.tag(*n), Some(i as i64));
+            assert_eq!(rev.field(*n).unwrap().as_int(), Some(i as i64));
+        }
     }
 }

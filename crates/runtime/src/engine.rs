@@ -27,16 +27,23 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// Engine tuning knobs.
+/// Engine tuning knobs (shared by the threaded and scheduled engines;
+/// each engine reads the knobs that apply to it).
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
     /// Capacity of every inter-component channel. Bounded channels give
     /// backpressure ("throttling" in the paper's list of coordination
     /// concerns); 0 would mean rendezvous, which deadlocks multi-output
     /// filters feeding themselves through a star, so the minimum is 1.
+    /// The scheduled engine derives its mailbox high-water mark from
+    /// this value.
     pub channel_capacity: usize,
     /// What to do when a record reaches a component it cannot match.
     pub mismatch: MismatchPolicy,
+    /// Worker threads in the scheduled engine's pool
+    /// ([`crate::sched::SchedNet`]); the threaded engine ignores it
+    /// (its thread count is the component count).
+    pub workers: usize,
 }
 
 impl Default for EngineConfig {
@@ -44,6 +51,7 @@ impl Default for EngineConfig {
         EngineConfig {
             channel_capacity: 64,
             mismatch: MismatchPolicy::Forward,
+            workers: 4,
         }
     }
 }

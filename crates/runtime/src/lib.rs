@@ -1,23 +1,43 @@
 //! # snet-runtime — executing S-Net networks
 //!
-//! Two engines over the same [`snet_core::NetSpec`] topology and the same
-//! shared small-step semantics:
+//! Three engines over the same [`snet_core::NetSpec`] topology and the
+//! same shared small-step semantics ([`snet_core::semantics`]), so they
+//! cannot drift apart on what a component does to a record:
 //!
-//! * [`engine::Net`] — the **threaded engine**: every component instance
-//!   is an asynchronous thread connected by bounded channels, exactly the
-//!   paper's model of "asynchronously executed, stateless
-//!   stream-processing components" (§III). End-of-stream is channel
-//!   disconnect; parallel merge is arrival-order (nondeterministic, as
-//!   specified); serial replication unfolds lazily.
+//! * [`engine::Net`] — the **threaded engine**: every component
+//!   instance is an asynchronous OS thread connected by bounded
+//!   channels, exactly the paper's model of "asynchronously executed,
+//!   stateless stream-processing components" (§III). End-of-stream is
+//!   channel disconnect; parallel merge is arrival-order
+//!   (nondeterministic, as specified); serial replication unfolds
+//!   lazily. Use it as the *executable rendering of the paper's model*
+//!   and when components block on real I/O — but note that its thread
+//!   count grows with the unrolled component count, which stops scaling
+//!   somewhere in the hundreds of components.
+//!
+//! * [`sched::SchedNet`] — the **scheduled engine**: the same component
+//!   graph as lightweight tasks multiplexed over a fixed work-stealing
+//!   worker pool ([`EngineConfig::workers`]; default 4). A component
+//!   runs when input is in its mailbox, drains up to a budget, and
+//!   yields; end-of-stream is sender refcounting. Use it for
+//!   throughput: per-record hand-off is a queue push instead of a
+//!   thread wake, thousands of component instances cost no OS threads,
+//!   and deep pipelines × wide parallelism × star unfoldings that would
+//!   exhaust thread limits under the threaded engine run fine. This is
+//!   the default choice for compute-bound workloads and the base layer
+//!   for the scaling work tracked in ROADMAP.md.
+//!
 //! * [`interp::Interp`] — the **deterministic reference interpreter**:
 //!   single-threaded, FIFO scheduling, first-declared tie-breaks. It is
-//!   the executable semantics used as an oracle in property tests (the
-//!   threaded engine must produce the same output *multiset*).
+//!   the executable semantics used as an oracle in property tests (both
+//!   concurrent engines must produce the same output *multiset* on
+//!   confluent networks). Use it for debugging and as ground truth —
+//!   never for performance.
 //!
 //! ```
 //! use snet_core::{NetSpec, Record, Value, BoxOutput, Work};
 //! use snet_core::boxdef::{BoxDef, BoxSig};
-//! use snet_runtime::engine::Net;
+//! use snet_runtime::{Net, SchedNet};
 //!
 //! let double = NetSpec::Box(BoxDef::from_fn(
 //!     BoxSig::parse("double", &["x"], &[&["x"]]),
@@ -26,7 +46,13 @@
 //!         Ok(BoxOutput::one(Record::new().with_field("x", Value::Int(2 * x)), Work::ZERO))
 //!     },
 //! ));
-//! let outs = Net::new(double).run_batch(vec![
+//! // Threaded engine (one thread per component):
+//! let outs = Net::new(double.clone()).run_batch(vec![
+//!     Record::new().with_field("x", Value::Int(21)),
+//! ]).unwrap();
+//! assert_eq!(outs[0].field("x").unwrap().as_int(), Some(42));
+//! // Scheduled engine (fixed worker pool):
+//! let outs = SchedNet::new(double).run_batch(vec![
 //!     Record::new().with_field("x", Value::Int(21)),
 //! ]).unwrap();
 //! assert_eq!(outs[0].field("x").unwrap().as_int(), Some(42));
@@ -34,8 +60,10 @@
 
 pub mod engine;
 pub mod interp;
+pub mod sched;
 pub mod trace;
 
 pub use engine::{EngineConfig, Net, NetHandle};
 pub use interp::{Interp, InterpResult};
+pub use sched::SchedNet;
 pub use trace::Trace;

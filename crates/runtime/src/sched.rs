@@ -1,0 +1,963 @@
+//! The scheduled engine: component tasks multiplexed over a fixed
+//! work-stealing worker pool.
+//!
+//! The threaded engine ([`crate::engine::Net`]) renders the paper's
+//! execution model literally: one OS thread per component instance.
+//! That is faithful but does not scale — a 16-deep pipeline with
+//! parallel branches and star unfoldings spawns hundreds of threads for
+//! a 256-record batch, and most of them sit blocked on channel edges.
+//! This module multiplexes the same component graph over a fixed pool
+//! of workers instead:
+//!
+//! * every component instance (box, filter, synchrocell, dispatcher,
+//!   star tap) is a lightweight **task** with an SPSC mailbox;
+//! * a task becomes **runnable** when a record lands in its mailbox (or
+//!   its last upstream sender closes), and is then queued on a
+//!   work-stealing deque ([`crossbeam_deque`]);
+//! * a worker runs a task by draining its mailbox up to a batch budget,
+//!   applying the *same* small-step semantics
+//!   ([`snet_core::semantics`]) as the threaded engine and the
+//!   reference interpreter, then yields the task back to the scheduler;
+//! * a task whose output mailbox is over the high-water mark stops
+//!   consuming input and re-queues itself — cooperative backpressure in
+//!   place of bounded-channel blocking.
+//!
+//! End-of-stream is sender refcounting: when the last upstream port of
+//! a task closes, the task finalizes (counting stranded synchrocell
+//! records) and closes its own outputs, so termination cascades exactly
+//! like channel disconnection does in the threaded engine. Because the
+//! per-record semantics are shared, the interpreter oracle applies
+//! unchanged: for confluent networks the scheduled engine produces the
+//! same output multiset.
+
+use crate::engine::EngineConfig;
+use crate::trace::Trace;
+use crossbeam_deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::Mutex;
+use snet_core::semantics::{self, MismatchPolicy};
+use snet_core::{Label, NetSpec, Pattern, Record, SnetError, SyncOutcome, SyncSpec, SyncState};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar};
+use std::time::Duration;
+
+/// Records processed per task activation before yielding back to the
+/// scheduler (keeps long streams from starving sibling components).
+const ACTIVATION_BUDGET: usize = 64;
+
+/// A compiled network executed on the work-stealing scheduler.
+///
+/// `SchedNet` is reusable: every [`SchedNet::run_batch`] instantiates a
+/// fresh task graph and worker pool; synchrocell and replication state
+/// never leaks between runs.
+pub struct SchedNet {
+    spec: NetSpec,
+    config: EngineConfig,
+}
+
+impl SchedNet {
+    /// Wraps a topology with default configuration.
+    pub fn new(spec: NetSpec) -> SchedNet {
+        SchedNet {
+            spec,
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// Wraps a topology with explicit configuration (worker count,
+    /// mismatch policy, mailbox high-water mark).
+    pub fn with_config(spec: NetSpec, config: EngineConfig) -> SchedNet {
+        SchedNet { spec, config }
+    }
+
+    /// The underlying topology.
+    pub fn spec(&self) -> &NetSpec {
+        &self.spec
+    }
+
+    /// Feeds a batch of records through the network and collects the
+    /// complete output stream (arrival order).
+    pub fn run_batch(&self, records: Vec<Record>) -> Result<Vec<Record>, SnetError> {
+        let (outs, _trace) = self.run_batch_traced(records)?;
+        Ok(outs)
+    }
+
+    /// Like [`SchedNet::run_batch`] but also returns the run's
+    /// [`Trace`].
+    pub fn run_batch_traced(
+        &self,
+        records: Vec<Record>,
+    ) -> Result<(Vec<Record>, Arc<Trace>), SnetError> {
+        let workers = self.config.workers.max(1);
+        let sh = Arc::new(Shared {
+            injector: Injector::new(),
+            sleep: Mutex::new(SleepState { shutdown: false }),
+            cv: Condvar::new(),
+            active: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            aborted: AtomicBool::new(false),
+            error: Mutex::new(None),
+            trace: Arc::new(Trace::new()),
+            config: self.config,
+            outputs: Mutex::new(Vec::new()),
+        });
+
+        // Build the static task graph: sink <- spec <- entry.
+        let sink = Task::new("sink", State::Sink);
+        let entry = build(&self.spec, Port::new(&sink), &sh);
+
+        // Feed the whole batch, then close the entry port; the cascade
+        // of close notifications terminates the run.
+        for rec in records {
+            entry.send(rec, &sh, None);
+        }
+        entry.close(&sh, None);
+
+        // Worker pool with work-stealing deques.
+        let locals: Vec<Worker<Arc<Task>>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+        let stealers: Arc<Vec<Stealer<Arc<Task>>>> =
+            Arc::new(locals.iter().map(|w| w.stealer()).collect());
+        let handles: Vec<_> = locals
+            .into_iter()
+            .enumerate()
+            .map(|(i, local)| {
+                let sh = Arc::clone(&sh);
+                let stealers = Arc::clone(&stealers);
+                std::thread::Builder::new()
+                    .name(format!("snet-sched-{i}"))
+                    .spawn(move || worker_loop(i, local, &stealers, &sh))
+                    .expect("spawn sched worker")
+            })
+            .collect();
+
+        // Wait for quiescence: no task queued or running.
+        {
+            let mut sleep = sh.sleep.lock();
+            while sh.active.load(Ordering::Acquire) != 0 {
+                let (guard, _) = sh
+                    .cv
+                    .wait_timeout(sleep, Duration::from_millis(5))
+                    .unwrap_or_else(|e| e.into_inner());
+                sleep = guard;
+            }
+            sleep.shutdown = true;
+        }
+        sh.cv.notify_all();
+        for h in handles {
+            let _ = h.join();
+        }
+
+        if let Some(e) = sh.error.lock().take() {
+            return Err(e);
+        }
+        let outs = std::mem::take(&mut *sh.outputs.lock());
+        Ok((outs, Arc::clone(&sh.trace)))
+    }
+}
+
+struct SleepState {
+    shutdown: bool,
+}
+
+struct Shared {
+    injector: Injector<Arc<Task>>,
+    sleep: Mutex<SleepState>,
+    cv: Condvar,
+    /// Tasks currently queued or running; 0 after the input closes means
+    /// the run is complete (new work only originates from running tasks).
+    active: AtomicUsize,
+    /// Workers currently parked on the condvar (lets producers skip the
+    /// notify syscall on the hot path when everyone is busy).
+    sleepers: AtomicUsize,
+    aborted: AtomicBool,
+    error: Mutex<Option<SnetError>>,
+    trace: Arc<Trace>,
+    config: EngineConfig,
+    outputs: Mutex<Vec<Record>>,
+}
+
+impl Shared {
+    fn fail(&self, e: SnetError) {
+        let mut slot = self.error.lock();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        self.aborted.store(true, Ordering::Release);
+    }
+
+    fn high_water(&self) -> usize {
+        self.config.channel_capacity.max(1).saturating_mul(16)
+    }
+}
+
+/// One component instance: mailbox + semantic state.
+struct Task {
+    label: &'static str,
+    mailbox: Mutex<VecDeque<Record>>,
+    /// Open upstream ports; 0 = end-of-stream once the mailbox drains.
+    open_senders: AtomicUsize,
+    /// True while queued (prevents double-queueing; cleared when a
+    /// worker picks the task up).
+    scheduled: AtomicBool,
+    state: Mutex<State>,
+}
+
+enum State {
+    Box(snet_core::boxdef::BoxDef, Port),
+    Filter(snet_core::FilterSpec, Port),
+    Sync {
+        spec: SyncSpec,
+        st: SyncState,
+        out: Port,
+    },
+    Par {
+        patterns: Vec<Vec<Pattern>>,
+        branches: Vec<Port>,
+        out: Port,
+    },
+    Star {
+        body: NetSpec,
+        exit: Pattern,
+        into_body: Option<Port>,
+        out: Port,
+    },
+    Split {
+        body: NetSpec,
+        tag: Label,
+        replicas: HashMap<i64, Port>,
+        out: Port,
+    },
+    Sink,
+    /// Finalized: outputs closed, no further effects.
+    Done,
+}
+
+impl Task {
+    fn new(label: &'static str, state: State) -> Arc<Task> {
+        Arc::new(Task {
+            label,
+            mailbox: Mutex::new(VecDeque::new()),
+            open_senders: AtomicUsize::new(0),
+            scheduled: AtomicBool::new(false),
+            state: Mutex::new(state),
+        })
+    }
+}
+
+/// An open upstream handle onto a task's mailbox. Creating one
+/// increments the task's sender count; [`Port::close`] decrements it.
+/// Ports are closed explicitly (not on drop) so the close can schedule
+/// the receiving task.
+struct Port {
+    task: Arc<Task>,
+}
+
+impl Port {
+    fn new(task: &Arc<Task>) -> Port {
+        task.open_senders.fetch_add(1, Ordering::AcqRel);
+        Port {
+            task: Arc::clone(task),
+        }
+    }
+
+    fn another(&self) -> Port {
+        Port::new(&self.task)
+    }
+
+    fn send(&self, rec: Record, sh: &Shared, local: Option<&Worker<Arc<Task>>>) {
+        self.task.mailbox.lock().push_back(rec);
+        notify(&self.task, sh, local);
+    }
+
+    fn backlog(&self) -> usize {
+        self.task.mailbox.lock().len()
+    }
+
+    fn close(self, sh: &Shared, local: Option<&Worker<Arc<Task>>>) {
+        if self.task.open_senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender gone: the task must run once more to observe
+            // end-of-stream and finalize.
+            notify(&self.task, sh, local);
+        }
+    }
+}
+
+/// Queues a task if it is not already queued.
+fn notify(task: &Arc<Task>, sh: &Shared, local: Option<&Worker<Arc<Task>>>) {
+    if task
+        .scheduled
+        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+        .is_ok()
+    {
+        sh.active.fetch_add(1, Ordering::AcqRel);
+        match local {
+            Some(w) => w.push(Arc::clone(task)),
+            None => sh.injector.push(Arc::clone(task)),
+        }
+        // Parked workers re-probe at least every millisecond, so a
+        // missed notify costs bounded latency; skipping the syscall when
+        // every worker is busy is a large win on the hot path.
+        if sh.sleepers.load(Ordering::Acquire) > 0 {
+            sh.cv.notify_one();
+        }
+    }
+}
+
+fn worker_loop(
+    index: usize,
+    local: Worker<Arc<Task>>,
+    stealers: &[Stealer<Arc<Task>>],
+    sh: &Shared,
+) {
+    // The task we last failed to lock (its activation was still running
+    // on another worker). Seeing it twice in a row means there is no
+    // other work — park briefly instead of spinning on the mutex.
+    let mut contended: Option<*const Task> = None;
+    loop {
+        let task = find_task(index, &local, stealers, sh);
+        match task {
+            Some(task) => {
+                // A task can be re-queued while its previous activation
+                // is still draining on another worker; blocking on the
+                // state mutex would idle this worker behind up to a full
+                // activation budget of box calls. Hand the entry back to
+                // the global queue and look for other work instead.
+                let ran = if let Some(state) = task.state.try_lock() {
+                    run_task(&task, state, sh, &local);
+                    true
+                } else {
+                    false
+                };
+                if ran {
+                    contended = None;
+                    if sh.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        // Quiescent: wake the waiting driver (and peers,
+                        // so shutdown propagates).
+                        sh.cv.notify_all();
+                    }
+                } else {
+                    let ptr = Arc::as_ptr(&task);
+                    sh.injector.push(task);
+                    if contended.replace(ptr) == Some(ptr) && park(sh) {
+                        return;
+                    }
+                }
+            }
+            None => {
+                contended = None;
+                if park(sh) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Parks the worker until new work may exist; returns true on shutdown.
+fn park(sh: &Shared) -> bool {
+    let sleep = sh.sleep.lock();
+    if sleep.shutdown {
+        return true;
+    }
+    // Timed wait: a notify may have raced our empty probe.
+    sh.sleepers.fetch_add(1, Ordering::AcqRel);
+    let _ = sh
+        .cv
+        .wait_timeout(sleep, Duration::from_millis(1))
+        .unwrap_or_else(|e| e.into_inner());
+    sh.sleepers.fetch_sub(1, Ordering::AcqRel);
+    false
+}
+
+fn find_task(
+    index: usize,
+    local: &Worker<Arc<Task>>,
+    stealers: &[Stealer<Arc<Task>>],
+    sh: &Shared,
+) -> Option<Arc<Task>> {
+    if let Some(t) = local.pop() {
+        return Some(t);
+    }
+    if let Steal::Success(t) = sh.injector.steal() {
+        return Some(t);
+    }
+    // Steal from siblings, starting after our own slot.
+    let n = stealers.len();
+    for k in 1..n {
+        if let Steal::Success(t) = stealers[(index + k) % n].steal() {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Runs one activation of a task: drain its mailbox (bounded by the
+/// activation budget and downstream high-water marks), then finalize if
+/// end-of-stream has been reached. The caller holds the state lock
+/// (acquired with `try_lock`, so workers never block behind a running
+/// activation).
+fn run_task(
+    task: &Arc<Task>,
+    mut state: parking_lot::MutexGuard<'_, State>,
+    sh: &Shared,
+    local: &Worker<Arc<Task>>,
+) {
+    // From here on, producers may re-queue the task; the held state
+    // lock serializes actual execution.
+    task.scheduled.store(false, Ordering::Release);
+
+    if sh.aborted.load(Ordering::Acquire) {
+        task.mailbox.lock().clear();
+        finalize(task, &mut state, sh, local);
+        return;
+    }
+
+    let mut processed = 0;
+    while processed < ACTIVATION_BUDGET {
+        // Probing the downstream mailbox takes its lock; amortize the
+        // check instead of paying it per record.
+        if processed % 16 == 0 && output_backpressured(&state, sh) {
+            break;
+        }
+        let Some(rec) = task.mailbox.lock().pop_front() else {
+            break;
+        };
+        if let Err(e) = step(&mut state, rec, sh, local) {
+            sh.fail(e);
+            task.mailbox.lock().clear();
+            finalize(task, &mut state, sh, local);
+            return;
+        }
+        processed += 1;
+    }
+
+    // Order matters: read the sender count BEFORE the final mailbox
+    // probe. Each port's sends happen-before its close, so observing
+    // zero senders first guarantees the mailbox probe sees every record
+    // — probing the mailbox first could miss a record sent (and closed)
+    // between the two reads.
+    let senders = task.open_senders.load(Ordering::Acquire);
+    let mailbox_empty = task.mailbox.lock().is_empty();
+    if mailbox_empty {
+        if senders == 0 {
+            finalize(task, &mut state, sh, local);
+        }
+    } else {
+        // Budget or backpressure yield: run again. A zero-progress
+        // (backpressured) yield goes to the global queue so this worker
+        // picks up *other* tasks — typically the congested consumer —
+        // before retrying the producer.
+        drop(state);
+        let queue = if processed == 0 { None } else { Some(local) };
+        notify(task, sh, queue);
+    }
+}
+
+/// Cooperative backpressure: stop consuming while the primary output
+/// mailbox is over the high-water mark. Dispatchers are exempt (their
+/// work per record is trivial and they feed many outputs).
+fn output_backpressured(state: &State, sh: &Shared) -> bool {
+    let hw = sh.high_water();
+    match state {
+        State::Box(_, out) | State::Filter(_, out) | State::Sync { out, .. } => {
+            out.backlog() >= hw
+        }
+        _ => false,
+    }
+}
+
+/// Applies one record to a component (the shared small-step semantics),
+/// emitting downstream.
+fn step(
+    state: &mut State,
+    rec: Record,
+    sh: &Shared,
+    local: &Worker<Arc<Task>>,
+) -> Result<(), SnetError> {
+    match state {
+        State::Box(def, out) => {
+            // Box functions are user code: a panic must become a
+            // reportable error, not a poisoned scheduler.
+            let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                semantics::box_step(def, rec, sh.config.mismatch)
+            }))
+            .unwrap_or_else(|payload| {
+                let cause = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                Err(SnetError::BoxFailure {
+                    name: def.sig.name.clone(),
+                    cause: format!("panicked: {cause}"),
+                })
+            })?;
+            if step.matched {
+                sh.trace.count_box(step.work);
+            } else {
+                Trace::add(&sh.trace.passthroughs, 1);
+            }
+            for r in step.records {
+                out.send(r, sh, Some(local));
+            }
+            Ok(())
+        }
+        State::Filter(spec, out) => {
+            let step = semantics::filter_step(spec, rec, sh.config.mismatch)?;
+            if step.matched {
+                Trace::add(&sh.trace.filter_records, 1);
+            } else {
+                Trace::add(&sh.trace.passthroughs, 1);
+            }
+            for r in step.records {
+                out.send(r, sh, Some(local));
+            }
+            Ok(())
+        }
+        State::Sync { spec, st, out } => {
+            match st.push(spec, rec) {
+                SyncOutcome::Stored => {
+                    Trace::add(&sh.trace.sync_stores, 1);
+                }
+                SyncOutcome::Fired(m) => {
+                    Trace::add(&sh.trace.sync_fires, 1);
+                    out.send(m, sh, Some(local));
+                }
+                SyncOutcome::Passed(r) => out.send(r, sh, Some(local)),
+            }
+            Ok(())
+        }
+        State::Par {
+            patterns,
+            branches,
+            out,
+        } => {
+            let winners = semantics::matching_branches(patterns, &rec);
+            match winners.first() {
+                Some(&i) => {
+                    Trace::add(&sh.trace.dispatched, 1);
+                    branches[i].send(rec, sh, Some(local));
+                    Ok(())
+                }
+                None => match sh.config.mismatch {
+                    MismatchPolicy::Forward => {
+                        Trace::add(&sh.trace.passthroughs, 1);
+                        out.send(rec, sh, Some(local));
+                        Ok(())
+                    }
+                    MismatchPolicy::Error => Err(SnetError::TypeMismatch {
+                        expected: "any parallel branch".into(),
+                        got: format!("{rec:?}"),
+                    }),
+                },
+            }
+        }
+        State::Star {
+            body,
+            exit,
+            into_body,
+            out,
+        } => {
+            if exit.matches(&rec) {
+                out.send(rec, sh, Some(local));
+                return Ok(());
+            }
+            if into_body.is_none() {
+                // Unfold one replica: body feeding the next tap, which
+                // shares our exit stream.
+                Trace::add(&sh.trace.star_unfoldings, 1);
+                let next_tap = Task::new(
+                    "star-tap",
+                    State::Star {
+                        body: body.clone(),
+                        exit: exit.clone(),
+                        into_body: None,
+                        out: out.another(),
+                    },
+                );
+                let body_in = build(body, Port::new(&next_tap), sh);
+                *into_body = Some(body_in);
+            }
+            into_body
+                .as_ref()
+                .expect("replica just unfolded")
+                .send(rec, sh, Some(local));
+            Ok(())
+        }
+        State::Split {
+            body,
+            tag,
+            replicas,
+            out,
+        } => {
+            let Some(value) = rec.tag(*tag) else {
+                return Err(SnetError::MissingTag(*tag));
+            };
+            let port = replicas.entry(value).or_insert_with(|| {
+                Trace::add(&sh.trace.split_replicas, 1);
+                build(body, out.another(), sh)
+            });
+            Trace::add(&sh.trace.dispatched, 1);
+            port.send(rec, sh, Some(local));
+            Ok(())
+        }
+        State::Sink => {
+            sh.outputs.lock().push(rec);
+            Ok(())
+        }
+        State::Done => Ok(()), // post-teardown stragglers are dropped
+    }
+}
+
+/// Observes end-of-stream: count stranded synchrocell records, close
+/// every downstream port, and become inert.
+fn finalize(task: &Arc<Task>, state: &mut State, sh: &Shared, local: &Worker<Arc<Task>>) {
+    let _ = task.label;
+    let old = std::mem::replace(state, State::Done);
+    let close = |p: Port| p.close(sh, Some(local));
+    match old {
+        State::Box(_, out) | State::Filter(_, out) => close(out),
+        State::Sync { st, out, .. } => {
+            let stranded = st.pending().count() as u64;
+            if stranded > 0 {
+                Trace::add(&sh.trace.sync_stranded, stranded);
+            }
+            close(out);
+        }
+        State::Par { branches, out, .. } => {
+            for b in branches {
+                close(b);
+            }
+            close(out);
+        }
+        State::Star {
+            into_body, out, ..
+        } => {
+            if let Some(b) = into_body {
+                close(b);
+            }
+            close(out);
+        }
+        State::Split { replicas, out, .. } => {
+            for (_, p) in replicas {
+                close(p);
+            }
+            close(out);
+        }
+        State::Sink | State::Done => {}
+    }
+}
+
+/// Recursively instantiates `spec` as a task subgraph feeding `output`,
+/// returning the subtree's input port.
+fn build(spec: &NetSpec, output: Port, sh: &Shared) -> Port {
+    match spec {
+        NetSpec::Box(def) => {
+            let t = Task::new("box", State::Box(def.clone(), output));
+            Port::new(&t)
+        }
+        NetSpec::Filter(f) => {
+            let t = Task::new("filter", State::Filter(f.clone(), output));
+            Port::new(&t)
+        }
+        NetSpec::Sync(spec) => {
+            let t = Task::new(
+                "sync",
+                State::Sync {
+                    st: spec.new_state(),
+                    spec: spec.clone(),
+                    out: output,
+                },
+            );
+            Port::new(&t)
+        }
+        NetSpec::Serial(a, b) => {
+            let mid = build(b, output, sh);
+            build(a, mid, sh)
+        }
+        NetSpec::Parallel { branches, .. } => {
+            let patterns: Vec<Vec<Pattern>> =
+                branches.iter().map(|b| b.input_patterns()).collect();
+            let ports: Vec<Port> = branches
+                .iter()
+                .map(|b| build(b, output.another(), sh))
+                .collect();
+            let t = Task::new(
+                "par-dispatch",
+                State::Par {
+                    patterns,
+                    branches: ports,
+                    out: output,
+                },
+            );
+            Port::new(&t)
+        }
+        NetSpec::Star { body, exit, .. } => {
+            let t = Task::new(
+                "star-tap",
+                State::Star {
+                    body: (**body).clone(),
+                    exit: exit.clone(),
+                    into_body: None,
+                    out: output,
+                },
+            );
+            Port::new(&t)
+        }
+        NetSpec::Split { body, tag, .. } => {
+            // The scheduled engine, like the threaded one, ignores
+            // placement; `snet-dist` honours it on the simulated cluster.
+            let t = Task::new(
+                "split-dispatch",
+                State::Split {
+                    body: (**body).clone(),
+                    tag: *tag,
+                    replicas: HashMap::new(),
+                    out: output,
+                },
+            );
+            Port::new(&t)
+        }
+        NetSpec::At { body, .. } | NetSpec::Named { body, .. } => build(body, output, sh),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snet_core::boxdef::{BoxDef, BoxOutput, BoxSig, Work};
+    use snet_core::{BinOp, FilterSpec, TagExpr, Value, Variant};
+
+    fn int_box(name: &str, input: &str, output: &str, f: fn(i64) -> i64) -> NetSpec {
+        let out_label = output.to_owned();
+        NetSpec::Box(BoxDef::from_fn(
+            BoxSig::parse(name, &[input], &[&[output]]),
+            move |r| {
+                let x = r
+                    .fields()
+                    .next()
+                    .and_then(|(_, v)| v.as_int())
+                    .ok_or_else(|| SnetError::Engine("expected int field".into()))?;
+                Ok(BoxOutput::one(
+                    Record::new().with_field(out_label.as_str(), Value::Int(f(x))),
+                    Work::ops(1),
+                ))
+            },
+        ))
+    }
+
+    fn ints(records: &[Record], label: &str) -> Vec<i64> {
+        let mut v: Vec<i64> = records
+            .iter()
+            .filter_map(|r| r.field(label).and_then(|x| x.as_int()))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn single_box_pipeline() {
+        let net = SchedNet::new(int_box("double", "x", "x", |x| 2 * x));
+        let outs = net
+            .run_batch((0..10).map(|i| Record::new().with_field("x", Value::Int(i))).collect())
+            .unwrap();
+        assert_eq!(ints(&outs, "x"), (0..10).map(|i| 2 * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_composes() {
+        let net = SchedNet::new(NetSpec::serial(
+            int_box("inc", "x", "x", |x| x + 1),
+            int_box("sq", "x", "x", |x| x * x),
+        ));
+        let outs = net
+            .run_batch(vec![Record::new().with_field("x", Value::Int(3))])
+            .unwrap();
+        assert_eq!(ints(&outs, "x"), vec![16]);
+    }
+
+    #[test]
+    fn parallel_routes_by_best_match() {
+        let net = SchedNet::new(NetSpec::parallel(vec![
+            int_box("fa", "a", "ra", |x| x + 100),
+            int_box("fb", "b", "rb", |x| x + 200),
+        ]));
+        let outs = net
+            .run_batch(vec![
+                Record::new().with_field("a", Value::Int(1)),
+                Record::new().with_field("b", Value::Int(2)),
+                Record::new().with_field("a", Value::Int(3)),
+            ])
+            .unwrap();
+        assert_eq!(ints(&outs, "ra").len(), 2);
+        assert_eq!(ints(&outs, "rb"), vec![202]);
+    }
+
+    #[test]
+    fn star_unrolls_until_exit() {
+        let dec = NetSpec::Filter(FilterSpec::new(
+            Pattern::from_variant(Variant::parse_labels(&[], &["n"])),
+            vec![snet_core::filter::OutputTemplate::empty().set_tag(
+                "n",
+                TagExpr::bin(BinOp::Sub, TagExpr::tag("n"), TagExpr::Const(1)),
+            )],
+        ));
+        let exit = Pattern::guarded(
+            Variant::empty(),
+            TagExpr::bin(BinOp::Eq, TagExpr::tag("n"), TagExpr::Const(0)),
+        );
+        let net = SchedNet::new(NetSpec::star(dec, exit));
+        let (outs, trace) = net
+            .run_batch_traced(vec![Record::new().with_tag("n", 5)])
+            .unwrap();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].tag("n"), Some(0));
+        assert_eq!(trace.star_unfoldings.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn split_creates_replica_per_tag_value() {
+        let net = SchedNet::new(NetSpec::split(int_box("id", "x", "x", |x| x), "k"));
+        let recs: Vec<Record> = (0..12)
+            .map(|i| Record::new().with_field("x", Value::Int(i)).with_tag("k", i % 3))
+            .collect();
+        let (outs, trace) = net.run_batch_traced(recs).unwrap();
+        assert_eq!(outs.len(), 12);
+        assert_eq!(trace.split_replicas.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn split_without_tag_is_an_error() {
+        let net = SchedNet::new(NetSpec::split(int_box("id", "x", "x", |x| x), "k"));
+        let err = net
+            .run_batch(vec![Record::new().with_field("x", Value::Int(1))])
+            .unwrap_err();
+        assert_eq!(err, SnetError::MissingTag(Label::new("k")));
+    }
+
+    #[test]
+    fn sync_joins_in_stream() {
+        let cell = NetSpec::Sync(SyncSpec::new(vec![
+            Pattern::from_variant(Variant::parse_labels(&["a"], &[])),
+            Pattern::from_variant(Variant::parse_labels(&["b"], &[])),
+        ]));
+        let net = SchedNet::new(cell);
+        let outs = net
+            .run_batch(vec![
+                Record::new().with_field("a", Value::Int(1)),
+                Record::new().with_field("b", Value::Int(2)),
+            ])
+            .unwrap();
+        assert_eq!(outs.len(), 1);
+        assert!(outs[0].has_field("a") && outs[0].has_field("b"));
+    }
+
+    #[test]
+    fn stranded_sync_records_are_counted() {
+        let cell = NetSpec::Sync(SyncSpec::new(vec![
+            Pattern::from_variant(Variant::parse_labels(&["a"], &[])),
+            Pattern::from_variant(Variant::parse_labels(&["b"], &[])),
+        ]));
+        let net = SchedNet::new(cell);
+        let (outs, trace) = net
+            .run_batch_traced(vec![Record::new().with_field("a", Value::Int(1))])
+            .unwrap();
+        assert!(outs.is_empty());
+        assert_eq!(trace.sync_stranded.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn box_error_propagates() {
+        let bad = NetSpec::Box(BoxDef::from_fn(
+            BoxSig::parse("bad", &["x"], &[&["y"]]),
+            |_| Err(SnetError::Engine("deliberate".into())),
+        ));
+        let net = SchedNet::new(bad);
+        let err = net
+            .run_batch(vec![Record::new().with_field("x", Value::Int(1))])
+            .unwrap_err();
+        assert!(matches!(err, SnetError::BoxFailure { .. }), "{err}");
+    }
+
+    #[test]
+    fn panicking_box_is_reported_not_swallowed() {
+        let bomb = NetSpec::Box(BoxDef::from_fn(
+            BoxSig::parse("bomb", &["x"], &[&["y"]]),
+            |r| {
+                let x = r.field("x").and_then(|v| v.as_int()).unwrap_or(0);
+                if x == 2 {
+                    panic!("boom at {x}");
+                }
+                Ok(BoxOutput::one(r.clone(), Work::ZERO))
+            },
+        ));
+        let net = SchedNet::new(bomb);
+        let err = net
+            .run_batch((0..5).map(|i| Record::new().with_field("x", Value::Int(i))).collect())
+            .unwrap_err();
+        match err {
+            SnetError::BoxFailure { name, cause } => {
+                assert_eq!(name, "bomb");
+                assert!(cause.contains("boom at 2"), "{cause}");
+            }
+            other => panic!("expected box failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_mismatch_policy_errors() {
+        let net = SchedNet::with_config(
+            int_box("f", "x", "y", |x| x),
+            EngineConfig {
+                mismatch: MismatchPolicy::Error,
+                ..EngineConfig::default()
+            },
+        );
+        let err = net
+            .run_batch(vec![Record::new().with_field("other", Value::Int(1))])
+            .unwrap_err();
+        assert!(matches!(err, SnetError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn net_is_reusable_with_fresh_state() {
+        let cell = NetSpec::Sync(SyncSpec::new(vec![
+            Pattern::from_variant(Variant::parse_labels(&["a"], &[])),
+            Pattern::from_variant(Variant::parse_labels(&["b"], &[])),
+        ]));
+        let net = SchedNet::new(cell);
+        for _ in 0..2 {
+            let outs = net
+                .run_batch(vec![
+                    Record::new().with_field("a", Value::Int(1)),
+                    Record::new().with_field("b", Value::Int(2)),
+                ])
+                .unwrap();
+            assert_eq!(outs.len(), 1, "cell must fire in every fresh run");
+        }
+    }
+
+    #[test]
+    fn deep_pipeline_with_single_worker() {
+        // workers = 1 exercises the no-stealing degenerate case.
+        let stages: Vec<NetSpec> = (0..8).map(|_| int_box("inc", "x", "x", |x| x + 1)).collect();
+        let net = SchedNet::with_config(
+            NetSpec::pipeline(stages),
+            EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+        );
+        let outs = net
+            .run_batch((0..200).map(|i| Record::new().with_field("x", Value::Int(i))).collect())
+            .unwrap();
+        assert_eq!(outs.len(), 200);
+        assert_eq!(ints(&outs, "x"), (8..208).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_batch_terminates() {
+        let net = SchedNet::new(int_box("inc", "x", "x", |x| x + 1));
+        assert!(net.run_batch(Vec::new()).unwrap().is_empty());
+    }
+}

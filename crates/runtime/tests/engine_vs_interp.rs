@@ -1,6 +1,7 @@
-//! Property test: the threaded engine and the deterministic reference
-//! interpreter agree on the output *multiset* for randomly generated
-//! networks and record batches.
+//! Property test: the threaded engine, the work-stealing scheduled
+//! engine, and the deterministic reference interpreter agree on the
+//! output *multiset* for randomly generated networks and record
+//! batches.
 //!
 //! The generated networks are restricted to the confluent fragment of
 //! S-Net — stateless components composed with `..`, `|`, `*` (with a
@@ -15,7 +16,7 @@ use snet_core::filter::OutputTemplate;
 use snet_core::{
     BinOp, FilterSpec, NetSpec, Pattern, Record, SyncSpec, TagExpr, Value, Variant,
 };
-use snet_runtime::{Interp, Net};
+use snet_runtime::{EngineConfig, Interp, Net, SchedNet};
 
 /// A box consuming `{a}` and emitting `{a: a + 1}`.
 fn add_box() -> NetSpec {
@@ -171,6 +172,59 @@ proptest! {
             trace.box_ops.load(std::sync::atomic::Ordering::Relaxed),
             expected.work.ops
         );
+    }
+
+    #[test]
+    fn sched_engine_matches_interp_on_confluent_nets(
+        net in arb_net(),
+        batch in prop::collection::vec(arb_record(), 0..20),
+    ) {
+        let expected = Interp::new(&net).run_batch(batch.clone()).unwrap();
+        let actual = SchedNet::new(net).run_batch(batch).unwrap();
+        prop_assert_eq!(multiset(&actual), multiset(&expected.outputs));
+    }
+
+    #[test]
+    fn sched_engine_matches_interp_with_leading_sync(
+        net in arb_net(),
+        batch in prop::collection::vec(arb_record(), 0..20),
+    ) {
+        let cell = NetSpec::Sync(SyncSpec::new(vec![
+            Pattern::from_variant(Variant::parse_labels(&["a"], &[])),
+            Pattern::from_variant(Variant::parse_labels(&["b"], &[])),
+        ]));
+        let full = NetSpec::serial(cell, net);
+        let expected = Interp::new(&full).run_batch(batch.clone()).unwrap();
+        let actual = SchedNet::new(full).run_batch(batch).unwrap();
+        prop_assert_eq!(multiset(&actual), multiset(&expected.outputs));
+    }
+
+    #[test]
+    fn sched_engine_charges_identical_work(
+        net in arb_net(),
+        batch in prop::collection::vec(arb_record(), 0..16),
+    ) {
+        let expected = Interp::new(&net).run_batch(batch.clone()).unwrap();
+        let (_, trace) = SchedNet::new(net).run_batch_traced(batch).unwrap();
+        prop_assert_eq!(
+            trace.box_ops.load(std::sync::atomic::Ordering::Relaxed),
+            expected.work.ops
+        );
+    }
+
+    #[test]
+    fn sched_engine_is_worker_count_invariant(
+        net in arb_net(),
+        batch in prop::collection::vec(arb_record(), 0..12),
+    ) {
+        // The pool size must never change the output multiset.
+        let one = SchedNet::with_config(net.clone(), EngineConfig { workers: 1, ..EngineConfig::default() })
+            .run_batch(batch.clone())
+            .unwrap();
+        let eight = SchedNet::with_config(net, EngineConfig { workers: 8, ..EngineConfig::default() })
+            .run_batch(batch)
+            .unwrap();
+        prop_assert_eq!(multiset(&one), multiset(&eight));
     }
 
     #[test]

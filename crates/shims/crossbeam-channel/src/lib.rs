@@ -1,0 +1,352 @@
+//! Offline shim for `crossbeam-channel`.
+//!
+//! A Mutex + Condvar MPMC channel with the semantics the workspace
+//! relies on:
+//!
+//! * `bounded(n)` blocks senders when `n` messages are queued;
+//!   `unbounded()` never blocks senders;
+//! * `send` fails (returning the message) once every receiver is gone;
+//! * `recv` fails once every sender is gone *and* the queue is drained;
+//! * dropping the last sender/receiver wakes all blocked peers.
+//!
+//! Not a lock-free implementation — correctness and API compatibility
+//! over raw throughput; the workspace's hot path moved to the
+//! work-stealing scheduler, which does not use channels for hand-off.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when a message arrives or the last sender leaves.
+    readable: Condvar,
+    /// Signalled when space frees up or the last receiver leaves.
+    writable: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Error returned by [`Sender::send`] when all receivers are gone;
+/// carries the undelivered message.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// all senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel currently empty but senders remain.
+    Empty,
+    /// Channel empty and all senders gone.
+    Disconnected,
+}
+
+/// The sending half of a channel. Clonable.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel. Clonable (MPMC).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a channel with capacity `cap` (0 is treated as 1: true
+/// rendezvous channels are not used by this workspace).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    channel(Some(cap.max(1)))
+}
+
+/// Creates a channel with unlimited capacity.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+        }),
+        readable: Condvar::new(),
+        writable: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Blocks until the message is enqueued or every receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut st = self.shared.lock();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            let full = st.cap.is_some_and(|c| st.queue.len() >= c);
+            if !full {
+                st.queue.push_back(value);
+                drop(st);
+                self.shared.readable.notify_one();
+                return Ok(());
+            }
+            st = self
+                .shared
+                .writable
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let last = {
+            let mut st = self.shared.lock();
+            st.senders -= 1;
+            st.senders == 0
+        };
+        if last {
+            // Receivers blocked on an empty queue must observe EOS.
+            self.shared.readable.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message is available or the channel disconnects.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.shared.writable.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self
+                .shared
+                .readable
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut st = self.shared.lock();
+        match st.queue.pop_front() {
+            Some(v) => {
+                drop(st);
+                self.shared.writable.notify_one();
+                Ok(v)
+            }
+            None if st.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Blocking iterator over received messages; ends at disconnect.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Is the queue currently empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let last = {
+            let mut st = self.shared.lock();
+            st.receivers -= 1;
+            st.receivers == 0
+        };
+        if last {
+            // Senders blocked on a full queue must observe the failure.
+            self.shared.writable.notify_all();
+        }
+    }
+}
+
+/// Borrowing blocking iterator (see [`Receiver::iter`]).
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Owning blocking iterator.
+pub struct IntoIter<T> {
+    rx: Receiver<T>,
+}
+
+impl<T> Iterator for IntoIter<T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = IntoIter<T>;
+    fn into_iter(self) -> IntoIter<T> {
+        IntoIter { rx: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_and_eos() {
+        let (tx, rx) = bounded(2);
+        let t = thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = rx.iter().collect();
+        t.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn blocked_sender_unblocks_on_receiver_drop() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let t = thread::spawn(move || tx.send(2));
+        thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx);
+        assert!(t.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn multiple_senders_disconnect_only_when_all_gone() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(5).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(5));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn try_recv_states() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(1).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn mpmc_consumes_each_message_once() {
+        let (tx, rx) = unbounded::<u32>();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || rx.iter().count())
+            })
+            .collect();
+        drop(rx);
+        for i in 0..1000 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 1000);
+    }
+}

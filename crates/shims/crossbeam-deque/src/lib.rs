@@ -1,0 +1,186 @@
+//! Offline shim for `crossbeam-deque`.
+//!
+//! Mutex-backed FIFO deques with the `Worker`/`Stealer`/`Injector`
+//! API. The real crate's lock-free Chase–Lev deque is strictly faster
+//! under contention; this shim preserves the exact semantics (owner
+//! pushes/pops its own queue, thieves steal the opposite end, a global
+//! injector feeds the pool) so the scheduler code is unchanged when the
+//! real crate is vendored.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Result of a steal attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// A race occurred; retry. (Never produced by this shim, but kept
+    /// so scheduler loops are written against the real contract.)
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Returns the stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Did the attempt come up empty?
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+}
+
+/// The owner end of a work-stealing deque.
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates a FIFO deque (owner pops the front it pushes to the back;
+    /// thieves steal from the front as well, preserving FIFO order).
+    pub fn new_fifo() -> Worker<T> {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Pushes a task onto the owner's end.
+    pub fn push(&self, task: T) {
+        lock(&self.inner).push_back(task);
+    }
+
+    /// Pops a task from the owner's end.
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.inner).pop_front()
+    }
+
+    /// Is the deque currently empty?
+    pub fn is_empty(&self) -> bool {
+        lock(&self.inner).is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).len()
+    }
+
+    /// Creates a thief handle.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// A thief handle onto another worker's deque.
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Attempts to steal one task.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.inner).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Is the observed deque empty?
+    pub fn is_empty(&self) -> bool {
+        lock(&self.inner).is_empty()
+    }
+}
+
+/// A global FIFO injection queue shared by the whole pool.
+pub struct Injector<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Injector<T> {
+        Injector {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Enqueues a task.
+    pub fn push(&self, task: T) {
+        lock(&self.inner).push_back(task);
+    }
+
+    /// Attempts to take one task.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.inner).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Is the injector empty?
+    pub fn is_empty(&self) -> bool {
+        lock(&self.inner).is_empty()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_owner_and_thief() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Success(3));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_feeds_many() {
+        let inj = Injector::new();
+        for i in 0..5 {
+            inj.push(i);
+        }
+        let mut got = Vec::new();
+        while let Steal::Success(v) = inj.steal() {
+            got.push(v);
+        }
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+}

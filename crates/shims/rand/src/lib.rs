@@ -1,0 +1,154 @@
+//! Offline shim for `rand`.
+//!
+//! A deterministic xoshiro256++ generator behind the `Rng` /
+//! `SeedableRng` / `rngs::StdRng` names the workspace uses. The stream
+//! differs from the real `StdRng` (which is explicitly *not* a stable
+//! contract in rand either); everything downstream only requires
+//! determinism for a fixed seed within this workspace, which holds.
+
+/// Uniform sampling support for the types the workspace draws.
+pub trait SampleUniform: Sized {
+    /// Draws a value in `[low, high)`.
+    fn sample(rng: &mut impl RngCore, low: Self, high: Self) -> Self;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling methods, blanket-implemented for any generator.
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from `range` (half-open).
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range.start, range.end)
+    }
+
+    /// Draws a uniform `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seeding interface.
+pub trait SeedableRng: Sized {
+    /// Constructs a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample(rng: &mut impl RngCore, low: f64, high: f64) -> f64 {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + u * (high - low)
+    }
+}
+
+macro_rules! int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(rng: &mut impl RngCore, low: $t, high: $t) -> $t {
+                assert!(low < high, "gen_range requires low < high");
+                let span = (high as i128 - low as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (low as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_uniform!(i32, i64, u32, u64, usize);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [a, b, c, d] = self.s;
+            let result = a.wrapping_add(d).rotate_left(23).wrapping_add(a);
+            let t = b << 17;
+            let mut s = [a, b, c, d];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(2010);
+        let mut b = StdRng::seed_from_u64(2010);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-10.0..10.0);
+            assert!((-10.0..10.0).contains(&x));
+            let n = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&n));
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}

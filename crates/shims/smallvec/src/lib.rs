@@ -1,0 +1,216 @@
+//! Offline shim for `smallvec`.
+//!
+//! Exposes the `SmallVec<[T; N]>` type the workspace uses, backed by a
+//! plain `Vec`. The *flat, contiguous, binary-searchable* layout — the
+//! property the record representation depends on — is identical to the
+//! real crate; what this shim forgoes is the inline (spill-free) storage
+//! optimization for the first `N` elements. Vendoring the real crate is
+//! a drop-in replacement and an automatic perf upgrade.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+
+/// Marker trait tying `SmallVec<[T; N]>` syntax to an element type and
+/// an inline capacity hint.
+pub trait Array {
+    /// Element type.
+    type Item;
+    /// Inline capacity hint (used to pre-size the first allocation).
+    const CAP: usize;
+}
+
+impl<T, const N: usize> Array for [T; N] {
+    type Item = T;
+    const CAP: usize = N;
+}
+
+/// A contiguous growable array with an inline-capacity type parameter.
+pub struct SmallVec<A: Array> {
+    vec: Vec<A::Item>,
+    _marker: PhantomData<A>,
+}
+
+impl<A: Array> SmallVec<A> {
+    /// Creates an empty vector (no allocation until the first push).
+    pub fn new() -> SmallVec<A> {
+        SmallVec {
+            vec: Vec::new(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Creates an empty vector with at least `cap` capacity.
+    pub fn with_capacity(cap: usize) -> SmallVec<A> {
+        SmallVec {
+            vec: Vec::with_capacity(cap),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Appends an element, pre-sizing to the inline capacity hint on the
+    /// first growth so typical records allocate exactly once.
+    pub fn push(&mut self, value: A::Item) {
+        if self.vec.capacity() == 0 {
+            self.vec.reserve(A::CAP.max(1));
+        }
+        self.vec.push(value);
+    }
+
+    /// Inserts an element at `index`, shifting the tail right.
+    pub fn insert(&mut self, index: usize, value: A::Item) {
+        if self.vec.capacity() == 0 {
+            self.vec.reserve(A::CAP.max(1));
+        }
+        self.vec.insert(index, value);
+    }
+
+    /// Removes and returns the element at `index`, shifting the tail
+    /// left.
+    pub fn remove(&mut self, index: usize) -> A::Item {
+        self.vec.remove(index)
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Removes the last element.
+    pub fn pop(&mut self) -> Option<A::Item> {
+        self.vec.pop()
+    }
+
+    /// Keeps only elements satisfying the predicate.
+    pub fn retain(&mut self, f: impl FnMut(&mut A::Item) -> bool) {
+        self.vec.retain_mut(f);
+    }
+
+    /// Borrows the backing slice.
+    pub fn as_slice(&self) -> &[A::Item] {
+        &self.vec
+    }
+}
+
+impl<A: Array> Default for SmallVec<A> {
+    fn default() -> Self {
+        SmallVec::new()
+    }
+}
+
+impl<A: Array> Deref for SmallVec<A> {
+    type Target = [A::Item];
+    fn deref(&self) -> &[A::Item] {
+        &self.vec
+    }
+}
+
+impl<A: Array> DerefMut for SmallVec<A> {
+    fn deref_mut(&mut self) -> &mut [A::Item] {
+        &mut self.vec
+    }
+}
+
+impl<A: Array> Clone for SmallVec<A>
+where
+    A::Item: Clone,
+{
+    fn clone(&self) -> Self {
+        SmallVec {
+            vec: self.vec.clone(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<A: Array> PartialEq for SmallVec<A>
+where
+    A::Item: PartialEq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.vec == other.vec
+    }
+}
+
+impl<A: Array> Eq for SmallVec<A> where A::Item: Eq {}
+
+impl<A: Array> fmt::Debug for SmallVec<A>
+where
+    A::Item: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.vec.fmt(f)
+    }
+}
+
+impl<A: Array> FromIterator<A::Item> for SmallVec<A> {
+    fn from_iter<I: IntoIterator<Item = A::Item>>(iter: I) -> Self {
+        SmallVec {
+            vec: Vec::from_iter(iter),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<A: Array> Extend<A::Item> for SmallVec<A> {
+    fn extend<I: IntoIterator<Item = A::Item>>(&mut self, iter: I) {
+        self.vec.extend(iter);
+    }
+}
+
+impl<A: Array> IntoIterator for SmallVec<A> {
+    type Item = A::Item;
+    type IntoIter = std::vec::IntoIter<A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.vec.into_iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a SmallVec<A> {
+    type Item = &'a A::Item;
+    type IntoIter = std::slice::Iter<'a, A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.vec.iter()
+    }
+}
+
+/// Convenience constructor macro mirroring `smallvec::smallvec!`.
+#[macro_export]
+macro_rules! smallvec {
+    ($($x:expr),* $(,)?) => {{
+        let mut v = $crate::SmallVec::new();
+        $(v.push($x);)*
+        v
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_insert_remove() {
+        let mut v: SmallVec<[u32; 4]> = SmallVec::new();
+        v.push(1);
+        v.push(3);
+        v.insert(1, 2);
+        assert_eq!(&v[..], &[1, 2, 3]);
+        assert_eq!(v.remove(0), 1);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn slice_ops_via_deref() {
+        let mut v: SmallVec<[u32; 4]> = (0..10).collect();
+        assert_eq!(v.binary_search(&7), Ok(7));
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(v[0], 9);
+    }
+
+    #[test]
+    fn macro_and_eq() {
+        let a: SmallVec<[i32; 2]> = smallvec![1, 2, 3];
+        let b: SmallVec<[i32; 2]> = (1..=3).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,15 +1,15 @@
 //! Cross-crate integration: the full ray-tracing pipelines (threaded
-//! engine and reference interpreter) produce pictures byte-identical
-//! to the sequential Algorithm 1 render, under every variant and under
-//! adversarial arrival orders in the merger.
+//! engine, scheduled engine, and reference interpreter) produce
+//! pictures byte-identical to the sequential Algorithm 1 render, under
+//! every variant and under adversarial arrival orders in the merger.
 
 use snet_apps::{
-    image_slot, input_record, merger_net, raytracing_net, run_snet_local, ChunkData,
-    NetVariant, PicData, Schedule, SnetConfig, Workload,
+    image_slot, input_record, merger_net, raytracing_net, run_snet_local,
+    run_snet_local_sched, ChunkData, NetVariant, PicData, Schedule, SnetConfig, Workload,
 };
-use snet_core::{Record, Value};
+use snet_core::{Record, SnetError, Value};
 use snet_raytracer::{split_rows, Chunk, Image, ScenePreset};
-use snet_runtime::{Interp, Net};
+use snet_runtime::{Interp, Net, SchedNet};
 
 fn workload() -> Workload {
     Workload {
@@ -21,37 +21,49 @@ fn workload() -> Workload {
     }
 }
 
+/// The local engines under test, behind one function shape.
+fn engines() -> [(&'static str, fn(&Workload, &SnetConfig) -> Result<Image, SnetError>); 2] {
+    [
+        ("threaded", run_snet_local as fn(&Workload, &SnetConfig) -> _),
+        ("sched", run_snet_local_sched as fn(&Workload, &SnetConfig) -> _),
+    ]
+}
+
 #[test]
-fn static_pipeline_on_threaded_engine_is_exact() {
+fn static_pipeline_on_both_engines_is_exact() {
     let wl = workload();
     let reference = wl.reference_image();
-    for tasks in [1u32, 3, 8] {
-        let cfg = SnetConfig {
-            variant: NetVariant::Static,
-            nodes: 4,
-            tasks,
-            tokens: tasks,
-            schedule: Schedule::Block,
-        };
-        let img = run_snet_local(&wl, &cfg).expect("pipeline completes");
-        assert_eq!(img, reference, "tasks = {tasks}");
+    for (engine, run) in engines() {
+        for tasks in [1u32, 3, 8] {
+            let cfg = SnetConfig {
+                variant: NetVariant::Static,
+                nodes: 4,
+                tasks,
+                tokens: tasks,
+                schedule: Schedule::Block,
+            };
+            let img = run(&wl, &cfg).expect("pipeline completes");
+            assert_eq!(img, reference, "{engine}, tasks = {tasks}");
+        }
     }
 }
 
 #[test]
-fn dynamic_pipeline_on_threaded_engine_is_exact() {
+fn dynamic_pipeline_on_both_engines_is_exact() {
     let wl = workload();
     let reference = wl.reference_image();
-    for (tasks, tokens) in [(8u32, 2u32), (8, 8), (10, 3)] {
-        let cfg = SnetConfig {
-            variant: NetVariant::Dynamic,
-            nodes: 4,
-            tasks,
-            tokens,
-            schedule: Schedule::Block,
-        };
-        let img = run_snet_local(&wl, &cfg).expect("pipeline completes");
-        assert_eq!(img, reference, "tasks = {tasks}, tokens = {tokens}");
+    for (engine, run) in engines() {
+        for (tasks, tokens) in [(8u32, 2u32), (8, 8), (10, 3)] {
+            let cfg = SnetConfig {
+                variant: NetVariant::Dynamic,
+                nodes: 4,
+                tasks,
+                tokens,
+                schedule: Schedule::Block,
+            };
+            let img = run(&wl, &cfg).expect("pipeline completes");
+            assert_eq!(img, reference, "{engine}, tasks = {tasks}, tokens = {tokens}");
+        }
     }
 }
 
@@ -66,8 +78,10 @@ fn factoring_schedule_end_to_end() {
         tokens: 8,
         schedule: Schedule::paper_factoring(),
     };
-    let img = run_snet_local(&wl, &cfg).expect("pipeline completes");
-    assert_eq!(img, reference);
+    for (engine, run) in engines() {
+        let img = run(&wl, &cfg).expect("pipeline completes");
+        assert_eq!(img, reference, "{engine}");
+    }
 }
 
 #[test]
@@ -148,9 +162,10 @@ fn merger_single_chunk_degenerate_case() {
 }
 
 #[test]
-fn threaded_engine_matches_interpreter_on_the_real_merger() {
+fn concurrent_engines_match_interpreter_on_the_real_merger() {
     // The confluence property, exercised on the actual application
-    // net rather than synthetic nets: same output multiset.
+    // net rather than synthetic nets: same output multiset from the
+    // threaded engine, the scheduled engine, and the oracle.
     let wl = workload();
     let (scene, bvh) = wl.scene();
     let tasks = 5u32;
@@ -172,14 +187,24 @@ fn threaded_engine_matches_interpreter_on_the_real_merger() {
     let from_interp = Interp::new(&merger_net())
         .run_batch(records.clone())
         .expect("interp completes");
-    let from_engine = Net::new(merger_net()).run_batch(records).expect("engine completes");
-    assert_eq!(from_engine.len(), from_interp.outputs.len());
-    let pic_a: &PicData = from_engine[0].field("pic").and_then(|v| v.downcast_ref()).unwrap();
-    let pic_b: &PicData = from_interp.outputs[0]
+    let pic_oracle: &PicData = from_interp.outputs[0]
         .field("pic")
         .and_then(|v| v.downcast_ref())
         .unwrap();
-    assert_eq!(pic_a.0, pic_b.0, "engines agree on the assembled picture");
+
+    let from_threaded = Net::new(merger_net())
+        .run_batch(records.clone())
+        .expect("threaded engine completes");
+    assert_eq!(from_threaded.len(), from_interp.outputs.len());
+    let pic_t: &PicData = from_threaded[0].field("pic").and_then(|v| v.downcast_ref()).unwrap();
+    assert_eq!(pic_t.0, pic_oracle.0, "threaded engine agrees with the oracle");
+
+    let from_sched = SchedNet::new(merger_net())
+        .run_batch(records)
+        .expect("scheduled engine completes");
+    assert_eq!(from_sched.len(), from_interp.outputs.len());
+    let pic_s: &PicData = from_sched[0].field("pic").and_then(|v| v.downcast_ref()).unwrap();
+    assert_eq!(pic_s.0, pic_oracle.0, "scheduled engine agrees with the oracle");
 }
 
 #[test]
@@ -214,8 +239,9 @@ fn many_sections_under_tight_backpressure() {
 
 #[test]
 fn repeated_runs_share_nothing() {
-    // The same Net value re-instantiated 4 times: state (synchrocells,
-    // star replicas, counters) must never leak between runs.
+    // The same net re-instantiated 4 times per engine: state
+    // (synchrocells, star replicas, counters) must never leak between
+    // runs.
     let wl = workload();
     let reference = wl.reference_image();
     let cfg = SnetConfig {
@@ -225,8 +251,40 @@ fn repeated_runs_share_nothing() {
         tokens: 3,
         schedule: Schedule::Block,
     };
-    for round in 0..4 {
-        let img = run_snet_local(&wl, &cfg).unwrap();
-        assert_eq!(img, reference, "round {round}");
+    for (engine, run) in engines() {
+        for round in 0..4 {
+            let img = run(&wl, &cfg).unwrap();
+            assert_eq!(img, reference, "{engine} round {round}");
+        }
+    }
+}
+
+#[test]
+fn sched_engine_scales_workers_without_changing_the_picture() {
+    // Worker-pool size is a pure performance knob: 1, 2, and 8 workers
+    // must all render the exact image.
+    use snet_runtime::EngineConfig;
+    let wl = workload();
+    let reference = wl.reference_image();
+    let cfg = SnetConfig {
+        variant: NetVariant::Static,
+        nodes: 4,
+        tasks: 8,
+        tokens: 8,
+        schedule: Schedule::Block,
+    };
+    for workers in [1usize, 2, 8] {
+        let slot = image_slot();
+        let net = SchedNet::with_config(
+            raytracing_net(NetVariant::Static, slot.clone(), None),
+            EngineConfig {
+                workers,
+                ..EngineConfig::default()
+            },
+        );
+        let outs = net.run_batch(vec![input_record(&wl, &cfg)]).unwrap();
+        assert!(outs.is_empty());
+        let img = slot.lock().take().expect("picture produced");
+        assert_eq!(img, reference, "workers = {workers}");
     }
 }
