@@ -1,10 +1,23 @@
-//! Threaded vs. scheduled engine baseline: measures the combinator
-//! micro-benchmarks on both local engines and writes
-//! `BENCH_threaded_vs_sched.json` so later PRs have a perf trajectory.
+//! Threaded vs. scheduled engine baseline + batched hand-off sweep.
+//!
+//! Writes two result files:
+//!
+//! * `--out` (default `BENCH_threaded_vs_sched.json`): threaded vs
+//!   scheduled engine at the default configuration, the perf
+//!   trajectory file started in PR 1;
+//! * `--handoff-out` (default `BENCH_batched_handoff.json`): the
+//!   scheduled engine swept across hand-off batch sizes
+//!   `{1, 8, 32, 128}`, with speedups relative to the in-run `batch=1`
+//!   point and (when `--baseline` names a readable results file) to
+//!   the previously *committed* scheduler numbers. The baseline is
+//!   read before `--out` is regenerated, so by default each run
+//!   compares against the last committed engine — at PR 4 time, the
+//!   PR-1 single-record, mutex-deque scheduler.
 //!
 //! ```text
 //! cargo run -p snet-bench --release --bin bench_engines
-//! cargo run -p snet-bench --release --bin bench_engines -- --out path.json --samples 30
+//! cargo run -p snet-bench --release --bin bench_engines -- \
+//!     --out path.json --handoff-out sweep.json --samples 30
 //! ```
 //!
 //! The headline number is `serial_depth=16`: a 16-stage box pipeline
@@ -63,22 +76,44 @@ impl Row {
     }
 }
 
+/// Pulls `"sched_ns"` for a topology out of a previously committed
+/// results file (our own fixed format — not a general JSON parser).
+fn baseline_sched_ns(json: &str, topology: &str) -> Option<u128> {
+    let key = format!("\"topology\": \"{topology}\"");
+    let row = &json[json.find(&key)?..];
+    let row = &row[..row.find('}')?];
+    let ns = &row[row.find("\"sched_ns\": ")? + "\"sched_ns\": ".len()..];
+    let end = ns.find(|c: char| !c.is_ascii_digit())?;
+    ns[..end].parse().ok()
+}
+
+const SWEEP_BATCHES: [usize; 4] = [1, 8, 32, 128];
+
 fn main() {
     let mut out_path = "BENCH_threaded_vs_sched.json".to_owned();
+    let mut handoff_path = "BENCH_batched_handoff.json".to_owned();
+    let mut baseline_path = "BENCH_threaded_vs_sched.json".to_owned();
     let mut samples = 20usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out_path = args.next().expect("--out needs a path"),
+            "--handoff-out" => handoff_path = args.next().expect("--handoff-out needs a path"),
+            "--baseline" => baseline_path = args.next().expect("--baseline needs a path"),
             "--samples" => {
                 samples = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--samples needs a number");
             }
-            other => panic!("unknown flag `{other}` (--out PATH, --samples N)"),
+            other => panic!(
+                "unknown flag `{other}` (--out PATH, --handoff-out PATH, --baseline PATH, --samples N)"
+            ),
         }
     }
+    // Read the PR-1 baseline BEFORE regenerating `--out` (they default
+    // to the same path).
+    let baseline_json = std::fs::read_to_string(&baseline_path).unwrap_or_default();
 
     let config = EngineConfig::default();
     let mut rows: Vec<Row> = Vec::new();
@@ -134,4 +169,86 @@ fn main() {
         "serial_depth=16: scheduled engine is {:.2}x the threaded engine's throughput",
         headline.speedup()
     );
+
+    // ---- Batched hand-off sweep (scheduled engine only) ----
+    struct SweepRow {
+        topology: String,
+        batch: usize,
+        sched: Duration,
+        baseline_ns: Option<u128>,
+    }
+    let mut sweep: Vec<SweepRow> = Vec::new();
+    for depth in [4usize, 16] {
+        let topology = format!("serial_depth={depth}");
+        let baseline_ns = baseline_sched_ns(&baseline_json, &topology);
+        let spec = NetSpec::pipeline((0..depth).map(|_| inc_box()));
+        for batch in SWEEP_BATCHES {
+            let net = SchedNet::with_config(spec.clone(), EngineConfig { batch, ..config });
+            let sched = median(samples, || {
+                let outs = net.run_batch(records()).unwrap();
+                assert_eq!(outs.len(), RECORDS as usize);
+            });
+            eprintln!("{topology:>16} batch={batch:>3}: sched {sched:>10.3?}");
+            sweep.push(SweepRow {
+                topology: topology.clone(),
+                batch,
+                sched,
+                baseline_ns,
+            });
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"benchmark\": \"scheduled engine hand-off batch sweep, combinator serial pipelines, {RECORDS}-record batches\",",
+    );
+    let _ = writeln!(json, "  \"workers\": {},", config.workers);
+    let _ = writeln!(json, "  \"default_batch\": {},", config.batch);
+    let _ = writeln!(json, "  \"samples_per_point\": {samples},");
+    let _ = writeln!(
+        json,
+        "  \"committed_baseline\": \"sched_ns from {} as committed before this run (at PR 4: the PR-1 single-record, mutex-deque scheduler)\",",
+        baseline_path
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, row) in sweep.iter().enumerate() {
+        let batch1_ns = sweep
+            .iter()
+            .find(|r| r.topology == row.topology && r.batch == 1)
+            .expect("batch=1 is in the sweep")
+            .sched
+            .as_nanos();
+        let vs_batch1 = batch1_ns as f64 / row.sched.as_nanos() as f64;
+        let vs_pr1 = row
+            .baseline_ns
+            .map(|ns| format!("{:.3}", ns as f64 / row.sched.as_nanos() as f64))
+            .unwrap_or_else(|| "null".into());
+        let _ = writeln!(
+            json,
+            "    {{\"topology\": \"{}\", \"batch\": {}, \"sched_ns\": {}, \"speedup_vs_batch1\": {:.3}, \"speedup_vs_committed_baseline\": {}}}{}",
+            row.topology,
+            row.batch,
+            row.sched.as_nanos(),
+            vs_batch1,
+            vs_pr1,
+            if i + 1 < sweep.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&handoff_path, &json).expect("write hand-off sweep json");
+    println!("wrote {handoff_path}");
+
+    let d16_default = sweep
+        .iter()
+        .find(|r| r.topology == "serial_depth=16" && r.batch == config.batch)
+        .expect("default batch is in the sweep");
+    if let Some(base) = d16_default.baseline_ns {
+        println!(
+            "serial_depth=16: batch={} is {:.2}x the previously committed scheduler",
+            d16_default.batch,
+            base as f64 / d16_default.sched.as_nanos() as f64
+        );
+    }
 }

@@ -5,8 +5,10 @@
 //! global table and afterwards compared as plain `u32`s.
 
 use parking_lot::RwLock;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::OnceLock;
 
 /// An interned label (field or tag name).
@@ -32,9 +34,59 @@ fn interner() -> &'static RwLock<Interner> {
     })
 }
 
+/// Multiply-xor string hasher (FxHash-style) for the thread-local label
+/// cache. Label spellings are a handful of bytes, so hashing throughput
+/// beats distribution quality; collisions only cost a probe.
+#[derive(Default)]
+struct FxHasher(u64);
+
+impl Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        const SEED: u64 = 0x517c_c1b7_2722_0a95;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let word = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+        }
+        let mut tail = bytes.len() as u64;
+        for &b in chunks.remainder() {
+            tail = (tail << 8) | b as u64;
+        }
+        self.0 = (self.0.rotate_left(5) ^ tail).wrapping_mul(SEED);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+thread_local! {
+    /// Per-thread mirror of the global table. Boxes and filters written
+    /// against string labels (`r.field("x")`) intern on every record, so
+    /// the per-record path must not take the global lock or pay SipHash.
+    /// The mirror can never go stale: the global table is append-only
+    /// and an id, once assigned, is final.
+    static LOCAL: RefCell<HashMap<&'static str, u32, BuildHasherDefault<FxHasher>>> =
+        RefCell::new(HashMap::default());
+}
+
 impl Label {
     /// Interns `name` and returns its label.
     pub fn new(name: &str) -> Label {
+        // Hot path: thread-local hit, no lock, no SipHash.
+        if let Some(id) = LOCAL.with(|m| m.borrow().get(name).copied()) {
+            return Label(id);
+        }
+        let label = Label::intern_global(name);
+        // Key the local mirror by the interner's leaked spelling so the
+        // miss path stays allocation-free too.
+        let spelling = label.as_str();
+        LOCAL.with(|m| m.borrow_mut().insert(spelling, label.0));
+        label
+    }
+
+    /// The global, cross-thread interning slow path.
+    fn intern_global(name: &str) -> Label {
         let table = interner();
         // Fast path under the read lock only.
         if let Some(&id) = table.read().by_name.get(name) {
@@ -148,6 +200,23 @@ mod tests {
             .collect();
         let ids: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn thread_local_cache_agrees_with_global_interner() {
+        // Repeated interning (the per-record hot path) must keep
+        // returning the id the global table assigned — including for
+        // spellings longer than one FxHasher chunk and for spellings
+        // first interned by a *different* thread.
+        let long = "a-label-spelling-well-past-eight-bytes";
+        let first = Label::new(long);
+        for _ in 0..1000 {
+            assert_eq!(Label::new(long), first);
+        }
+        let from_other_thread =
+            std::thread::spawn(move || Label::new(long)).join().unwrap();
+        assert_eq!(from_other_thread, first);
+        assert_eq!(first.as_str(), long);
     }
 
     #[test]

@@ -9,13 +9,18 @@
 //! Every component hop performs label lookups, projections and merges,
 //! so the representation is the hottest data structure in the workspace.
 //! Records are stored as two flat arrays ([`SmallVec`]s) sorted by
-//! interned label id: the 2–6-label records every benchmark and the
-//! paper's application produce fit one small contiguous allocation per
-//! namespace, lookups are a branch-light binary search over `u32` keys,
-//! and set operations (absorb/project/without) are linear merges —
-//! replacing the previous pointer-chasing `BTreeMap` pair. Iteration
-//! order is interning-id order: deterministic within a process, which is
-//! all the engines' multiset comparisons need.
+//! interned label id: the first two labels per namespace live *inline*
+//! in the record itself (the 1–2-field records the benchmarks and the
+//! paper's application stream through pipelines allocate nothing),
+//! larger records spill to one contiguous allocation per namespace.
+//! Lookups are a branch-light binary search over `u32` keys, and set
+//! operations (absorb/project/without) are linear merges — replacing
+//! the previous pointer-chasing `BTreeMap` pair. Iteration order is
+//! interning-id order: deterministic within a process, which is all the
+//! engines' multiset comparisons need. The inline capacity is a
+//! move-size/alloc-rate trade-off: records are moved by value through
+//! mailboxes and hand-off batches, so a larger inline buffer was
+//! measured slower than the allocs it avoided.
 
 use crate::label::Label;
 use crate::rtype::Variant;
@@ -24,7 +29,7 @@ use smallvec::SmallVec;
 use std::fmt;
 
 /// Sorted flat storage for one label namespace.
-type Pairs<V> = SmallVec<[(Label, V); 4]>;
+type Pairs<V> = SmallVec<[(Label, V); 2]>;
 
 #[inline]
 fn find<V>(pairs: &[(Label, V)], label: Label) -> Result<usize, usize> {

@@ -44,6 +44,17 @@ pub struct EngineConfig {
     /// ([`crate::sched::SchedNet`]); the threaded engine ignores it
     /// (its thread count is the component count).
     pub workers: usize,
+    /// Records coalesced per mailbox hand-off in the scheduled engine:
+    /// a task's activation buffers up to this many records per output
+    /// edge and pushes them downstream with a single lock acquisition
+    /// and a single consumer wake; input mailboxes are drained at the
+    /// same granularity. `1` restores record-at-a-time hand-off
+    /// (bit-identical scheduling to the pre-batching engine). The
+    /// threaded engine hands off per record regardless, though
+    /// multi-record component outputs go through the channel's batched
+    /// `send_iter`. Default 32, tuned on the serial-pipeline benchmark
+    /// (see `BENCH_batched_handoff.json`).
+    pub batch: usize,
 }
 
 impl Default for EngineConfig {
@@ -52,6 +63,7 @@ impl Default for EngineConfig {
             channel_capacity: 64,
             mismatch: MismatchPolicy::Forward,
             workers: 4,
+            batch: 32,
         }
     }
 }
@@ -122,13 +134,11 @@ impl Net {
         let mut handle = self.start();
         let feeder_tx = handle.input.take().expect("fresh handle has an input");
         let feeder = std::thread::spawn(move || {
-            for rec in records {
-                if feeder_tx.send(rec).is_err() {
-                    // The net tore down early (a component failed); the
-                    // error is recorded in `shared.error`.
-                    break;
-                }
-            }
+            // One batched send for the whole input: the feeder blocks in
+            // `send_iter` whenever the entry channel fills. A send error
+            // means the net tore down early (a component failed); the
+            // error is recorded in `shared.error`.
+            let _ = feeder_tx.send_iter(records);
         });
         let outs: Vec<Record> = handle.output.iter().collect();
         feeder.join().expect("feeder thread never panics");
@@ -242,13 +252,11 @@ impl Shared {
 
 /// Emits records downstream; a send failure means downstream tore down
 /// (an error was recorded elsewhere) and the component should stop.
+/// Multi-record outputs are handed to the channel as one batch
+/// (`send_iter`): one lock window and one receiver wake per output set
+/// instead of one per record.
 fn send_all(tx: &Sender<Record>, records: Vec<Record>) -> bool {
-    for rec in records {
-        if tx.send(rec).is_err() {
-            return false;
-        }
-    }
-    true
+    tx.send_iter(records).is_ok()
 }
 
 /// Recursively instantiates `spec` between `input` and `output`.

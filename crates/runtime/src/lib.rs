@@ -27,6 +27,36 @@
 //!   the default choice for compute-bound workloads and the base layer
 //!   for the scaling work tracked in ROADMAP.md.
 //!
+//! ## Batched hand-off ([`EngineConfig::batch`])
+//!
+//! Record hand-off in the scheduled engine is **batch-granular**, not
+//! record-granular. Every inter-task edge coalesces an activation's
+//! output in a producer-side buffer and pushes it downstream as one
+//! run: one mailbox lock acquisition and at most one consumer wake per
+//! up-to-`batch` records, instead of one of each per record. Input is
+//! drained at the same granularity (a task claims up to `batch`
+//! records from its mailbox under one lock), the activation budget
+//! counts *records* so long streams still yield to siblings, and every
+//! activation flushes all of its output edges before yielding — no
+//! record is ever stranded in a coalescing buffer while its producer
+//! waits. Per-edge FIFO order is preserved exactly; only the lock/wake
+//! cadence changes, so the small-step semantics (and the interpreter
+//! oracle) are unaffected. `batch = 1` restores the pre-batching
+//! record-at-a-time protocol bit for bit.
+//!
+//! The default (`batch = 32`) was tuned on the serial-pipeline
+//! benchmark (`BENCH_batched_handoff.json`; see
+//! `crates/bench/src/bin/bench_engines.rs --handoff-out`): on the
+//! 16-deep pipeline it runs 1.37x the previous single-record
+//! scheduler (1.26x the in-tree `batch = 1` point), and larger
+//! batches plateau once the per-record lock cost is amortized away.
+//! Under the hood the worker deques are a lock-free Chase–Lev
+//! implementation (see the `crossbeam-deque` shim), so stealing no
+//! longer serializes on a mutex either. Backpressure is cooperative:
+//! a task whose downstream mailbox is over the high-water mark stops
+//! consuming and re-enqueues itself with exponential backoff (1µs
+//! doubling to ~1ms) rather than spinning on the global queue.
+//!
 //! * [`interp::Interp`] — the **deterministic reference interpreter**:
 //!   single-threaded, FIFO scheduling, first-declared tie-breaks. It is
 //!   the executable semantics used as an oracle in property tests (both

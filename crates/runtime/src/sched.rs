@@ -36,14 +36,21 @@ use crossbeam_deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::Mutex;
 use snet_core::semantics::{self, MismatchPolicy};
 use snet_core::{Label, NetSpec, Pattern, Record, SnetError, SyncOutcome, SyncSpec, SyncState};
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Records processed per task activation before yielding back to the
 /// scheduler (keeps long streams from starving sibling components).
+/// When [`EngineConfig::batch`] exceeds this, the budget stretches so a
+/// full hand-off batch is always processed in one activation.
 const ACTIVATION_BUDGET: usize = 64;
+
+/// Cap on the exponential backpressure backoff: a zero-progress task is
+/// re-enqueued after `1µs << min(n, BACKOFF_MAX_SHIFT)`, i.e. at most
+/// ~1ms — the same latency bound as a worker's park quantum.
+const BACKOFF_MAX_SHIFT: u32 = 10;
 
 /// A compiled network executed on the work-stealing scheduler.
 ///
@@ -91,6 +98,8 @@ impl SchedNet {
         let workers = self.config.workers.max(1);
         let sh = Arc::new(Shared {
             injector: Injector::new(),
+            deferred: Mutex::new(BinaryHeap::new()),
+            deferred_count: AtomicUsize::new(0),
             sleep: Mutex::new(SleepState { shutdown: false }),
             cv: Condvar::new(),
             active: AtomicUsize::new(0),
@@ -103,14 +112,13 @@ impl SchedNet {
         });
 
         // Build the static task graph: sink <- spec <- entry.
-        let sink = Task::new("sink", State::Sink);
+        let sink = Task::new("sink", State::Sink { buf: Vec::new() });
         let entry = build(&self.spec, Port::new(&sink), &sh);
 
-        // Feed the whole batch, then close the entry port; the cascade
-        // of close notifications terminates the run.
-        for rec in records {
-            entry.send(rec, &sh, None);
-        }
+        // Feed the whole batch under one mailbox lock with one wake,
+        // then close the entry port; the cascade of close notifications
+        // terminates the run.
+        entry.send_now(records, &sh, None);
         entry.close(&sh, None);
 
         // Worker pool with work-stealing deques.
@@ -161,6 +169,15 @@ struct SleepState {
 
 struct Shared {
     injector: Injector<Arc<Task>>,
+    /// Backpressure-deferred tasks (min-heap on deadline), shared so
+    /// that *any* worker picks an expired deferral up — a deferring
+    /// worker that then sinks into a long activation must not pin the
+    /// deferred task. Guarded by `deferred_count` so the lock is only
+    /// touched under backpressure (cold path).
+    deferred: Mutex<BinaryHeap<Deferred>>,
+    /// Entries in `deferred`; lets the per-activation dispatch path skip
+    /// the heap mutex entirely in the common no-backpressure case.
+    deferred_count: AtomicUsize,
     sleep: Mutex<SleepState>,
     cv: Condvar,
     /// Tasks currently queued or running; 0 after the input closes means
@@ -196,9 +213,12 @@ struct Task {
     mailbox: Mutex<VecDeque<Record>>,
     /// Open upstream ports; 0 = end-of-stream once the mailbox drains.
     open_senders: AtomicUsize,
-    /// True while queued (prevents double-queueing; cleared when a
-    /// worker picks the task up).
+    /// True while queued or deferred (prevents double-queueing; cleared
+    /// when a worker picks the task up).
     scheduled: AtomicBool,
+    /// Consecutive zero-progress (backpressured) activations; drives
+    /// the exponential re-enqueue backoff. Reset on any progress.
+    backoff: AtomicU32,
     state: Mutex<State>,
 }
 
@@ -227,7 +247,11 @@ enum State {
         replicas: HashMap<i64, Port>,
         out: Port,
     },
-    Sink,
+    /// Terminal output collector; records coalesce in `buf` and are
+    /// appended to the shared output vector once per batch/activation.
+    Sink {
+        buf: Vec<Record>,
+    },
     /// Finalized: outputs closed, no further effects.
     Done,
 }
@@ -239,6 +263,7 @@ impl Task {
             mailbox: Mutex::new(VecDeque::new()),
             open_senders: AtomicUsize::new(0),
             scheduled: AtomicBool::new(false),
+            backoff: AtomicU32::new(0),
             state: Mutex::new(state),
         })
     }
@@ -248,8 +273,18 @@ impl Task {
 /// increments the task's sender count; [`Port::close`] decrements it.
 /// Ports are closed explicitly (not on drop) so the close can schedule
 /// the receiving task.
+///
+/// Sends coalesce in `buf` (owned by the producing task's activation —
+/// the state lock serializes all access): records are pushed downstream
+/// only when the buffer reaches [`EngineConfig::batch`] records or the
+/// activation ends, so the consumer-side mailbox lock and wake are paid
+/// once per batch, not once per record. The invariant between
+/// activations is an *empty* buffer — every activation flushes all of
+/// its output edges before yielding, so no record can be stranded in a
+/// buffer while its producer waits.
 struct Port {
     task: Arc<Task>,
+    buf: Vec<Record>,
 }
 
 impl Port {
@@ -257,6 +292,7 @@ impl Port {
         task.open_senders.fetch_add(1, Ordering::AcqRel);
         Port {
             task: Arc::clone(task),
+            buf: Vec::new(),
         }
     }
 
@@ -264,16 +300,60 @@ impl Port {
         Port::new(&self.task)
     }
 
-    fn send(&self, rec: Record, sh: &Shared, local: Option<&Worker<Arc<Task>>>) {
-        self.task.mailbox.lock().push_back(rec);
+    /// Buffered send: coalesces until `batch` records are pending, then
+    /// pushes the whole run with one lock acquisition and one wake.
+    fn send(
+        &mut self,
+        rec: Record,
+        batch: usize,
+        sh: &Shared,
+        local: Option<&Worker<Arc<Task>>>,
+    ) {
+        self.buf.push(rec);
+        if self.buf.len() >= batch {
+            self.flush(sh, local);
+        }
+    }
+
+    /// Pushes any buffered records downstream: one mailbox lock, one
+    /// consumer wake, however many records.
+    fn flush(&mut self, sh: &Shared, local: Option<&Worker<Arc<Task>>>) {
+        if self.buf.is_empty() {
+            return;
+        }
+        {
+            let mut mb = self.task.mailbox.lock();
+            mb.extend(self.buf.drain(..));
+        }
         notify(&self.task, sh, local);
+    }
+
+    /// Unbuffered batch send (driver feed path): extends the mailbox
+    /// under one lock and wakes the consumer once.
+    fn send_now(
+        &self,
+        recs: impl IntoIterator<Item = Record>,
+        sh: &Shared,
+        local: Option<&Worker<Arc<Task>>>,
+    ) {
+        let any = {
+            let mut mb = self.task.mailbox.lock();
+            let before = mb.len();
+            mb.extend(recs);
+            mb.len() > before
+        };
+        if any {
+            notify(&self.task, sh, local);
+        }
     }
 
     fn backlog(&self) -> usize {
         self.task.mailbox.lock().len()
     }
 
-    fn close(self, sh: &Shared, local: Option<&Worker<Arc<Task>>>) {
+    fn close(mut self, sh: &Shared, local: Option<&Worker<Arc<Task>>>) {
+        // Sends happen-before close: drain the coalescing buffer first.
+        self.flush(sh, local);
         if self.task.open_senders.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last sender gone: the task must run once more to observe
             // end-of-stream and finalize.
@@ -303,6 +383,41 @@ fn notify(task: &Arc<Task>, sh: &Shared, local: Option<&Worker<Arc<Task>>>) {
     }
 }
 
+/// A backpressure-deferred task: re-run no earlier than `due`.
+/// Ordered as a min-heap on the deadline.
+struct Deferred {
+    due: Instant,
+    task: Arc<Task>,
+}
+
+impl PartialEq for Deferred {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due
+    }
+}
+impl Eq for Deferred {}
+impl PartialOrd for Deferred {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Deferred {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest due.
+        other.due.cmp(&self.due)
+    }
+}
+
+/// How one activation ended, from the scheduler's accounting view.
+enum Activation {
+    /// Ran to completion: finalized, went idle, or re-queued itself via
+    /// `notify`. The worker releases the activation's `active` token.
+    Complete,
+    /// Zero-progress backpressure yield: the task holds its `scheduled`
+    /// flag and `active` token and must be re-run at the deadline.
+    Defer(Instant),
+}
+
 fn worker_loop(
     index: usize,
     local: Worker<Arc<Task>>,
@@ -322,30 +437,57 @@ fn worker_loop(
                 // state mutex would idle this worker behind up to a full
                 // activation budget of box calls. Hand the entry back to
                 // the global queue and look for other work instead.
-                let ran = if let Some(state) = task.state.try_lock() {
-                    run_task(&task, state, sh, &local);
-                    true
-                } else {
-                    false
-                };
-                if ran {
-                    contended = None;
-                    if sh.active.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        // Quiescent: wake the waiting driver (and peers,
-                        // so shutdown propagates).
-                        sh.cv.notify_all();
+                let guard = task.state.try_lock();
+                match guard {
+                    Some(state) => {
+                        contended = None;
+                        match run_task(&task, state, sh, &local) {
+                            Activation::Complete => {
+                                if sh.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                    // Quiescent: wake the waiting driver
+                                    // (and peers, so shutdown propagates).
+                                    sh.cv.notify_all();
+                                }
+                            }
+                            Activation::Defer(due) => {
+                                // Clone (not move): the state guard's
+                                // borrow region still covers `task`.
+                                // Count first (release): a probe that
+                                // sees the count also sees the entry
+                                // once it takes the heap lock.
+                                sh.deferred_count.fetch_add(1, Ordering::Release);
+                                sh.deferred
+                                    .lock()
+                                    .push(Deferred { due, task: Arc::clone(&task) });
+                            }
+                        }
                     }
-                } else {
-                    let ptr = Arc::as_ptr(&task);
-                    sh.injector.push(task);
-                    if contended.replace(ptr) == Some(ptr) && park(sh) {
-                        return;
+                    None => {
+                        let ptr = Arc::as_ptr(&task);
+                        sh.injector.push(Arc::clone(&task));
+                        if contended.replace(ptr) == Some(ptr)
+                            && park(sh, Duration::from_millis(1))
+                        {
+                            return;
+                        }
                     }
                 }
             }
             None => {
                 contended = None;
-                if park(sh) {
+                // Park until notified, but no longer than the earliest
+                // deferred deadline (nor the 1ms re-probe quantum).
+                let quantum = Duration::from_millis(1);
+                let timeout = if sh.deferred_count.load(Ordering::Acquire) > 0 {
+                    sh.deferred
+                        .lock()
+                        .peek()
+                        .map(|d| d.due.saturating_duration_since(Instant::now()).min(quantum))
+                        .unwrap_or(quantum)
+                } else {
+                    quantum
+                };
+                if park(sh, timeout) {
                     return;
                 }
             }
@@ -354,7 +496,7 @@ fn worker_loop(
 }
 
 /// Parks the worker until new work may exist; returns true on shutdown.
-fn park(sh: &Shared) -> bool {
+fn park(sh: &Shared, timeout: Duration) -> bool {
     let sleep = sh.sleep.lock();
     if sleep.shutdown {
         return true;
@@ -363,7 +505,7 @@ fn park(sh: &Shared) -> bool {
     sh.sleepers.fetch_add(1, Ordering::AcqRel);
     let _ = sh
         .cv
-        .wait_timeout(sleep, Duration::from_millis(1))
+        .wait_timeout(sleep, timeout)
         .unwrap_or_else(|e| e.into_inner());
     sh.sleepers.fetch_sub(1, Ordering::AcqRel);
     false
@@ -375,33 +517,61 @@ fn find_task(
     stealers: &[Stealer<Arc<Task>>],
     sh: &Shared,
 ) -> Option<Arc<Task>> {
+    // Expired backoff deferrals first: they are the oldest work and
+    // their congestion has had the longest time to clear. The heap is
+    // shared, so whichever worker probes first resumes the task; the
+    // atomic count keeps the no-backpressure dispatch path off the
+    // heap mutex entirely.
+    if sh.deferred_count.load(Ordering::Acquire) > 0 {
+        let mut deferred = sh.deferred.lock();
+        if let Some(d) = deferred.peek() {
+            if d.due <= Instant::now() {
+                let task = deferred.pop().expect("peeked entry").task;
+                sh.deferred_count.fetch_sub(1, Ordering::AcqRel);
+                return Some(task);
+            }
+        }
+    }
     if let Some(t) = local.pop() {
         return Some(t);
     }
-    if let Steal::Success(t) = sh.injector.steal() {
-        return Some(t);
-    }
-    // Steal from siblings, starting after our own slot.
-    let n = stealers.len();
-    for k in 1..n {
-        if let Steal::Success(t) = stealers[(index + k) % n].steal() {
-            return Some(t);
+    // The injector and sibling deques can report transient `Retry`
+    // (lost CAS or a mid-swap buffer); keep probing until every source
+    // reports a definitive miss.
+    loop {
+        let mut retry = false;
+        match sh.injector.steal() {
+            Steal::Success(t) => return Some(t),
+            Steal::Retry => retry = true,
+            Steal::Empty => {}
         }
+        // Steal from siblings, starting after our own slot.
+        let n = stealers.len();
+        for k in 1..n {
+            match stealers[(index + k) % n].steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
+        std::hint::spin_loop();
     }
-    None
 }
 
-/// Runs one activation of a task: drain its mailbox (bounded by the
-/// activation budget and downstream high-water marks), then finalize if
-/// end-of-stream has been reached. The caller holds the state lock
-/// (acquired with `try_lock`, so workers never block behind a running
-/// activation).
+/// Runs one activation of a task: drain its mailbox in hand-off
+/// batches (bounded by the activation budget and downstream high-water
+/// marks), flush every output edge once, then finalize if end-of-stream
+/// has been reached. The caller holds the state lock (acquired with
+/// `try_lock`, so workers never block behind a running activation).
 fn run_task(
     task: &Arc<Task>,
     mut state: parking_lot::MutexGuard<'_, State>,
     sh: &Shared,
     local: &Worker<Arc<Task>>,
-) {
+) -> Activation {
     // From here on, producers may re-queue the task; the held state
     // lock serializes actual execution.
     task.scheduled.store(false, Ordering::Release);
@@ -409,26 +579,52 @@ fn run_task(
     if sh.aborted.load(Ordering::Acquire) {
         task.mailbox.lock().clear();
         finalize(task, &mut state, sh, local);
-        return;
+        return Activation::Complete;
     }
 
-    let mut processed = 0;
-    while processed < ACTIVATION_BUDGET {
-        // Probing the downstream mailbox takes its lock; amortize the
-        // check instead of paying it per record.
-        if processed % 16 == 0 && output_backpressured(&state, sh) {
-            break;
+    let batch = sh.config.batch.max(1);
+    let budget = ACTIVATION_BUDGET.max(batch);
+    // Probing the downstream mailbox for backpressure takes its lock;
+    // amortize the check over at least a batch (and no fewer than 16
+    // records, so `batch = 1` keeps the pre-batching cadence).
+    let bp_stride = batch.max(16);
+    let mut next_bp_check = 0usize;
+    let mut processed = 0usize;
+    // Records claimed from the mailbox for the current hand-off batch.
+    let mut inbuf: Vec<Record> = Vec::new();
+    while processed < budget {
+        if processed >= next_bp_check {
+            if output_backpressured(&state, sh) {
+                break;
+            }
+            next_bp_check = processed + bp_stride;
         }
-        let Some(rec) = task.mailbox.lock().pop_front() else {
-            break;
-        };
-        if let Err(e) = step(&mut state, rec, sh, local) {
-            sh.fail(e);
-            task.mailbox.lock().clear();
-            finalize(task, &mut state, sh, local);
-            return;
+        // Refill: claim up to a whole batch with one mailbox lock.
+        {
+            let mut mb = task.mailbox.lock();
+            let take = batch.min(budget - processed).min(mb.len());
+            if take == 0 {
+                break;
+            }
+            inbuf.extend(mb.drain(..take));
         }
-        processed += 1;
+        for rec in inbuf.drain(..) {
+            if let Err(e) = step(&mut state, rec, sh, local) {
+                sh.fail(e);
+                task.mailbox.lock().clear();
+                finalize(task, &mut state, sh, local);
+                return Activation::Complete;
+            }
+            processed += 1;
+        }
+    }
+
+    // Forward this activation's entire output: every edge gets at most
+    // one more mailbox push + wake, and the between-activations
+    // invariant (empty coalescing buffers) is restored.
+    flush_outputs(&mut state, sh, local);
+    if processed > 0 {
+        task.backoff.store(0, Ordering::Relaxed);
     }
 
     // Order matters: read the sender count BEFORE the final mailbox
@@ -442,14 +638,75 @@ fn run_task(
         if senders == 0 {
             finalize(task, &mut state, sh, local);
         }
+        Activation::Complete
     } else {
-        // Budget or backpressure yield: run again. A zero-progress
-        // (backpressured) yield goes to the global queue so this worker
-        // picks up *other* tasks — typically the congested consumer —
-        // before retrying the producer.
         drop(state);
-        let queue = if processed == 0 { None } else { Some(local) };
-        notify(task, sh, queue);
+        if processed == 0 {
+            // Zero-progress (backpressured) yield. Requeueing straight
+            // onto the global queue spins hot while the downstream
+            // mailbox stays full; instead, re-enqueue with exponential
+            // backoff. Claiming `scheduled` here transfers this
+            // activation's `active` token to the deferred entry and
+            // keeps producers from double-queueing the task; if a
+            // producer won the race, its queue entry owns the re-run.
+            if task
+                .scheduled
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let shift = task
+                    .backoff
+                    .fetch_add(1, Ordering::Relaxed)
+                    .min(BACKOFF_MAX_SHIFT);
+                return Activation::Defer(
+                    Instant::now() + Duration::from_micros(1u64 << shift),
+                );
+            }
+            Activation::Complete
+        } else {
+            // Budget yield with progress made: run again soon, from the
+            // local deque.
+            notify(task, sh, Some(local));
+            Activation::Complete
+        }
+    }
+}
+
+/// Flushes every coalescing output buffer reachable from `state`: one
+/// downstream mailbox push + consumer wake per edge with pending
+/// records, and the sink's buffered outputs into the shared vector.
+fn flush_outputs(state: &mut State, sh: &Shared, local: &Worker<Arc<Task>>) {
+    let local = Some(local);
+    match state {
+        State::Box(_, out) | State::Filter(_, out) | State::Sync { out, .. } => {
+            out.flush(sh, local);
+        }
+        State::Par { branches, out, .. } => {
+            for b in branches.iter_mut() {
+                b.flush(sh, local);
+            }
+            out.flush(sh, local);
+        }
+        State::Star {
+            into_body, out, ..
+        } => {
+            if let Some(b) = into_body {
+                b.flush(sh, local);
+            }
+            out.flush(sh, local);
+        }
+        State::Split { replicas, out, .. } => {
+            for p in replicas.values_mut() {
+                p.flush(sh, local);
+            }
+            out.flush(sh, local);
+        }
+        State::Sink { buf } => {
+            if !buf.is_empty() {
+                sh.outputs.lock().append(buf);
+            }
+        }
+        State::Done => {}
     }
 }
 
@@ -467,13 +724,16 @@ fn output_backpressured(state: &State, sh: &Shared) -> bool {
 }
 
 /// Applies one record to a component (the shared small-step semantics),
-/// emitting downstream.
+/// emitting downstream through the coalescing port buffers — downstream
+/// mailboxes see one push per [`EngineConfig::batch`] records (or per
+/// activation), not one per record.
 fn step(
     state: &mut State,
     rec: Record,
     sh: &Shared,
     local: &Worker<Arc<Task>>,
 ) -> Result<(), SnetError> {
+    let batch = sh.config.batch.max(1);
     match state {
         State::Box(def, out) => {
             // Box functions are user code: a panic must become a
@@ -498,7 +758,7 @@ fn step(
                 Trace::add(&sh.trace.passthroughs, 1);
             }
             for r in step.records {
-                out.send(r, sh, Some(local));
+                out.send(r, batch, sh, Some(local));
             }
             Ok(())
         }
@@ -510,7 +770,7 @@ fn step(
                 Trace::add(&sh.trace.passthroughs, 1);
             }
             for r in step.records {
-                out.send(r, sh, Some(local));
+                out.send(r, batch, sh, Some(local));
             }
             Ok(())
         }
@@ -521,9 +781,9 @@ fn step(
                 }
                 SyncOutcome::Fired(m) => {
                     Trace::add(&sh.trace.sync_fires, 1);
-                    out.send(m, sh, Some(local));
+                    out.send(m, batch, sh, Some(local));
                 }
-                SyncOutcome::Passed(r) => out.send(r, sh, Some(local)),
+                SyncOutcome::Passed(r) => out.send(r, batch, sh, Some(local)),
             }
             Ok(())
         }
@@ -536,13 +796,13 @@ fn step(
             match winners.first() {
                 Some(&i) => {
                     Trace::add(&sh.trace.dispatched, 1);
-                    branches[i].send(rec, sh, Some(local));
+                    branches[i].send(rec, batch, sh, Some(local));
                     Ok(())
                 }
                 None => match sh.config.mismatch {
                     MismatchPolicy::Forward => {
                         Trace::add(&sh.trace.passthroughs, 1);
-                        out.send(rec, sh, Some(local));
+                        out.send(rec, batch, sh, Some(local));
                         Ok(())
                     }
                     MismatchPolicy::Error => Err(SnetError::TypeMismatch {
@@ -559,7 +819,7 @@ fn step(
             out,
         } => {
             if exit.matches(&rec) {
-                out.send(rec, sh, Some(local));
+                out.send(rec, batch, sh, Some(local));
                 return Ok(());
             }
             if into_body.is_none() {
@@ -579,9 +839,9 @@ fn step(
                 *into_body = Some(body_in);
             }
             into_body
-                .as_ref()
+                .as_mut()
                 .expect("replica just unfolded")
-                .send(rec, sh, Some(local));
+                .send(rec, batch, sh, Some(local));
             Ok(())
         }
         State::Split {
@@ -598,11 +858,14 @@ fn step(
                 build(body, out.another(), sh)
             });
             Trace::add(&sh.trace.dispatched, 1);
-            port.send(rec, sh, Some(local));
+            port.send(rec, batch, sh, Some(local));
             Ok(())
         }
-        State::Sink => {
-            sh.outputs.lock().push(rec);
+        State::Sink { buf } => {
+            buf.push(rec);
+            if buf.len() >= batch {
+                sh.outputs.lock().append(buf);
+            }
             Ok(())
         }
         State::Done => Ok(()), // post-teardown stragglers are dropped
@@ -644,7 +907,13 @@ fn finalize(task: &Arc<Task>, state: &mut State, sh: &Shared, local: &Worker<Arc
             }
             close(out);
         }
-        State::Sink | State::Done => {}
+        State::Sink { mut buf } => {
+            // Flush any outputs still coalescing in the sink buffer.
+            if !buf.is_empty() {
+                sh.outputs.lock().append(&mut buf);
+            }
+        }
+        State::Done => {}
     }
 }
 

@@ -228,6 +228,75 @@ proptest! {
     }
 
     #[test]
+    fn sched_batched_matches_unbatched_on_confluent_nets(
+        net in arb_net(),
+        batch in prop::collection::vec(arb_record(), 0..20),
+        handoff in prop_oneof![Just(8usize), Just(32), Just(128)],
+    ) {
+        // Batched hand-off must not change the produced multiset: a
+        // batch=1 run (record-at-a-time, the pre-batching protocol) and
+        // a batched run must agree with each other and the oracle.
+        let expected = Interp::new(&net).run_batch(batch.clone()).unwrap();
+        let unbatched = SchedNet::with_config(
+            net.clone(),
+            EngineConfig { batch: 1, ..EngineConfig::default() },
+        )
+        .run_batch(batch.clone())
+        .unwrap();
+        let batched = SchedNet::with_config(
+            net,
+            EngineConfig { batch: handoff, ..EngineConfig::default() },
+        )
+        .run_batch(batch)
+        .unwrap();
+        prop_assert_eq!(multiset(&unbatched), multiset(&expected.outputs));
+        prop_assert_eq!(multiset(&batched), multiset(&expected.outputs));
+    }
+
+    #[test]
+    fn sched_batching_preserves_per_stream_fifo_order(
+        n_records in 1usize..48,
+        keys in 2i64..4,
+        depth in 1usize..5,
+        handoff in prop_oneof![Just(1usize), Just(8), Just(32), Just(128)],
+    ) {
+        // Records that take the same path (same `<k>` replica of a
+        // `!`-indexed pipeline) must come out in the order they went
+        // in, at every hand-off batch size: batching may coalesce
+        // hand-offs but never reorder an edge. `<s>` is a per-record
+        // sequence number; `<n> = 0` keeps stars out of the picture.
+        let net = NetSpec::split(
+            NetSpec::pipeline((0..depth).map(|_| add_box())),
+            "k",
+        );
+        let records: Vec<Record> = (0..n_records)
+            .map(|i| {
+                Record::new()
+                    .with_tag("k", i as i64 % keys)
+                    .with_tag("s", i as i64)
+                    .with_field("a", Value::Int(i as i64))
+            })
+            .collect();
+        let outs = SchedNet::with_config(
+            net,
+            EngineConfig { batch: handoff, ..EngineConfig::default() },
+        )
+        .run_batch(records)
+        .unwrap();
+        prop_assert_eq!(outs.len(), n_records);
+        for k in 0..keys {
+            let seq: Vec<i64> = outs
+                .iter()
+                .filter(|r| r.tag("k") == Some(k))
+                .map(|r| r.tag("s").expect("sequence tag survives"))
+                .collect();
+            let expected: Vec<i64> =
+                (0..n_records as i64).filter(|s| s % keys == k).collect();
+            prop_assert_eq!(seq, expected, "stream k={} reordered", k);
+        }
+    }
+
+    #[test]
     fn interp_is_deterministic(
         net in arb_net(),
         batch in prop::collection::vec(arb_record(), 0..16),

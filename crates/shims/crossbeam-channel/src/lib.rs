@@ -116,6 +116,79 @@ fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
 }
 
 impl<T> Sender<T> {
+    /// Sends every message from `iter`, acquiring the channel lock once
+    /// per *chunk* (and once per capacity window within a chunk)
+    /// instead of once per message, and waking receivers once per
+    /// window instead of once per message.
+    ///
+    /// Blocks (like [`Sender::send`]) whenever the bounded queue is
+    /// full. If every receiver disconnects mid-send, the error carries
+    /// the undelivered remainder (messages already enqueued stay
+    /// delivered).
+    pub fn send_iter<I>(&self, iter: I) -> Result<(), SendError<Vec<T>>>
+    where
+        I: IntoIterator<Item = T>,
+    {
+        // The caller's iterator runs arbitrary code, so it is never
+        // advanced while the channel lock is held (it could touch this
+        // very channel, and std's mutex is not reentrant): items are
+        // pulled into a local chunk first, then delivered.
+        const CHUNK: usize = 64;
+        let mut it = iter.into_iter();
+        loop {
+            let chunk: Vec<T> = it.by_ref().take(CHUNK).collect();
+            let mut chunk_it = chunk.into_iter();
+            // Invariant: never wait for space without an undelivered
+            // message in hand. Each `writable` notification is a
+            // one-slot token; a sender that consumed one and returned
+            // without pushing would strand the freed slot while its
+            // sibling senders (and then the receiver, on the emptied
+            // queue) sleep forever.
+            let Some(mut pending) = chunk_it.next() else {
+                return Ok(());
+            };
+            let mut st = self.shared.lock();
+            let mut queued = 0usize;
+            loop {
+                if st.receivers == 0 {
+                    drop(st);
+                    if queued > 0 {
+                        self.shared.readable.notify_all();
+                    }
+                    let mut rest = vec![pending];
+                    rest.extend(chunk_it);
+                    rest.extend(it);
+                    return Err(SendError(rest));
+                }
+                if st.cap.is_some_and(|c| st.queue.len() >= c) {
+                    // Full: publish the window queued so far, then wait
+                    // for space. notify_all because a window may
+                    // satisfy many parked receivers at once.
+                    if queued > 0 {
+                        self.shared.readable.notify_all();
+                        queued = 0;
+                    }
+                    st = self
+                        .shared
+                        .writable
+                        .wait(st)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    continue;
+                }
+                st.queue.push_back(pending);
+                queued += 1;
+                match chunk_it.next() {
+                    Some(v) => pending = v,
+                    None => break,
+                }
+            }
+            drop(st);
+            if queued > 0 {
+                self.shared.readable.notify_all();
+            }
+        }
+    }
+
     /// Blocks until the message is enqueued or every receiver is gone.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
         let mut st = self.shared.lock();
@@ -330,6 +403,82 @@ mod tests {
         assert_eq!(rx.try_recv(), Ok(1));
         drop(tx);
         assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_iter_unbounded_is_one_shot() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send_iter(0..100).unwrap();
+        let got: Vec<u32> = (0..100).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_iter_blocks_on_bounded_and_preserves_order() {
+        let (tx, rx) = bounded::<u32>(4);
+        let t = thread::spawn(move || tx.send_iter(0..64));
+        let got: Vec<u32> = rx.iter().collect();
+        t.join().unwrap().unwrap();
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn send_iter_returns_remainder_on_disconnect() {
+        let (tx, rx) = bounded::<u32>(2);
+        let t = thread::spawn(move || tx.send_iter(0..10));
+        // Take two, then hang up: the sender must fail with the
+        // undelivered tail (whatever had not been enqueued yet).
+        assert_eq!(rx.recv(), Ok(0));
+        assert_eq!(rx.recv(), Ok(1));
+        thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx);
+        let err = t.join().unwrap().unwrap_err();
+        let SendError(rest) = err;
+        assert!(!rest.is_empty());
+        assert_eq!(*rest.last().unwrap(), 9, "tail preserved in order");
+    }
+
+    #[test]
+    fn send_iter_empty_returns_without_blocking_on_a_full_queue() {
+        // Regression: an exhausted/empty iterator must never wait for
+        // space it will not use — a woken sender that returns without
+        // pushing swallows the receiver's one-slot wakeup token and
+        // deadlocks its sibling senders (then the receiver).
+        let (tx, rx) = bounded::<u32>(1);
+        tx.send(7).unwrap(); // queue now full
+        tx.send_iter(std::iter::empty()).unwrap(); // must not block
+        assert_eq!(rx.recv(), Ok(7));
+    }
+
+    #[test]
+    fn contended_send_iter_senders_never_eat_each_others_wakeups() {
+        // Many senders (batched and plain, some with empty batches)
+        // funnel through a capacity-1 channel: every message must come
+        // out. The pre-fix protocol wedged here within a few windows.
+        let (tx, rx) = bounded::<u32>(1);
+        const SENDERS: u32 = 4;
+        const PER: u32 = 500;
+        let handles: Vec<_> = (0..SENDERS)
+            .map(|s| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    let base = s * PER;
+                    for chunk in (0..PER).collect::<Vec<_>>().chunks(7) {
+                        tx.send_iter(chunk.iter().map(|i| base + i)).unwrap();
+                        tx.send_iter(std::iter::empty()).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let got: Vec<u32> = rx.iter().collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(got.len(), (SENDERS * PER) as usize);
+        let mut sorted = got;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..SENDERS * PER).collect::<Vec<_>>());
     }
 
     #[test]

@@ -1,18 +1,48 @@
-//! Offline shim for `crossbeam-deque`.
+//! Offline shim for `crossbeam-deque`, built around a real lock-free
+//! Chase–Lev work-stealing deque.
 //!
-//! Mutex-backed FIFO deques with the `Worker`/`Stealer`/`Injector`
-//! API. The real crate's lock-free Chase–Lev deque is strictly faster
-//! under contention; this shim preserves the exact semantics (owner
-//! pushes/pops its own queue, thieves steal the opposite end, a global
-//! injector feeds the pool) so the scheduler code is unchanged when the
-//! real crate is vendored.
+//! The `Worker`/`Stealer` pair is an array-based Chase–Lev deque
+//! (Chase & Lev, SPAA '05, with the memory orderings of Lê et al.,
+//! PPoPP '13): the owner pushes at the bottom with plain stores plus a
+//! release publish, thieves race a single compare-and-swap on `top`,
+//! and nobody ever takes a lock. Two flavors are provided, matching the
+//! real crate:
+//!
+//! * `new_fifo()` — the owner pops the *same* end thieves steal from
+//!   (oldest first), so the deque behaves as an SPMC FIFO queue;
+//! * `new_lifo()` — the classic Chase–Lev owner end: the owner pops the
+//!   most recently pushed task, racing thieves only for the last
+//!   element.
+//!
+//! Memory reclamation is **epoch-free**: buffer growth is guarded by a
+//! versioned seqlock. The owner bumps `version` to odd, publishes the
+//! doubled buffer, and bumps it back to even; a thief that observes an
+//! odd version, a version change across its speculative slot read, or a
+//! lost `top` race returns [`Steal::Retry`] and forgets the (never
+//! materialized) value. Retired buffers are parked on a cold-path list
+//! and deallocated — without dropping their raw slots, which are either
+//! consumed or duplicated into the live buffer — only when the last
+//! handle drops. This keeps every speculative read inbounds of live
+//! memory without epochs or hazard pointers.
+//!
+//! The [`Injector`] stays a mutex-backed FIFO: in the scheduler it is
+//! the cold path (initial feed and contended-task requeues), while
+//! every hot hand-off goes through the lock-free worker deques.
 
+use std::cell::{Cell, UnsafeCell};
 use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
+
+/// Initial ring capacity; doubled on every growth. Kept small so tests
+/// exercise the growth/steal race without pushing millions of items.
+const MIN_CAP: usize = 16;
 
 /// Result of a steal attempt.
 #[derive(Debug, PartialEq, Eq)]
@@ -21,8 +51,8 @@ pub enum Steal<T> {
     Empty,
     /// One task was stolen.
     Success(T),
-    /// A race occurred; retry. (Never produced by this shim, but kept
-    /// so scheduler loops are written against the real contract.)
+    /// A race occurred (lost `top` CAS or an overlapping buffer swap);
+    /// the caller should retry or move to another victim.
     Retry,
 }
 
@@ -41,38 +71,265 @@ impl<T> Steal<T> {
     }
 }
 
-/// The owner end of a work-stealing deque.
-pub struct Worker<T> {
-    inner: Arc<Mutex<VecDeque<T>>>,
+/// Fixed-capacity ring of uninitialized slots. Slot `i` lives at
+/// `i & mask`; the Chase–Lev indices grow without bound.
+struct Buffer<T> {
+    mask: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
 }
 
-impl<T> Worker<T> {
-    /// Creates a FIFO deque (owner pops the front it pushes to the back;
-    /// thieves steal from the front as well, preserving FIFO order).
-    pub fn new_fifo() -> Worker<T> {
-        Worker {
-            inner: Arc::new(Mutex::new(VecDeque::new())),
+impl<T> Buffer<T> {
+    fn alloc(cap: usize) -> *mut Buffer<T> {
+        debug_assert!(cap.is_power_of_two());
+        let slots: Box<[UnsafeCell<MaybeUninit<T>>]> =
+            (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+        Box::into_raw(Box::new(Buffer { mask: cap - 1, slots }))
+    }
+
+    fn cap(&self) -> usize {
+        self.mask + 1
+    }
+
+    fn slot(&self, index: isize) -> *mut MaybeUninit<T> {
+        self.slots[(index as usize) & self.mask].get()
+    }
+
+    /// Speculatively copies the element at `index` out of the ring.
+    ///
+    /// # Safety
+    /// The caller must either win the ownership race (CAS on `top`, or
+    /// owner-exclusive access to the bottom slot) before materializing
+    /// the value, or `mem::forget` it.
+    unsafe fn read(&self, index: isize) -> T {
+        (*self.slot(index)).assume_init_read()
+    }
+
+    /// # Safety
+    /// Only the owner writes, and only to slots outside `top..bottom`.
+    unsafe fn write(&self, index: isize, value: T) {
+        (*self.slot(index)).write(value);
+    }
+}
+
+struct Inner<T> {
+    /// Next index thieves steal from.
+    top: AtomicIsize,
+    /// Next index the owner pushes to. Only the owner stores (except
+    /// the transient reservation in the LIFO pop).
+    bottom: AtomicIsize,
+    /// The live ring; swapped (never shrunk) by the owner on growth.
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Seqlock over `buffer`: odd while a swap is in flight; any change
+    /// across a thief's speculative read forces [`Steal::Retry`].
+    version: AtomicUsize,
+    /// Retired rings, kept alive for stragglers' speculative reads and
+    /// deallocated when the deque drops. Touched only on growth (cold).
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Inner<T> {
+    fn new() -> Inner<T> {
+        Inner {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buffer: AtomicPtr::new(Buffer::alloc(MIN_CAP)),
+            version: AtomicUsize::new(0),
+            retired: Mutex::new(Vec::new()),
         }
     }
 
-    /// Pushes a task onto the owner's end.
+    /// Owner-only: push at the bottom, growing the ring when full.
+    fn push(&self, value: T) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        let mut buf = self.buffer.load(Ordering::Relaxed);
+        if b.wrapping_sub(t) as usize >= unsafe { (*buf).cap() } {
+            buf = self.grow(t, b, buf);
+        }
+        unsafe { (*buf).write(b, value) };
+        // Publish: the slot write happens-before any thief that
+        // observes the new bottom.
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Owner-only: double the ring, raw-copying the live window. The
+    /// old ring is retired, not freed — thieves mid-read keep valid
+    /// memory, and the seqlock retries any read that spans the swap.
+    fn grow(&self, t: isize, b: isize, old: *mut Buffer<T>) -> *mut Buffer<T> {
+        let new = Buffer::alloc(unsafe { (*old).cap() } * 2);
+        unsafe {
+            for i in t..b {
+                std::ptr::copy_nonoverlapping((*old).slot(i), (*new).slot(i), 1);
+            }
+        }
+        self.version.fetch_add(1, Ordering::AcqRel); // odd: swap in flight
+        self.buffer.store(new, Ordering::Release);
+        self.version.fetch_add(1, Ordering::Release); // even: swap done
+        lock(&self.retired).push(old);
+        new
+    }
+
+    /// Thief path (also the owner's FIFO pop): race a CAS on `top`.
+    fn steal(&self) -> Steal<T> {
+        let t = self.top.load(Ordering::Acquire);
+        // Order the `top` load before the `bottom` load (the SeqCst
+        // pair of the canonical algorithm).
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let v = self.version.load(Ordering::Acquire);
+        if v & 1 == 1 {
+            return Steal::Retry; // buffer swap in flight
+        }
+        let buf = self.buffer.load(Ordering::Acquire);
+        let value = unsafe { (*buf).read(t) };
+        if self.version.load(Ordering::Acquire) != v {
+            std::mem::forget(value);
+            return Steal::Retry; // read overlapped a swap
+        }
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            std::mem::forget(value);
+            return Steal::Retry; // another consumer took index t
+        }
+        Steal::Success(value)
+    }
+
+    /// Owner-only LIFO pop: take the bottom element, racing thieves
+    /// (via `top`) only when it is the last one.
+    fn pop_lifo(&self) -> Option<T> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        let buf = self.buffer.load(Ordering::Relaxed);
+        // Reserve the bottom slot before inspecting `top`.
+        self.bottom.store(b, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::SeqCst);
+        if t > b {
+            // Empty: undo the reservation.
+            self.bottom.store(b + 1, Ordering::SeqCst);
+            return None;
+        }
+        let value = unsafe { (*buf).read(b) };
+        if t == b {
+            // Last element: exactly one of {owner, some thief} wins the
+            // CAS and materializes the value.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b + 1, Ordering::SeqCst);
+            if !won {
+                std::mem::forget(value);
+                return None;
+            }
+        }
+        Some(value)
+    }
+
+    /// Owner's FIFO pop: same end as thieves; retries lost races until
+    /// success or observed-empty.
+    fn pop_fifo(&self) -> Option<T> {
+        loop {
+            match self.steal() {
+                Steal::Success(v) => return Some(v),
+                Steal::Empty => return None,
+                Steal::Retry => std::hint::spin_loop(),
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::SeqCst);
+        let t = self.top.load(Ordering::SeqCst);
+        b.saturating_sub(t).max(0) as usize
+    }
+}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        let t = *self.top.get_mut();
+        let b = *self.bottom.get_mut();
+        let buf = *self.buffer.get_mut();
+        unsafe {
+            // Unconsumed elements live in the current ring only.
+            for i in t..b {
+                drop((*buf).read(i));
+            }
+            drop(Box::from_raw(buf));
+            // Retired rings hold consumed-or-duplicated raw slots:
+            // deallocate without dropping elements.
+            for old in lock(&self.retired).drain(..) {
+                drop(Box::from_raw(old));
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Flavor {
+    Fifo,
+    Lifo,
+}
+
+/// The owner end of a work-stealing deque. `Send` but deliberately not
+/// `Sync`: exactly one thread pushes and pops the owner end.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+    flavor: Flavor,
+    /// Suppresses `Sync` (single-owner invariant) while keeping `Send`.
+    _not_sync: PhantomData<Cell<()>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates a FIFO deque: the owner pops the end thieves steal from,
+    /// so tasks leave in push order regardless of who takes them.
+    pub fn new_fifo() -> Worker<T> {
+        Worker {
+            inner: Arc::new(Inner::new()),
+            flavor: Flavor::Fifo,
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// Creates a LIFO deque: the classic Chase–Lev owner end (depth-
+    /// first own work, breadth-first stealing).
+    pub fn new_lifo() -> Worker<T> {
+        Worker {
+            inner: Arc::new(Inner::new()),
+            flavor: Flavor::Lifo,
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// Pushes a task onto the owner's end. Lock-free; never blocks.
     pub fn push(&self, task: T) {
-        lock(&self.inner).push_back(task);
+        self.inner.push(task);
     }
 
-    /// Pops a task from the owner's end.
+    /// Pops a task from the owner's end (flavor-dependent).
     pub fn pop(&self) -> Option<T> {
-        lock(&self.inner).pop_front()
+        match self.flavor {
+            Flavor::Fifo => self.inner.pop_fifo(),
+            Flavor::Lifo => self.inner.pop_lifo(),
+        }
     }
 
-    /// Is the deque currently empty?
+    /// Is the deque currently (approximately) empty?
     pub fn is_empty(&self) -> bool {
-        lock(&self.inner).is_empty()
+        self.len() == 0
     }
 
-    /// Number of queued tasks.
+    /// Number of queued tasks (a racy snapshot).
     pub fn len(&self) -> usize {
-        lock(&self.inner).len()
+        self.inner.len()
     }
 
     /// Creates a thief handle.
@@ -85,7 +342,7 @@ impl<T> Worker<T> {
 
 /// A thief handle onto another worker's deque.
 pub struct Stealer<T> {
-    inner: Arc<Mutex<VecDeque<T>>>,
+    inner: Arc<Inner<T>>,
 }
 
 impl<T> Clone for Stealer<T> {
@@ -97,21 +354,21 @@ impl<T> Clone for Stealer<T> {
 }
 
 impl<T> Stealer<T> {
-    /// Attempts to steal one task.
+    /// Attempts to steal the oldest task. [`Steal::Retry`] signals a
+    /// lost race, not emptiness.
     pub fn steal(&self) -> Steal<T> {
-        match lock(&self.inner).pop_front() {
-            Some(t) => Steal::Success(t),
-            None => Steal::Empty,
-        }
+        self.inner.steal()
     }
 
-    /// Is the observed deque empty?
+    /// Is the observed deque (approximately) empty?
     pub fn is_empty(&self) -> bool {
-        lock(&self.inner).is_empty()
+        self.inner.len() == 0
     }
 }
 
-/// A global FIFO injection queue shared by the whole pool.
+/// A global FIFO injection queue shared by the whole pool. Mutex-backed
+/// by design: it only carries the cold path (initial feed, contended
+/// requeues), while per-record hand-off rides the lock-free deques.
 pub struct Injector<T> {
     inner: Mutex<VecDeque<T>>,
 }
@@ -169,6 +426,78 @@ mod tests {
         assert_eq!(w.pop(), Some(2));
         assert_eq!(s.steal(), Steal::Success(3));
         assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn lifo_owner_pops_newest_thief_steals_oldest() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn growth_preserves_every_element() {
+        // Push far past MIN_CAP without consuming: multiple growths.
+        let w = Worker::new_fifo();
+        for i in 0..10 * MIN_CAP {
+            w.push(i);
+        }
+        let mut got = Vec::new();
+        while let Some(v) = w.pop() {
+            got.push(v);
+        }
+        assert_eq!(got, (0..10 * MIN_CAP).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop_wraps_the_ring() {
+        // Net occupancy stays tiny while indices run far past MIN_CAP,
+        // forcing ring wraparound without growth.
+        let w = Worker::new_fifo();
+        let mut next = 0u64;
+        for i in 0..1000u64 {
+            w.push(i);
+            if i % 2 == 0 {
+                assert_eq!(w.pop(), Some(next));
+                next += 1;
+            }
+        }
+        while let Some(v) = w.pop() {
+            assert_eq!(v, next);
+            next += 1;
+        }
+        assert_eq!(next, 1000);
+    }
+
+    #[test]
+    fn drops_unconsumed_elements_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let w = Worker::new_fifo();
+            // Cross a growth boundary so retired buffers hold duplicated
+            // raw slots; they must not be double-dropped.
+            for _ in 0..3 * MIN_CAP {
+                w.push(D);
+            }
+            for _ in 0..MIN_CAP {
+                drop(w.pop());
+            }
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 3 * MIN_CAP);
     }
 
     #[test]

@@ -1,22 +1,27 @@
-//! Offline shim for `smallvec`.
+//! Offline shim for `smallvec` — with real inline storage.
 //!
-//! Exposes the `SmallVec<[T; N]>` type the workspace uses, backed by a
-//! plain `Vec`. The *flat, contiguous, binary-searchable* layout — the
-//! property the record representation depends on — is identical to the
-//! real crate; what this shim forgoes is the inline (spill-free) storage
-//! optimization for the first `N` elements. Vendoring the real crate is
-//! a drop-in replacement and an automatic perf upgrade.
+//! Exposes the `SmallVec<[T; N]>` type the workspace uses. The first
+//! `N` elements live *inline* (no heap allocation); pushing past `N`
+//! spills to a `Vec`, after which the vector behaves exactly like the
+//! plain-`Vec` fallback this shim used to be. The flat, contiguous,
+//! binary-searchable layout the record representation depends on holds
+//! in both modes (`Deref<Target = [T]>` over either storage).
+//!
+//! Records carry at most a handful of fields and tags, so inline
+//! storage turns the per-record allocation pair (fields + tags) into
+//! zero heap traffic on the engines' hot hand-off path.
 
 use std::fmt;
-use std::marker::PhantomData;
+use std::mem::MaybeUninit;
 use std::ops::{Deref, DerefMut};
+use std::ptr;
 
 /// Marker trait tying `SmallVec<[T; N]>` syntax to an element type and
-/// an inline capacity hint.
+/// an inline capacity.
 pub trait Array {
     /// Element type.
     type Item;
-    /// Inline capacity hint (used to pre-size the first allocation).
+    /// Inline capacity.
     const CAP: usize;
 }
 
@@ -25,70 +30,191 @@ impl<T, const N: usize> Array for [T; N] {
     const CAP: usize = N;
 }
 
-/// A contiguous growable array with an inline-capacity type parameter.
+/// Either `CAP` inline slots or a spilled heap vector.
+///
+/// `MaybeUninit<A>` (i.e. `MaybeUninit<[T; N]>`) is raw storage for the
+/// inline mode — only the first `len` slots are initialized. Using the
+/// array type itself as the buffer sidesteps the unstable
+/// `[MaybeUninit<T>; A::CAP]` const-generic form.
+enum Store<A: Array> {
+    Inline {
+        len: usize,
+        buf: MaybeUninit<A>,
+    },
+    Heap(Vec<A::Item>),
+}
+
+/// A contiguous growable array storing its first
+/// [`Array::CAP`] elements inline.
 pub struct SmallVec<A: Array> {
-    vec: Vec<A::Item>,
-    _marker: PhantomData<A>,
+    store: Store<A>,
 }
 
 impl<A: Array> SmallVec<A> {
-    /// Creates an empty vector (no allocation until the first push).
+    /// Creates an empty vector (inline; no allocation).
     pub fn new() -> SmallVec<A> {
         SmallVec {
-            vec: Vec::new(),
-            _marker: PhantomData,
+            store: Store::Inline {
+                len: 0,
+                buf: MaybeUninit::uninit(),
+            },
         }
     }
 
-    /// Creates an empty vector with at least `cap` capacity.
+    /// Creates an empty vector with at least `cap` capacity (inline if
+    /// it fits, heap otherwise).
     pub fn with_capacity(cap: usize) -> SmallVec<A> {
-        SmallVec {
-            vec: Vec::with_capacity(cap),
-            _marker: PhantomData,
+        if cap <= A::CAP {
+            SmallVec::new()
+        } else {
+            SmallVec {
+                store: Store::Heap(Vec::with_capacity(cap)),
+            }
         }
     }
 
-    /// Appends an element, pre-sizing to the inline capacity hint on the
-    /// first growth so typical records allocate exactly once.
-    pub fn push(&mut self, value: A::Item) {
-        if self.vec.capacity() == 0 {
-            self.vec.reserve(A::CAP.max(1));
+    fn inline_ptr(buf: &MaybeUninit<A>) -> *const A::Item {
+        buf.as_ptr() as *const A::Item
+    }
+
+    fn inline_ptr_mut(buf: &mut MaybeUninit<A>) -> *mut A::Item {
+        buf.as_mut_ptr() as *mut A::Item
+    }
+
+    /// Moves the inline elements into a heap vector with room for at
+    /// least `extra` more elements.
+    fn spill(&mut self, extra: usize) {
+        if let Store::Inline { len, buf } = &mut self.store {
+            let n = *len;
+            let mut vec = Vec::with_capacity((A::CAP * 2).max(n + extra).max(4));
+            unsafe {
+                // Move the initialized prefix; zero `len` first so the
+                // moved-from slots can never be touched again (the
+                // replacement of `self.store` below drops the old
+                // Inline variant, whose buffer is plain bytes).
+                ptr::copy_nonoverlapping(Self::inline_ptr(buf), vec.as_mut_ptr(), n);
+                vec.set_len(n);
+            }
+            *len = 0;
+            self.store = Store::Heap(vec);
         }
-        self.vec.push(value);
+    }
+
+    /// Appends an element.
+    pub fn push(&mut self, value: A::Item) {
+        match &mut self.store {
+            Store::Inline { len, buf } if *len < A::CAP => unsafe {
+                ptr::write(Self::inline_ptr_mut(buf).add(*len), value);
+                *len += 1;
+            },
+            Store::Inline { .. } => {
+                self.spill(1);
+                match &mut self.store {
+                    Store::Heap(v) => v.push(value),
+                    Store::Inline { .. } => unreachable!("just spilled"),
+                }
+            }
+            Store::Heap(v) => v.push(value),
+        }
     }
 
     /// Inserts an element at `index`, shifting the tail right.
     pub fn insert(&mut self, index: usize, value: A::Item) {
-        if self.vec.capacity() == 0 {
-            self.vec.reserve(A::CAP.max(1));
+        match &mut self.store {
+            Store::Inline { len, buf } if *len < A::CAP => {
+                assert!(index <= *len, "insert index {index} out of bounds");
+                unsafe {
+                    let p = Self::inline_ptr_mut(buf);
+                    ptr::copy(p.add(index), p.add(index + 1), *len - index);
+                    ptr::write(p.add(index), value);
+                }
+                *len += 1;
+            }
+            Store::Inline { .. } => {
+                self.spill(1);
+                self.insert(index, value);
+            }
+            Store::Heap(v) => v.insert(index, value),
         }
-        self.vec.insert(index, value);
     }
 
     /// Removes and returns the element at `index`, shifting the tail
     /// left.
     pub fn remove(&mut self, index: usize) -> A::Item {
-        self.vec.remove(index)
+        match &mut self.store {
+            Store::Inline { len, buf } => {
+                assert!(index < *len, "remove index {index} out of bounds");
+                unsafe {
+                    let p = Self::inline_ptr_mut(buf);
+                    let value = ptr::read(p.add(index));
+                    ptr::copy(p.add(index + 1), p.add(index), *len - index - 1);
+                    *len -= 1;
+                    value
+                }
+            }
+            Store::Heap(v) => v.remove(index),
+        }
     }
 
     /// Removes all elements.
     pub fn clear(&mut self) {
-        self.vec.clear();
+        match &mut self.store {
+            Store::Inline { len, buf } => {
+                let n = std::mem::replace(len, 0);
+                unsafe {
+                    ptr::drop_in_place(ptr::slice_from_raw_parts_mut(
+                        Self::inline_ptr_mut(buf),
+                        n,
+                    ));
+                }
+            }
+            Store::Heap(v) => v.clear(),
+        }
     }
 
     /// Removes the last element.
     pub fn pop(&mut self) -> Option<A::Item> {
-        self.vec.pop()
+        match &mut self.store {
+            Store::Inline { len, buf } => {
+                if *len == 0 {
+                    return None;
+                }
+                *len -= 1;
+                Some(unsafe { ptr::read(Self::inline_ptr(buf).add(*len)) })
+            }
+            Store::Heap(v) => v.pop(),
+        }
     }
 
     /// Keeps only elements satisfying the predicate.
-    pub fn retain(&mut self, f: impl FnMut(&mut A::Item) -> bool) {
-        self.vec.retain_mut(f);
+    pub fn retain(&mut self, mut f: impl FnMut(&mut A::Item) -> bool) {
+        match &mut self.store {
+            Store::Heap(v) => v.retain_mut(f),
+            Store::Inline { .. } => {
+                // n ≤ CAP (a handful): the shifting remove is fine.
+                let mut i = 0;
+                while i < self.len() {
+                    if f(&mut self[i]) {
+                        i += 1;
+                    } else {
+                        drop(self.remove(i));
+                    }
+                }
+            }
+        }
     }
 
     /// Borrows the backing slice.
     pub fn as_slice(&self) -> &[A::Item] {
-        &self.vec
+        self
+    }
+}
+
+impl<A: Array> Drop for SmallVec<A> {
+    fn drop(&mut self) {
+        // Heap mode drops via the Vec; inline mode must drop the
+        // initialized prefix explicitly.
+        self.clear();
     }
 }
 
@@ -101,13 +227,23 @@ impl<A: Array> Default for SmallVec<A> {
 impl<A: Array> Deref for SmallVec<A> {
     type Target = [A::Item];
     fn deref(&self) -> &[A::Item] {
-        &self.vec
+        match &self.store {
+            Store::Inline { len, buf } => unsafe {
+                std::slice::from_raw_parts(Self::inline_ptr(buf), *len)
+            },
+            Store::Heap(v) => v,
+        }
     }
 }
 
 impl<A: Array> DerefMut for SmallVec<A> {
     fn deref_mut(&mut self) -> &mut [A::Item] {
-        &mut self.vec
+        match &mut self.store {
+            Store::Inline { len, buf } => unsafe {
+                std::slice::from_raw_parts_mut(Self::inline_ptr_mut(buf), *len)
+            },
+            Store::Heap(v) => v,
+        }
     }
 }
 
@@ -116,10 +252,11 @@ where
     A::Item: Clone,
 {
     fn clone(&self) -> Self {
-        SmallVec {
-            vec: self.vec.clone(),
-            _marker: PhantomData,
+        let mut out = SmallVec::with_capacity(self.len());
+        for item in self.iter() {
+            out.push(item.clone());
         }
+        out
     }
 }
 
@@ -128,7 +265,7 @@ where
     A::Item: PartialEq,
 {
     fn eq(&self, other: &Self) -> bool {
-        self.vec == other.vec
+        self[..] == other[..]
     }
 }
 
@@ -139,30 +276,101 @@ where
     A::Item: fmt::Debug,
 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.vec.fmt(f)
+        self[..].fmt(f)
     }
 }
 
 impl<A: Array> FromIterator<A::Item> for SmallVec<A> {
     fn from_iter<I: IntoIterator<Item = A::Item>>(iter: I) -> Self {
-        SmallVec {
-            vec: Vec::from_iter(iter),
-            _marker: PhantomData,
-        }
+        let mut v = SmallVec::new();
+        v.extend(iter);
+        v
     }
 }
 
 impl<A: Array> Extend<A::Item> for SmallVec<A> {
     fn extend<I: IntoIterator<Item = A::Item>>(&mut self, iter: I) {
-        self.vec.extend(iter);
+        for item in iter {
+            self.push(item);
+        }
+    }
+}
+
+/// Owning iterator over a [`SmallVec`]. Fields are private: the inline
+/// variant's buffer/window pair is an ownership invariant (`next..len`
+/// initialized), so safe construction from outside would be unsound.
+pub struct IntoIter<A: Array> {
+    inner: IntoIterInner<A>,
+}
+
+enum IntoIterInner<A: Array> {
+    /// Inline mode: the raw buffer plus the un-consumed window
+    /// `next..len`. Dropped without being fully consumed, the window's
+    /// remaining elements are dropped in place.
+    Inline {
+        buf: MaybeUninit<A>,
+        next: usize,
+        len: usize,
+    },
+    /// Spilled mode: the heap vector's own iterator.
+    Heap(std::vec::IntoIter<A::Item>),
+}
+
+impl<A: Array> Iterator for IntoIter<A> {
+    type Item = A::Item;
+
+    fn next(&mut self) -> Option<A::Item> {
+        match &mut self.inner {
+            IntoIterInner::Inline { buf, next, len } => {
+                if next < len {
+                    let p = buf.as_ptr() as *const A::Item;
+                    let value = unsafe { ptr::read(p.add(*next)) };
+                    *next += 1;
+                    Some(value)
+                } else {
+                    None
+                }
+            }
+            IntoIterInner::Heap(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.inner {
+            IntoIterInner::Inline { next, len, .. } => {
+                let n = *len - *next;
+                (n, Some(n))
+            }
+            IntoIterInner::Heap(it) => it.size_hint(),
+        }
+    }
+}
+
+impl<A: Array> Drop for IntoIter<A> {
+    fn drop(&mut self) {
+        if let IntoIterInner::Inline { buf, next, len } = &mut self.inner {
+            unsafe {
+                ptr::drop_in_place(ptr::slice_from_raw_parts_mut(
+                    (buf.as_mut_ptr() as *mut A::Item).add(*next),
+                    *len - *next,
+                ));
+            }
+        }
     }
 }
 
 impl<A: Array> IntoIterator for SmallVec<A> {
     type Item = A::Item;
-    type IntoIter = std::vec::IntoIter<A::Item>;
-    fn into_iter(self) -> Self::IntoIter {
-        self.vec.into_iter()
+    type IntoIter = IntoIter<A>;
+    fn into_iter(self) -> IntoIter<A> {
+        // Disassemble without running our Drop (the iterator takes over
+        // ownership of the initialized prefix).
+        let this = std::mem::ManuallyDrop::new(self);
+        let inner = match unsafe { ptr::read(&this.store) } {
+            Store::Inline { len, buf } => IntoIterInner::Inline { buf, next: 0, len },
+            Store::Heap(v) => IntoIterInner::Heap(v.into_iter()),
+        };
+        IntoIter { inner }
     }
 }
 
@@ -170,7 +378,7 @@ impl<'a, A: Array> IntoIterator for &'a SmallVec<A> {
     type Item = &'a A::Item;
     type IntoIter = std::slice::Iter<'a, A::Item>;
     fn into_iter(self) -> Self::IntoIter {
-        self.vec.iter()
+        self.iter()
     }
 }
 
@@ -187,6 +395,7 @@ macro_rules! smallvec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn push_insert_remove() {
@@ -212,5 +421,122 @@ mod tests {
         let a: SmallVec<[i32; 2]> = smallvec![1, 2, 3];
         let b: SmallVec<[i32; 2]> = (1..=3).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spills_past_inline_capacity_and_preserves_order() {
+        let mut v: SmallVec<[String; 3]> = SmallVec::new();
+        for i in 0..20 {
+            v.push(format!("s{i}"));
+            // Every intermediate state must read back correctly.
+            assert_eq!(v.len(), i + 1);
+            assert_eq!(v[i], format!("s{i}"));
+        }
+        let all: Vec<String> = v.into_iter().collect();
+        assert_eq!(all, (0..20).map(|i| format!("s{i}")).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn insert_remove_across_the_spill_boundary() {
+        let mut v: SmallVec<[u32; 2]> = SmallVec::new();
+        v.insert(0, 2);
+        v.insert(0, 0); // inline, full
+        v.insert(1, 1); // forces spill mid-insert
+        assert_eq!(&v[..], &[0, 1, 2]);
+        assert_eq!(v.remove(1), 1);
+        assert_eq!(&v[..], &[0, 2]);
+        assert_eq!(v.pop(), Some(2));
+        assert_eq!(v.pop(), Some(0));
+        assert_eq!(v.pop(), None);
+    }
+
+    #[test]
+    fn retain_in_both_modes() {
+        let mut inline: SmallVec<[u32; 8]> = (0..6).collect();
+        inline.retain(|x| *x % 2 == 0);
+        assert_eq!(&inline[..], &[0, 2, 4]);
+        let mut heap: SmallVec<[u32; 2]> = (0..10).collect();
+        heap.retain(|x| *x % 2 == 0);
+        assert_eq!(&heap[..], &[0, 2, 4, 6, 8]);
+    }
+
+    /// Element with a drop counter: every constructed element must be
+    /// dropped exactly once, in every storage mode and teardown path.
+    struct Counted<'a>(&'a AtomicUsize);
+    impl Drop for Counted<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn drops_exactly_once_inline_heap_and_partial_iter() {
+        let drops = AtomicUsize::new(0);
+        {
+            let mut v: SmallVec<[Counted<'_>; 4]> = SmallVec::new();
+            for _ in 0..3 {
+                v.push(Counted(&drops)); // stays inline
+            }
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 3, "inline drop-on-scope-exit");
+
+        let drops = AtomicUsize::new(0);
+        {
+            let mut v: SmallVec<[Counted<'_>; 2]> = SmallVec::new();
+            for _ in 0..6 {
+                v.push(Counted(&drops)); // spills
+            }
+            drop(v.pop());
+            v.clear();
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 6, "heap pop+clear");
+
+        let drops = AtomicUsize::new(0);
+        {
+            let mut v: SmallVec<[Counted<'_>; 4]> = SmallVec::new();
+            for _ in 0..4 {
+                v.push(Counted(&drops));
+            }
+            let mut it = v.into_iter();
+            drop(it.next()); // consume one
+            // Drop the iterator with three elements unconsumed.
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 4, "partially consumed IntoIter");
+
+        let drops = AtomicUsize::new(0);
+        {
+            let mut v: SmallVec<[Counted<'_>; 4]> = SmallVec::new();
+            for _ in 0..3 {
+                v.push(Counted(&drops));
+            }
+            v.retain(|_| false);
+            assert!(v.is_empty());
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 3, "retain drops rejects once");
+    }
+
+    #[test]
+    fn clone_is_deep_and_independent() {
+        let mut a: SmallVec<[String; 2]> = smallvec!["x".to_owned(), "y".to_owned()];
+        let b = a.clone();
+        a.push("z".to_owned()); // spills a, not b
+        assert_eq!(&b[..], &["x".to_owned(), "y".to_owned()]);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn with_capacity_chooses_mode() {
+        let small: SmallVec<[u8; 8]> = SmallVec::with_capacity(4);
+        let big: SmallVec<[u8; 8]> = SmallVec::with_capacity(64);
+        assert!(matches!(small.store, Store::Inline { .. }));
+        assert!(matches!(big.store, Store::Heap(_)));
+    }
+
+    #[test]
+    fn zero_capacity_array_spills_immediately() {
+        let mut v: SmallVec<[u32; 0]> = SmallVec::new();
+        v.push(1);
+        v.push(2);
+        assert_eq!(&v[..], &[1, 2]);
     }
 }
