@@ -1,6 +1,7 @@
-//! Threaded vs. scheduled engine baseline + batched hand-off sweep.
+//! Threaded vs. scheduled engine baseline + batched hand-off sweep +
+//! streaming-vs-batch comparison.
 //!
-//! Writes two result files:
+//! Writes three result files:
 //!
 //! * `--out` (default `BENCH_threaded_vs_sched.json`): threaded vs
 //!   scheduled engine at the default configuration, the perf
@@ -12,12 +13,21 @@
 //!   the previously *committed* scheduler numbers. The baseline is
 //!   read before `--out` is regenerated, so by default each run
 //!   compares against the last committed engine — at PR 4 time, the
-//!   PR-1 single-record, mutex-deque scheduler.
+//!   PR-1 single-record, mutex-deque scheduler;
+//! * `--streaming-out` (default `BENCH_streaming.json`): the streaming
+//!   handle path vs the one-shot batch path on the same engine and
+//!   topology, for both unified-API drivers — `run_stream` (feeder
+//!   thread against the ingress bound) and `run_stream_interleaved`
+//!   (single thread, caller-runs `drive()` helping). Both
+//!   scheduled-engine modes ride the same persistent pool; the gate
+//!   (enforced in CI, on the min-of-samples statistic) is that
+//!   interleaved streaming costs at most 5% vs batch on the depth-16
+//!   pipeline.
 //!
 //! ```text
 //! cargo run -p snet-bench --release --bin bench_engines
 //! cargo run -p snet-bench --release --bin bench_engines -- \
-//!     --out path.json --handoff-out sweep.json --samples 30
+//!     --out path.json --handoff-out sweep.json --streaming-out s.json --samples 30
 //! ```
 //!
 //! The headline number is `serial_depth=16`: a 16-stage box pipeline
@@ -27,7 +37,7 @@
 
 use snet_core::boxdef::{BoxDef, BoxOutput, BoxSig, Work};
 use snet_core::{NetSpec, Record, Value};
-use snet_runtime::{EngineConfig, Net, SchedNet};
+use snet_runtime::{run_stream, run_stream_interleaved, EngineConfig, Net, SchedNet};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -92,6 +102,7 @@ const SWEEP_BATCHES: [usize; 4] = [1, 8, 32, 128];
 fn main() {
     let mut out_path = "BENCH_threaded_vs_sched.json".to_owned();
     let mut handoff_path = "BENCH_batched_handoff.json".to_owned();
+    let mut streaming_path = "BENCH_streaming.json".to_owned();
     let mut baseline_path = "BENCH_threaded_vs_sched.json".to_owned();
     let mut samples = 20usize;
     let mut args = std::env::args().skip(1);
@@ -99,6 +110,9 @@ fn main() {
         match arg.as_str() {
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--handoff-out" => handoff_path = args.next().expect("--handoff-out needs a path"),
+            "--streaming-out" => {
+                streaming_path = args.next().expect("--streaming-out needs a path");
+            }
             "--baseline" => baseline_path = args.next().expect("--baseline needs a path"),
             "--samples" => {
                 samples = args
@@ -107,7 +121,7 @@ fn main() {
                     .expect("--samples needs a number");
             }
             other => panic!(
-                "unknown flag `{other}` (--out PATH, --handoff-out PATH, --baseline PATH, --samples N)"
+                "unknown flag `{other}` (--out PATH, --handoff-out PATH, --streaming-out PATH, --baseline PATH, --samples N)"
             ),
         }
     }
@@ -251,4 +265,142 @@ fn main() {
             base as f64 / d16_default.sched.as_nanos() as f64
         );
     }
+
+    // ---- Streaming handle vs one-shot batch (both engines) ----
+    //
+    // Two unified-API streaming drivers are measured against the batch
+    // path on the same engine instance and config:
+    //
+    // * `interleaved` (`run_stream_interleaved`, window = the ingress
+    //   capacity): one thread alternates bounded-window sends with
+    //   output drains — the cheapest legitimate streaming client, and
+    //   the number that isolates the handle indirection itself;
+    // * `threads` (`run_stream`): a feeder thread pushes against the
+    //   ingress bound while the main thread drains — true concurrent
+    //   production/consumption, which on a single-CPU host additionally
+    //   pays cross-thread wakeups.
+    //
+    // Both min (robust against CI scheduler noise — the gated statistic)
+    // and median are reported.
+    struct StreamRow {
+        engine: &'static str,
+        mode: &'static str,
+        topology: String,
+        streaming_min: Duration,
+        streaming_median: Duration,
+        batch_min: Duration,
+        batch_median: Duration,
+    }
+    /// (median, min) wall-clock over `samples` runs, after one warm-up.
+    fn med_min(samples: usize, mut f: impl FnMut()) -> (Duration, Duration) {
+        f();
+        let mut times: Vec<Duration> = (0..samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        (times[times.len() / 2], times[0])
+    }
+    let window = config.channel_capacity.max(1);
+    let mut streaming_rows: Vec<StreamRow> = Vec::new();
+    for depth in [4usize, 16] {
+        let topology = format!("serial_depth={depth}");
+        let spec = NetSpec::pipeline((0..depth).map(|_| inc_box()));
+        let sched_net = SchedNet::with_config(spec.clone(), config);
+        let threaded_net = Net::with_config(spec, config);
+
+        let (sched_batch_med, sched_batch_min) = med_min(samples, || {
+            let outs = sched_net.run_batch(records()).unwrap();
+            assert_eq!(outs.len(), RECORDS as usize);
+        });
+        let (threaded_batch_med, threaded_batch_min) = med_min(samples, || {
+            let outs = threaded_net.run_batch(records()).unwrap();
+            assert_eq!(outs.len(), RECORDS as usize);
+        });
+
+        let mut measure = |engine: &'static str, mode: &'static str, f: &mut dyn FnMut()| {
+            let (streaming_median, streaming_min) = med_min(samples, f);
+            let (batch_median, batch_min) = match engine {
+                "threaded" => (threaded_batch_med, threaded_batch_min),
+                _ => (sched_batch_med, sched_batch_min),
+            };
+            eprintln!(
+                "{topology:>16} {engine:>8}/{mode:<11}: streaming min {streaming_min:>10.3?} med {streaming_median:>10.3?}  batch min {batch_min:>10.3?}  min-ratio {:.2}x",
+                batch_min.as_secs_f64() / streaming_min.as_secs_f64(),
+            );
+            streaming_rows.push(StreamRow {
+                engine,
+                mode,
+                topology: topology.clone(),
+                streaming_min,
+                streaming_median,
+                batch_min,
+                batch_median,
+            });
+        };
+        measure("sched", "interleaved", &mut || {
+            let outs = run_stream_interleaved(&sched_net, records()).unwrap();
+            assert_eq!(outs.len(), RECORDS as usize);
+        });
+        measure("sched", "threads", &mut || {
+            let outs = run_stream(&sched_net, records()).unwrap();
+            assert_eq!(outs.len(), RECORDS as usize);
+        });
+        measure("threaded", "interleaved", &mut || {
+            let outs = run_stream_interleaved(&threaded_net, records()).unwrap();
+            assert_eq!(outs.len(), RECORDS as usize);
+        });
+        measure("threaded", "threads", &mut || {
+            let outs = run_stream(&threaded_net, records()).unwrap();
+            assert_eq!(outs.len(), RECORDS as usize);
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"benchmark\": \"streaming handle (start/send_all/recv, bounded ingress) vs one-shot batch, combinator serial pipelines, {RECORDS}-record batches\",",
+    );
+    let _ = writeln!(json, "  \"workers\": {},", config.workers);
+    let _ = writeln!(json, "  \"channel_capacity\": {},", config.channel_capacity);
+    let _ = writeln!(json, "  \"stream_window\": {window},");
+    let _ = writeln!(json, "  \"samples_per_point\": {samples},");
+    let _ = writeln!(
+        json,
+        "  \"gate\": \"sched/interleaved min-ratio on serial_depth=16 must be >= 0.95 (min-of-samples is the gated statistic: robust to CI scheduler noise)\",",
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, row) in streaming_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"engine\": \"{}\", \"mode\": \"{}\", \"topology\": \"{}\", \"streaming_min_ns\": {}, \"streaming_median_ns\": {}, \"batch_min_ns\": {}, \"batch_median_ns\": {}, \"streaming_throughput_vs_batch\": {:.3}}}{}",
+            row.engine,
+            row.mode,
+            row.topology,
+            row.streaming_min.as_nanos(),
+            row.streaming_median.as_nanos(),
+            row.batch_min.as_nanos(),
+            row.batch_median.as_nanos(),
+            row.batch_min.as_secs_f64() / row.streaming_min.as_secs_f64(),
+            if i + 1 < streaming_rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&streaming_path, &json).expect("write streaming json");
+    println!("wrote {streaming_path}");
+
+    let d16_stream = streaming_rows
+        .iter()
+        .find(|r| {
+            r.engine == "sched" && r.mode == "interleaved" && r.topology == "serial_depth=16"
+        })
+        .expect("sched/interleaved depth-16 is in the streaming rows");
+    println!(
+        "serial_depth=16: streaming sched (interleaved) runs at {:.2}x batch-sched throughput (CI gate: >= 0.95x)",
+        d16_stream.batch_min.as_secs_f64() / d16_stream.streaming_min.as_secs_f64()
+    );
 }

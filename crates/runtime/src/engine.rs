@@ -110,7 +110,7 @@ impl Net {
         let (out_tx, out_rx) = bounded(self.config.channel_capacity.max(1));
         build(&self.spec, in_rx, out_tx, &shared);
         NetHandle {
-            input: Some(in_tx),
+            input: Mutex::new(Some(in_tx)),
             output: out_rx,
             shared,
         }
@@ -131,8 +131,8 @@ impl Net {
         &self,
         records: Vec<Record>,
     ) -> Result<(Vec<Record>, Arc<Trace>), SnetError> {
-        let mut handle = self.start();
-        let feeder_tx = handle.input.take().expect("fresh handle has an input");
+        let handle = self.start();
+        let feeder_tx = handle.input.lock().take().expect("fresh handle has an input");
         let feeder = std::thread::spawn(move || {
             // One batched send for the whole input: the feeder blocks in
             // `send_iter` whenever the entry channel fills. A send error
@@ -149,16 +149,32 @@ impl Net {
 }
 
 /// A running network instance.
+///
+/// All methods take `&self` (the input side sits behind a mutex), so
+/// one thread can feed the network while another drains it — the shape
+/// the engine-generic [`crate::StreamHandle`] abstraction relies on.
 pub struct NetHandle {
-    input: Option<Sender<Record>>,
+    input: Mutex<Option<Sender<Record>>>,
     output: Receiver<Record>,
     shared: Arc<Shared>,
 }
 
 impl NetHandle {
-    /// Sends one record into the network.
+    /// A clone of the entry sender, if the input is still open. Cloned
+    /// out of the `input` mutex so no caller ever blocks while holding
+    /// it — a `send` stalled on channel backpressure must not lock out
+    /// `try_send` (documented non-blocking) or `close_input`. The clone
+    /// keeps the channel connected for the duration of an in-flight
+    /// send that races `close_input`, which matches "close applies
+    /// after already-submitted sends".
+    fn entry_sender(&self) -> Option<Sender<Record>> {
+        self.input.lock().clone()
+    }
+
+    /// Sends one record into the network, blocking while the bounded
+    /// entry channel is full (ingress backpressure).
     pub fn send(&self, rec: Record) -> Result<(), SnetError> {
-        match &self.input {
+        match self.entry_sender() {
             Some(tx) => tx
                 .send(rec)
                 .map_err(|_| self.current_error("input channel disconnected")),
@@ -166,15 +182,56 @@ impl NetHandle {
         }
     }
 
+    /// Non-blocking send: hands the record back as
+    /// [`crate::TrySendError::Full`] instead of blocking when the
+    /// bounded entry channel is full.
+    pub fn try_send(&self, rec: Record) -> Result<(), crate::TrySendError> {
+        use crossbeam_channel::TrySendError as ChanTrySend;
+        match self.entry_sender() {
+            Some(tx) => match tx.try_send(rec) {
+                Ok(()) => Ok(()),
+                Err(ChanTrySend::Full(rec)) => Err(crate::TrySendError::Full(rec)),
+                Err(ChanTrySend::Disconnected(_)) => Err(crate::TrySendError::Closed(
+                    self.current_error("input channel disconnected"),
+                )),
+            },
+            None => Err(crate::TrySendError::Closed(SnetError::Engine(
+                "input already closed".into(),
+            ))),
+        }
+    }
+
+    /// Sends a pre-materialized batch through the bounded entry channel
+    /// as one `send_iter`: one channel lock and one receiver wake per
+    /// capacity window instead of per record, blocking for space like
+    /// [`NetHandle::send`] (this is exactly the batch driver's feed
+    /// path, exposed on the streaming handle).
+    pub fn send_all(&self, records: Vec<Record>) -> Result<(), SnetError> {
+        match self.entry_sender() {
+            Some(tx) => tx
+                .send_iter(records)
+                .map_err(|_| self.current_error("input channel disconnected")),
+            None => Err(SnetError::Engine("input already closed".into())),
+        }
+    }
+
     /// Closes the input stream (end-of-stream for the network).
-    pub fn close_input(&mut self) {
-        self.input = None;
+    /// Idempotent.
+    pub fn close_input(&self) {
+        *self.input.lock() = None;
     }
 
     /// Receives the next output record; `None` once the output stream
     /// has terminated.
     pub fn recv(&self) -> Option<Record> {
         self.output.recv().ok()
+    }
+
+    /// Non-blocking receive: `None` when nothing is currently queued
+    /// (including after termination — use [`NetHandle::recv`] to
+    /// distinguish end-of-stream).
+    pub fn try_recv(&self) -> Option<Record> {
+        self.output.try_recv().ok()
     }
 
     /// The output stream receiver (for `select!`-style consumers).
@@ -194,7 +251,7 @@ impl NetHandle {
 
     /// Waits for every component thread to terminate and reports the
     /// first error raised during the run, if any.
-    pub fn finish(mut self) -> Result<(), SnetError> {
+    pub fn finish(self) -> Result<(), SnetError> {
         self.close_input();
         // Drain the output so upstream senders cannot block forever.
         while self.output.recv().is_ok() {}
@@ -695,7 +752,7 @@ mod tests {
     #[test]
     fn streaming_interface_overlaps() {
         let net = Net::new(int_box("inc", "x", "x", |x| x + 1));
-        let mut h = net.start();
+        let h = net.start();
         h.send(Record::new().with_field("x", Value::Int(1))).unwrap();
         let first = h.recv().expect("one output while input still open");
         assert_eq!(first.field("x").unwrap().as_int(), Some(2));

@@ -2,7 +2,12 @@
 //!
 //! Three engines over the same [`snet_core::NetSpec`] topology and the
 //! same shared small-step semantics ([`snet_core::semantics`]), so they
-//! cannot drift apart on what a component does to a record:
+//! cannot drift apart on what a component does to a record. The two
+//! concurrent engines present **one execution API**: batch
+//! (`run_batch` / `run_batch_traced`) and streaming (`start()` → a
+//! handle with `send` / `recv` / `close_input` / `finish`), unified by
+//! the [`Engine`] and [`StreamHandle`] traits so tests, benchmarks and
+//! applications can be parameterized over the engine.
 //!
 //! * [`engine::Net`] — the **threaded engine**: every component
 //!   instance is an asynchronous OS thread connected by bounded
@@ -10,22 +15,31 @@
 //!   stateless stream-processing components" (§III). End-of-stream is
 //!   channel disconnect; parallel merge is arrival-order
 //!   (nondeterministic, as specified); serial replication unfolds
-//!   lazily. Use it as the *executable rendering of the paper's model*
-//!   and when components block on real I/O — but note that its thread
-//!   count grows with the unrolled component count, which stops scaling
-//!   somewhere in the hundreds of components.
+//!   lazily. [`Net::start`] returns a [`NetHandle`] whose ingress
+//!   backpressure is the bounded entry channel itself. Use it as the
+//!   *executable rendering of the paper's model* and when components
+//!   block on real I/O — but note that its thread count grows with the
+//!   unrolled component count, which stops scaling somewhere in the
+//!   hundreds of components.
 //!
 //! * [`sched::SchedNet`] — the **scheduled engine**: the same component
-//!   graph as lightweight tasks multiplexed over a fixed work-stealing
-//!   worker pool ([`EngineConfig::workers`]; default 4). A component
+//!   graph as lightweight tasks multiplexed over a **persistent**
+//!   work-stealing worker pool ([`EngineConfig::workers`]; default 4).
+//!   The pool spawns on the first run and lives until the `SchedNet`
+//!   drops, so consecutive batches and any number of streaming runs
+//!   reuse the same OS threads — no per-call spawn/join. A component
 //!   runs when input is in its mailbox, drains up to a budget, and
-//!   yields; end-of-stream is sender refcounting. Use it for
-//!   throughput: per-record hand-off is a queue push instead of a
-//!   thread wake, thousands of component instances cost no OS threads,
-//!   and deep pipelines × wide parallelism × star unfoldings that would
-//!   exhaust thread limits under the threaded engine run fine. This is
-//!   the default choice for compute-bound workloads and the base layer
-//!   for the scaling work tracked in ROADMAP.md.
+//!   yields; end-of-stream is sender refcounting, and a run's
+//!   completion is wake-driven (the sink's finalization signals the
+//!   driver — no polling). [`SchedNet::start`] returns a
+//!   [`SchedHandle`] with *bounded ingress*: `send` blocks (and
+//!   `try_send` reports `Full`) once
+//!   [`EngineConfig::channel_capacity`] records are resident in the
+//!   entry mailbox, and outputs stream out of a bounded channel as the
+//!   sink produces them, so a slow consumer throttles the whole
+//!   network instead of buffering unboundedly. This is the default
+//!   choice for compute-bound workloads and the base layer for the
+//!   scaling work tracked in ROADMAP.md.
 //!
 //! ## Batched hand-off ([`EngineConfig::batch`])
 //!
@@ -61,13 +75,15 @@
 //!   single-threaded, FIFO scheduling, first-declared tie-breaks. It is
 //!   the executable semantics used as an oracle in property tests (both
 //!   concurrent engines must produce the same output *multiset* on
-//!   confluent networks). Use it for debugging and as ground truth —
-//!   never for performance.
+//!   confluent networks, batch or streamed). Use it for debugging and
+//!   as ground truth — never for performance.
+//!
+//! ## One API, two engines
 //!
 //! ```
 //! use snet_core::{NetSpec, Record, Value, BoxOutput, Work};
 //! use snet_core::boxdef::{BoxDef, BoxSig};
-//! use snet_runtime::{Net, SchedNet};
+//! use snet_runtime::{Engine, Net, SchedNet, StreamHandle};
 //!
 //! let double = NetSpec::Box(BoxDef::from_fn(
 //!     BoxSig::parse("double", &["x"], &[&["x"]]),
@@ -76,16 +92,17 @@
 //!         Ok(BoxOutput::one(Record::new().with_field("x", Value::Int(2 * x)), Work::ZERO))
 //!     },
 //! ));
-//! // Threaded engine (one thread per component):
-//! let outs = Net::new(double.clone()).run_batch(vec![
-//!     Record::new().with_field("x", Value::Int(21)),
-//! ]).unwrap();
-//! assert_eq!(outs[0].field("x").unwrap().as_int(), Some(42));
-//! // Scheduled engine (fixed worker pool):
-//! let outs = SchedNet::new(double).run_batch(vec![
-//!     Record::new().with_field("x", Value::Int(21)),
-//! ]).unwrap();
-//! assert_eq!(outs[0].field("x").unwrap().as_int(), Some(42));
+//!
+//! // The same streaming code drives either engine:
+//! fn stream_one<E: Engine>(engine: &E, x: i64) -> i64 {
+//!     let h = engine.start();
+//!     h.send(Record::new().with_field("x", Value::Int(x))).unwrap();
+//!     let out = h.recv().expect("one output");
+//!     h.finish().unwrap();
+//!     out.field("x").unwrap().as_int().unwrap()
+//! }
+//! assert_eq!(stream_one(&Net::new(double.clone()), 21), 42);   // thread per component
+//! assert_eq!(stream_one(&SchedNet::new(double), 21), 42);      // persistent worker pool
 //! ```
 
 pub mod engine;
@@ -95,5 +112,297 @@ pub mod trace;
 
 pub use engine::{EngineConfig, Net, NetHandle};
 pub use interp::{Interp, InterpResult};
-pub use sched::SchedNet;
+pub use sched::{SchedHandle, SchedNet, TrySendError};
 pub use trace::Trace;
+
+use snet_core::{NetSpec, Record, SnetError};
+use std::sync::Arc;
+
+/// A running network instance accepting an input stream and producing
+/// an output stream, independent of which engine executes it.
+///
+/// Both halves take `&self`, so a producer thread can [`send`] while a
+/// consumer thread [`recv`]s through a shared reference — the shape
+/// [`run_stream`] uses. Ingress is bounded on both engines (the
+/// threaded engine's entry channel, the scheduled engine's entry
+/// mailbox cap), so `send` exerts real backpressure on the producer.
+///
+/// [`send`]: StreamHandle::send
+/// [`recv`]: StreamHandle::recv
+pub trait StreamHandle: Send + Sync {
+    /// Sends one record into the network, blocking while the bounded
+    /// ingress is full. Fails once the input is closed or the run has
+    /// failed.
+    fn send(&self, rec: Record) -> Result<(), SnetError>;
+
+    /// Non-blocking send: hands the record back as
+    /// [`TrySendError::Full`] instead of blocking when the bounded
+    /// ingress is full.
+    fn try_send(&self, rec: Record) -> Result<(), TrySendError>;
+
+    /// Sends a pre-materialized batch, still against the bounded
+    /// ingress: implementations deliver in capacity-sized windows (one
+    /// lock/wake per window) and block for drain space between windows,
+    /// so resident records stay within the configured bound. The
+    /// default just loops [`StreamHandle::send`].
+    fn send_all(&self, records: Vec<Record>) -> Result<(), SnetError> {
+        for rec in records {
+            self.send(rec)?;
+        }
+        Ok(())
+    }
+
+    /// Closes the input stream (end-of-stream for the network).
+    /// Idempotent.
+    fn close_input(&self);
+
+    /// Receives the next output record; `None` once the output stream
+    /// has terminated.
+    fn recv(&self) -> Option<Record>;
+
+    /// Non-blocking receive: `None` when nothing is currently queued
+    /// (including after termination — use [`StreamHandle::recv`] to
+    /// distinguish end-of-stream).
+    fn try_recv(&self) -> Option<Record>;
+
+    /// Runs at most one unit of engine work on the calling thread, if
+    /// the engine supports caller-runs helping (the scheduled engine
+    /// does; the threaded engine has no task queue and returns `false`).
+    /// Streaming drivers call this instead of blocking when the ingress
+    /// is full and nothing is drainable.
+    fn drive(&self) -> bool {
+        false
+    }
+
+    /// Clonable handle to the run's event counters.
+    fn trace_arc(&self) -> Arc<Trace>;
+
+    /// Closes the input, drains remaining output, waits for the run to
+    /// terminate, and reports the first error raised during the run.
+    fn finish(self) -> Result<(), SnetError>
+    where
+        Self: Sized;
+}
+
+/// An S-Net execution engine: something that can run a [`NetSpec`]
+/// either as a one-shot batch or as a stream via a [`StreamHandle`].
+///
+/// Implemented by the threaded engine ([`Net`]) and the scheduled
+/// engine ([`SchedNet`]), letting tests, benchmarks and applications be
+/// parameterized over the engine.
+pub trait Engine {
+    /// The engine's streaming handle type.
+    type Handle: StreamHandle;
+
+    /// Engine name for labels in tests and benchmark output.
+    fn name(&self) -> &'static str;
+
+    /// The underlying topology.
+    fn spec(&self) -> &NetSpec;
+
+    /// Instantiates the network and returns a streaming handle.
+    fn start(&self) -> Self::Handle;
+
+    /// Feeds a batch of records and collects the complete output
+    /// stream (arrival order).
+    fn run_batch(&self, records: Vec<Record>) -> Result<Vec<Record>, SnetError>;
+
+    /// Like [`Engine::run_batch`] but also returns the run's [`Trace`].
+    fn run_batch_traced(
+        &self,
+        records: Vec<Record>,
+    ) -> Result<(Vec<Record>, Arc<Trace>), SnetError>;
+}
+
+impl StreamHandle for NetHandle {
+    fn send(&self, rec: Record) -> Result<(), SnetError> {
+        NetHandle::send(self, rec)
+    }
+    fn try_send(&self, rec: Record) -> Result<(), TrySendError> {
+        NetHandle::try_send(self, rec)
+    }
+    fn send_all(&self, records: Vec<Record>) -> Result<(), SnetError> {
+        NetHandle::send_all(self, records)
+    }
+    fn close_input(&self) {
+        NetHandle::close_input(self)
+    }
+    fn recv(&self) -> Option<Record> {
+        NetHandle::recv(self)
+    }
+    fn try_recv(&self) -> Option<Record> {
+        NetHandle::try_recv(self)
+    }
+    fn trace_arc(&self) -> Arc<Trace> {
+        NetHandle::trace_arc(self)
+    }
+    fn finish(self) -> Result<(), SnetError> {
+        NetHandle::finish(self)
+    }
+}
+
+impl StreamHandle for SchedHandle {
+    fn send(&self, rec: Record) -> Result<(), SnetError> {
+        SchedHandle::send(self, rec)
+    }
+    fn try_send(&self, rec: Record) -> Result<(), TrySendError> {
+        SchedHandle::try_send(self, rec)
+    }
+    fn send_all(&self, records: Vec<Record>) -> Result<(), SnetError> {
+        SchedHandle::send_all(self, records)
+    }
+    fn close_input(&self) {
+        SchedHandle::close_input(self)
+    }
+    fn recv(&self) -> Option<Record> {
+        SchedHandle::recv(self)
+    }
+    fn try_recv(&self) -> Option<Record> {
+        SchedHandle::try_recv(self)
+    }
+    fn drive(&self) -> bool {
+        SchedHandle::drive(self)
+    }
+    fn trace_arc(&self) -> Arc<Trace> {
+        SchedHandle::trace_arc(self)
+    }
+    fn finish(self) -> Result<(), SnetError> {
+        SchedHandle::finish(self)
+    }
+}
+
+impl Engine for Net {
+    type Handle = NetHandle;
+
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+    fn spec(&self) -> &NetSpec {
+        Net::spec(self)
+    }
+    fn start(&self) -> NetHandle {
+        Net::start(self)
+    }
+    fn run_batch(&self, records: Vec<Record>) -> Result<Vec<Record>, SnetError> {
+        Net::run_batch(self, records)
+    }
+    fn run_batch_traced(
+        &self,
+        records: Vec<Record>,
+    ) -> Result<(Vec<Record>, Arc<Trace>), SnetError> {
+        Net::run_batch_traced(self, records)
+    }
+}
+
+impl Engine for SchedNet {
+    type Handle = SchedHandle;
+
+    fn name(&self) -> &'static str {
+        "sched"
+    }
+    fn spec(&self) -> &NetSpec {
+        SchedNet::spec(self)
+    }
+    fn start(&self) -> SchedHandle {
+        SchedNet::start(self)
+    }
+    fn run_batch(&self, records: Vec<Record>) -> Result<Vec<Record>, SnetError> {
+        SchedNet::run_batch(self, records)
+    }
+    fn run_batch_traced(
+        &self,
+        records: Vec<Record>,
+    ) -> Result<(Vec<Record>, Arc<Trace>), SnetError> {
+        SchedNet::run_batch_traced(self, records)
+    }
+}
+
+/// Streams a batch of records through an engine: a feeder thread pushes
+/// them against the handle's bounded ingress
+/// ([`StreamHandle::send_all`], capacity-window granularity) while the
+/// calling thread drains the output, then the run is finished and the
+/// collected outputs returned.
+///
+/// This is the streaming analogue of [`Engine::run_batch`] — same
+/// inputs, same output multiset on confluent nets, but bounded
+/// residency instead of a materialized entry backlog — and is what the
+/// equivalence property tests and the streaming benchmark drive.
+pub fn run_stream<E: Engine>(engine: &E, records: Vec<Record>) -> Result<Vec<Record>, SnetError> {
+    let handle = engine.start();
+    let mut outs = Vec::new();
+    std::thread::scope(|s| {
+        let h = &handle;
+        s.spawn(move || {
+            // A send error means the run failed; finish() reports why.
+            let _ = h.send_all(records);
+            h.close_input();
+        });
+        while let Some(rec) = h.recv() {
+            outs.push(rec);
+        }
+    });
+    handle.finish()?;
+    Ok(outs)
+}
+
+/// Single-threaded streaming driver: pushes records through the bounded
+/// ingress and drains outputs on the calling thread, never parking
+/// while input remains. A full ingress triggers an output drain; if
+/// nothing is drainable either, the thread *yields* to the engine's
+/// workers instead of doing a condvar round trip.
+///
+/// Residency stays bounded exactly like [`run_stream`] (`try_send`
+/// refuses to exceed the ingress capacity), but no feeder or consumer
+/// thread exists to ping-pong with the workers, and the workers never
+/// pay an ingress wakeup — on a loaded or single-core host those
+/// per-window context switches are what separates streaming from
+/// batch-mode throughput. Prefer this when one thread both produces
+/// and consumes the stream; prefer [`run_stream`] (or a hand-rolled
+/// producer thread) when production and consumption are naturally
+/// concurrent.
+pub fn run_stream_interleaved<E: Engine>(
+    engine: &E,
+    records: Vec<Record>,
+) -> Result<Vec<Record>, SnetError> {
+    let handle = engine.start();
+    let mut outs = Vec::new();
+    'feed: for rec in records {
+        let mut pending = rec;
+        loop {
+            match handle.try_send(pending) {
+                Ok(()) => break,
+                Err(TrySendError::Full(back)) => {
+                    pending = back;
+                    let mut drained = false;
+                    while let Some(out) = handle.try_recv() {
+                        outs.push(out);
+                        drained = true;
+                    }
+                    if !drained && !handle.drive() {
+                        // Ingress full, nothing to drain, no task to
+                        // help with: the pipeline is mid-flight on the
+                        // workers. Hand them the CPU.
+                        std::thread::yield_now();
+                    }
+                }
+                // The run failed; stop feeding and let finish() report.
+                Err(TrySendError::Closed(_)) => break 'feed,
+            }
+        }
+    }
+    handle.close_input();
+    // Tail drain, still helping: run leftover engine work in place and
+    // only block on `recv` when there is truly nothing else to do.
+    loop {
+        if let Some(rec) = handle.try_recv() {
+            outs.push(rec);
+        } else if !handle.drive() {
+            match handle.recv() {
+                Some(rec) => outs.push(rec),
+                None => break,
+            }
+        }
+    }
+    handle.finish()?;
+    Ok(outs)
+}

@@ -1,5 +1,5 @@
-//! The scheduled engine: component tasks multiplexed over a fixed
-//! work-stealing worker pool.
+//! The scheduled engine: component tasks multiplexed over a fixed,
+//! **persistent** work-stealing worker pool.
 //!
 //! The threaded engine ([`crate::engine::Net`]) renders the paper's
 //! execution model literally: one OS thread per component instance.
@@ -22,16 +22,35 @@
 //!   consuming input and re-queues itself — cooperative backpressure in
 //!   place of bounded-channel blocking.
 //!
+//! The worker pool belongs to the [`SchedNet`], not to any single run:
+//! it is spawned lazily on the first run and joined when the `SchedNet`
+//! drops. Every run — a one-shot [`SchedNet::run_batch`] or a streaming
+//! [`SchedNet::start`] — instantiates a fresh task graph whose tasks
+//! carry their own per-run state (trace counters, error slot,
+//! completion latch), so any number of runs can share the pool, even
+//! concurrently, and repeated batches stop paying per-call thread
+//! spawn/join.
+//!
 //! End-of-stream is sender refcounting: when the last upstream port of
 //! a task closes, the task finalizes (counting stranded synchrocell
 //! records) and closes its own outputs, so termination cascades exactly
-//! like channel disconnection does in the threaded engine. Because the
-//! per-record semantics are shared, the interpreter oracle applies
-//! unchanged: for confluent networks the scheduled engine produces the
-//! same output multiset.
+//! like channel disconnection does in the threaded engine. The sink is
+//! always the last task to finalize, so its finalization doubles as the
+//! run's completion signal: it wakes the waiting driver (no completion
+//! polling) and, in streaming mode, disconnects the output channel.
+//! Because the per-record semantics are shared, the interpreter oracle
+//! applies unchanged: for confluent networks the scheduled engine
+//! produces the same output multiset.
+//!
+//! Streaming ingress is *bounded*: [`SchedHandle::send`] refuses to
+//! grow the entry mailbox past [`EngineConfig::channel_capacity`] and
+//! blocks (or, for [`SchedHandle::try_send`], reports `Full`) until the
+//! entry task drains, giving the same real backpressure as the threaded
+//! engine's bounded entry channel.
 
 use crate::engine::EngineConfig;
 use crate::trace::Trace;
+use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use crossbeam_deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::Mutex;
 use snet_core::semantics::{self, MismatchPolicy};
@@ -39,6 +58,7 @@ use snet_core::{Label, NetSpec, Pattern, Record, SnetError, SyncOutcome, SyncSpe
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Records processed per task activation before yielding back to the
@@ -52,34 +72,123 @@ const ACTIVATION_BUDGET: usize = 64;
 /// ~1ms — the same latency bound as a worker's park quantum.
 const BACKOFF_MAX_SHIFT: u32 = 10;
 
+/// Safety net on the driver's completion wait. Completion is
+/// wake-driven (the sink's finalization signals the run's latch); the
+/// timeout only bounds how long a lost wakeup could strand the driver.
+const DONE_SAFETY_TIMEOUT: Duration = Duration::from_millis(500);
+
 /// A compiled network executed on the work-stealing scheduler.
 ///
-/// `SchedNet` is reusable: every [`SchedNet::run_batch`] instantiates a
-/// fresh task graph and worker pool; synchrocell and replication state
+/// The worker pool is **persistent**: it spawns lazily on the first
+/// run and lives until the `SchedNet` drops, so consecutive
+/// [`SchedNet::run_batch`] calls (and any number of streaming
+/// [`SchedNet::start`] runs) reuse the same OS threads. Every run
+/// instantiates a fresh task graph; synchrocell and replication state
 /// never leaks between runs.
+///
+/// Dropping the `SchedNet` stops the pool and joins its threads.
+/// Outstanding [`SchedHandle`]s stay safe to use after that — sends
+/// fail and `recv` drains whatever was already produced — but no new
+/// records will be processed, so finish or drop handles first.
 pub struct SchedNet {
     spec: NetSpec,
     config: EngineConfig,
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    spawned: AtomicUsize,
 }
 
 impl SchedNet {
     /// Wraps a topology with default configuration.
     pub fn new(spec: NetSpec) -> SchedNet {
-        SchedNet {
-            spec,
-            config: EngineConfig::default(),
-        }
+        SchedNet::with_config(spec, EngineConfig::default())
     }
 
     /// Wraps a topology with explicit configuration (worker count,
-    /// mismatch policy, mailbox high-water mark).
+    /// mismatch policy, mailbox high-water mark, ingress capacity).
     pub fn with_config(spec: NetSpec, config: EngineConfig) -> SchedNet {
-        SchedNet { spec, config }
+        SchedNet {
+            spec,
+            config,
+            shared: Arc::new(Shared {
+                injector: Injector::new(),
+                deferred: Mutex::new(BinaryHeap::new()),
+                deferred_count: AtomicUsize::new(0),
+                sleep: Mutex::new(SleepState {}),
+                cv: Condvar::new(),
+                sleepers: AtomicUsize::new(0),
+                shutdown: AtomicBool::new(false),
+                config,
+            }),
+            workers: Mutex::new(Vec::new()),
+            spawned: AtomicUsize::new(0),
+        }
     }
 
     /// The underlying topology.
     pub fn spec(&self) -> &NetSpec {
         &self.spec
+    }
+
+    /// Worker threads spawned by this net over its whole lifetime.
+    /// Stays at [`EngineConfig::workers`] no matter how many runs the
+    /// net executes — the observable guarantee that runs reuse the
+    /// persistent pool instead of spawning per call.
+    pub fn workers_spawned(&self) -> usize {
+        self.spawned.load(Ordering::Relaxed)
+    }
+
+    /// Spawns the worker pool if it is not already running.
+    fn ensure_workers(&self) {
+        let mut workers = self.workers.lock();
+        if !workers.is_empty() {
+            return;
+        }
+        let n = self.config.workers.max(1);
+        let locals: Vec<Worker<Arc<Task>>> = (0..n).map(|_| Worker::new_fifo()).collect();
+        let stealers: Arc<Vec<Stealer<Arc<Task>>>> =
+            Arc::new(locals.iter().map(|w| w.stealer()).collect());
+        for (i, local) in locals.into_iter().enumerate() {
+            let sh = Arc::clone(&self.shared);
+            let stealers = Arc::clone(&stealers);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("snet-sched-{i}"))
+                    .spawn(move || worker_loop(i, local, &stealers, &sh))
+                    .expect("spawn sched worker"),
+            );
+        }
+        self.spawned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Instantiates the network on the shared pool and returns a handle
+    /// for streaming records in and out.
+    ///
+    /// Ingress is bounded by [`EngineConfig::channel_capacity`]
+    /// (blocking [`SchedHandle::send`], non-blocking
+    /// [`SchedHandle::try_send`]); outputs stream out through a bounded
+    /// channel as the sink produces them. Closing the input
+    /// ([`SchedHandle::close_input`] / [`SchedHandle::finish`] / drop)
+    /// triggers the usual sender-refcount end-of-stream cascade.
+    pub fn start(&self) -> SchedHandle {
+        self.ensure_workers();
+        let run = Run::new();
+        let (out_tx, out_rx) = bounded(self.config.channel_capacity.max(1));
+        let sink = Task::new(
+            "sink",
+            State::Sink {
+                buf: Vec::new(),
+                dest: SinkDest::Stream(out_tx),
+            },
+            &run,
+        );
+        let entry = build(&self.spec, Port::new(&sink), &self.shared, &run);
+        SchedHandle {
+            input: Mutex::new(Some(entry)),
+            output: out_rx,
+            run,
+            sh: Arc::clone(&self.shared),
+        }
     }
 
     /// Feeds a batch of records through the network and collects the
@@ -91,109 +200,111 @@ impl SchedNet {
 
     /// Like [`SchedNet::run_batch`] but also returns the run's
     /// [`Trace`].
+    ///
+    /// The batch rides the same persistent pool as streaming runs: the
+    /// whole input lands in the entry mailbox under one lock with one
+    /// wake (the input is already materialized, so bounding ingress
+    /// would buy nothing), the input closes, and the driver sleeps
+    /// until the sink's finalization signals completion.
     pub fn run_batch_traced(
         &self,
         records: Vec<Record>,
     ) -> Result<(Vec<Record>, Arc<Trace>), SnetError> {
-        let workers = self.config.workers.max(1);
-        let sh = Arc::new(Shared {
-            injector: Injector::new(),
-            deferred: Mutex::new(BinaryHeap::new()),
-            deferred_count: AtomicUsize::new(0),
-            sleep: Mutex::new(SleepState { shutdown: false }),
-            cv: Condvar::new(),
-            active: AtomicUsize::new(0),
-            sleepers: AtomicUsize::new(0),
-            aborted: AtomicBool::new(false),
-            error: Mutex::new(None),
-            trace: Arc::new(Trace::new()),
-            config: self.config,
-            outputs: Mutex::new(Vec::new()),
-        });
-
-        // Build the static task graph: sink <- spec <- entry.
-        let sink = Task::new("sink", State::Sink { buf: Vec::new() });
-        let entry = build(&self.spec, Port::new(&sink), &sh);
-
-        // Feed the whole batch under one mailbox lock with one wake,
-        // then close the entry port; the cascade of close notifications
-        // terminates the run.
-        entry.send_now(records, &sh, None);
-        entry.close(&sh, None);
-
-        // Worker pool with work-stealing deques.
-        let locals: Vec<Worker<Arc<Task>>> = (0..workers).map(|_| Worker::new_fifo()).collect();
-        let stealers: Arc<Vec<Stealer<Arc<Task>>>> =
-            Arc::new(locals.iter().map(|w| w.stealer()).collect());
-        let handles: Vec<_> = locals
-            .into_iter()
-            .enumerate()
-            .map(|(i, local)| {
-                let sh = Arc::clone(&sh);
-                let stealers = Arc::clone(&stealers);
-                std::thread::Builder::new()
-                    .name(format!("snet-sched-{i}"))
-                    .spawn(move || worker_loop(i, local, &stealers, &sh))
-                    .expect("spawn sched worker")
-            })
-            .collect();
-
-        // Wait for quiescence: no task queued or running.
-        {
-            let mut sleep = sh.sleep.lock();
-            while sh.active.load(Ordering::Acquire) != 0 {
-                let (guard, _) = sh
-                    .cv
-                    .wait_timeout(sleep, Duration::from_millis(5))
-                    .unwrap_or_else(|e| e.into_inner());
-                sleep = guard;
-            }
-            sleep.shutdown = true;
-        }
-        sh.cv.notify_all();
-        for h in handles {
-            let _ = h.join();
-        }
-
-        if let Some(e) = sh.error.lock().take() {
+        self.ensure_workers();
+        let run = Run::new();
+        let outputs = Arc::new(Mutex::new(Vec::new()));
+        let sink = Task::new(
+            "sink",
+            State::Sink {
+                buf: Vec::new(),
+                dest: SinkDest::Collect(Arc::clone(&outputs)),
+            },
+            &run,
+        );
+        let entry = build(&self.spec, Port::new(&sink), &self.shared, &run);
+        entry.send_now(records, &self.shared, None);
+        entry.close(&self.shared, None);
+        run.wait_done();
+        if let Some(e) = run.error.lock().take() {
             return Err(e);
         }
-        let outs = std::mem::take(&mut *sh.outputs.lock());
-        Ok((outs, Arc::clone(&sh.trace)))
+        let outs = std::mem::take(&mut *outputs.lock());
+        Ok((outs, Arc::clone(&run.trace)))
     }
 }
 
-struct SleepState {
-    shutdown: bool,
+impl Drop for SchedNet {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Lock-then-notify: a worker that saw `shutdown == false` is
+        // either still holding the sleep lock (we wait for it to start
+        // waiting) or already parked — both observe the notify.
+        drop(self.shared.sleep.lock());
+        self.shared.cv.notify_all();
+        for h in self.workers.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
 }
 
+struct SleepState {}
+
+/// Pool-lifetime scheduler state, shared by all runs of one `SchedNet`.
 struct Shared {
     injector: Injector<Arc<Task>>,
     /// Backpressure-deferred tasks (min-heap on deadline), shared so
     /// that *any* worker picks an expired deferral up — a deferring
     /// worker that then sinks into a long activation must not pin the
-    /// deferred task. Guarded by `deferred_count` so the lock is only
-    /// touched under backpressure (cold path).
+    /// deferred task. Survives across runs: a deferral parked at the
+    /// end of one run is resumed by whichever worker probes next.
+    /// Guarded by `deferred_count` so the lock is only touched under
+    /// backpressure (cold path).
     deferred: Mutex<BinaryHeap<Deferred>>,
     /// Entries in `deferred`; lets the per-activation dispatch path skip
     /// the heap mutex entirely in the common no-backpressure case.
     deferred_count: AtomicUsize,
     sleep: Mutex<SleepState>,
     cv: Condvar,
-    /// Tasks currently queued or running; 0 after the input closes means
-    /// the run is complete (new work only originates from running tasks).
-    active: AtomicUsize,
     /// Workers currently parked on the condvar (lets producers skip the
     /// notify syscall on the hot path when everyone is busy).
     sleepers: AtomicUsize,
-    aborted: AtomicBool,
-    error: Mutex<Option<SnetError>>,
-    trace: Arc<Trace>,
+    /// Pool teardown flag, set once when the owning `SchedNet` drops.
+    shutdown: AtomicBool,
     config: EngineConfig,
-    outputs: Mutex<Vec<Record>>,
 }
 
 impl Shared {
+    fn high_water(&self) -> usize {
+        self.config.channel_capacity.max(1).saturating_mul(16)
+    }
+}
+
+/// Per-run state: every task of one run's graph holds an `Arc` to its
+/// run, which is how a pool worker — which knows nothing about runs —
+/// finds the right trace, error slot, and completion latch for whatever
+/// task it picked up. Independent runs can therefore share the pool.
+struct Run {
+    trace: Arc<Trace>,
+    error: Mutex<Option<SnetError>>,
+    aborted: AtomicBool,
+    /// Completion latch, set by the sink's finalization (the sink is
+    /// always the last task of a run to finalize — its senders only
+    /// reach zero after every upstream task has closed its ports).
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl Run {
+    fn new() -> Arc<Run> {
+        Arc::new(Run {
+            trace: Arc::new(Trace::new()),
+            error: Mutex::new(None),
+            aborted: AtomicBool::new(false),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        })
+    }
+
     fn fail(&self, e: SnetError) {
         let mut slot = self.error.lock();
         if slot.is_none() {
@@ -202,15 +313,36 @@ impl Shared {
         self.aborted.store(true, Ordering::Release);
     }
 
-    fn high_water(&self) -> usize {
-        self.config.channel_capacity.max(1).saturating_mul(16)
+    fn signal_done(&self) {
+        *self.done.lock() = true;
+        self.done_cv.notify_all();
+    }
+
+    /// Blocks until the run's sink has finalized. Purely wake-driven;
+    /// the timeout is a lost-wakeup safety net, not a poll interval.
+    fn wait_done(&self) {
+        let mut done = self.done.lock();
+        while !*done {
+            let (guard, _) = self
+                .done_cv
+                .wait_timeout(done, DONE_SAFETY_TIMEOUT)
+                .unwrap_or_else(|e| e.into_inner());
+            done = guard;
+        }
     }
 }
 
 /// One component instance: mailbox + semantic state.
 struct Task {
     label: &'static str,
+    /// The run this task belongs to (trace, error slot, completion).
+    run: Arc<Run>,
     mailbox: Mutex<VecDeque<Record>>,
+    /// Signalled (paired with the `mailbox` mutex) whenever the mailbox
+    /// shrinks while `ingress_waiters` is non-zero; only the streaming
+    /// entry path ever waits on it.
+    ingress_cv: Condvar,
+    ingress_waiters: AtomicUsize,
     /// Open upstream ports; 0 = end-of-stream once the mailbox drains.
     open_senders: AtomicUsize,
     /// True while queued or deferred (prevents double-queueing; cleared
@@ -247,25 +379,83 @@ enum State {
         replicas: HashMap<i64, Port>,
         out: Port,
     },
-    /// Terminal output collector; records coalesce in `buf` and are
-    /// appended to the shared output vector once per batch/activation.
+    /// Terminal output collector; records coalesce in `buf` and move to
+    /// `dest` once per batch/activation.
     Sink {
         buf: Vec<Record>,
+        dest: SinkDest,
     },
     /// Finalized: outputs closed, no further effects.
     Done,
 }
 
+/// Where a run's sink delivers its records.
+enum SinkDest {
+    /// Batch mode: append to the driver's output vector.
+    Collect(Arc<Mutex<Vec<Record>>>),
+    /// Streaming mode: push into the handle's bounded output channel.
+    /// Dropping the sender (at sink finalization) is the consumer's
+    /// end-of-stream.
+    Stream(Sender<Record>),
+}
+
+impl SinkDest {
+    /// Best-effort delivery of the sink's coalescing buffer. A worker
+    /// must never block (or sleep) inside a sink activation — it holds
+    /// the sink's state lock, so every other worker would churn on the
+    /// re-queued-but-locked task while the consumer starves. Streamed
+    /// records that do not fit in the output channel therefore stay at
+    /// the front of `buf` and the sink *defers* through the scheduler's
+    /// zero-progress backoff machinery until the consumer drains.
+    fn flush(&self, buf: &mut Vec<Record>) {
+        if buf.is_empty() {
+            return;
+        }
+        match self {
+            SinkDest::Collect(outs) => outs.lock().append(buf),
+            SinkDest::Stream(tx) => {
+                // One lock + at most one consumer wake for the whole
+                // window; leftovers stay in `buf` for the deferred
+                // retry. A disconnected consumer drops the rest.
+                if tx.try_send_front(buf).is_err() {
+                    buf.clear();
+                }
+            }
+        }
+    }
+
+    /// Can the destination accept nothing further right now? Drives the
+    /// sink's cooperative-backpressure yield.
+    fn is_full(&self) -> bool {
+        match self {
+            SinkDest::Collect(_) => false,
+            SinkDest::Stream(tx) => tx.is_full(),
+        }
+    }
+}
+
 impl Task {
-    fn new(label: &'static str, state: State) -> Arc<Task> {
+    fn new(label: &'static str, state: State, run: &Arc<Run>) -> Arc<Task> {
         Arc::new(Task {
             label,
+            run: Arc::clone(run),
             mailbox: Mutex::new(VecDeque::new()),
+            ingress_cv: Condvar::new(),
+            ingress_waiters: AtomicUsize::new(0),
             open_senders: AtomicUsize::new(0),
             scheduled: AtomicBool::new(false),
             backoff: AtomicU32::new(0),
             state: Mutex::new(state),
         })
+    }
+
+    /// Discards buffered input (abort path), waking any ingress waiter
+    /// blocked on the freed space.
+    fn clear_mailbox(&self) {
+        self.mailbox.lock().clear();
+        if self.ingress_waiters.load(Ordering::Acquire) > 0 {
+            self.ingress_cv.notify_all();
+        }
     }
 }
 
@@ -328,8 +518,8 @@ impl Port {
         notify(&self.task, sh, local);
     }
 
-    /// Unbuffered batch send (driver feed path): extends the mailbox
-    /// under one lock and wakes the consumer once.
+    /// Unbuffered batch send (batch-driver feed path): extends the
+    /// mailbox under one lock and wakes the consumer once.
     fn send_now(
         &self,
         recs: impl IntoIterator<Item = Record>,
@@ -369,15 +559,16 @@ fn notify(task: &Arc<Task>, sh: &Shared, local: Option<&Worker<Arc<Task>>>) {
         .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
         .is_ok()
     {
-        sh.active.fetch_add(1, Ordering::AcqRel);
         match local {
             Some(w) => w.push(Arc::clone(task)),
             None => sh.injector.push(Arc::clone(task)),
         }
-        // Parked workers re-probe at least every millisecond, so a
-        // missed notify costs bounded latency; skipping the syscall when
-        // every worker is busy is a large win on the hot path.
-        if sh.sleepers.load(Ordering::Acquire) > 0 {
+        // Skipping the syscall when every worker is busy is a large win
+        // on the hot path. The push above is SeqCst-ordered against a
+        // parking worker's sleeper registration (see `park`), and
+        // parked workers re-probe at least every millisecond, so a
+        // missed notify costs bounded latency.
+        if sh.sleepers.load(Ordering::SeqCst) > 0 {
             sh.cv.notify_one();
         }
     }
@@ -408,16 +599,6 @@ impl Ord for Deferred {
     }
 }
 
-/// How one activation ended, from the scheduler's accounting view.
-enum Activation {
-    /// Ran to completion: finalized, went idle, or re-queued itself via
-    /// `notify`. The worker releases the activation's `active` token.
-    Complete,
-    /// Zero-progress backpressure yield: the task holds its `scheduled`
-    /// flag and `active` token and must be re-run at the deadline.
-    Defer(Instant),
-}
-
 fn worker_loop(
     index: usize,
     local: Worker<Arc<Task>>,
@@ -429,6 +610,9 @@ fn worker_loop(
     // other work — park briefly instead of spinning on the mutex.
     let mut contended: Option<*const Task> = None;
     loop {
+        if sh.shutdown.load(Ordering::Acquire) {
+            return;
+        }
         let task = find_task(index, &local, stealers, sh);
         match task {
             Some(task) => {
@@ -441,25 +625,16 @@ fn worker_loop(
                 match guard {
                     Some(state) => {
                         contended = None;
-                        match run_task(&task, state, sh, &local) {
-                            Activation::Complete => {
-                                if sh.active.fetch_sub(1, Ordering::AcqRel) == 1 {
-                                    // Quiescent: wake the waiting driver
-                                    // (and peers, so shutdown propagates).
-                                    sh.cv.notify_all();
-                                }
-                            }
-                            Activation::Defer(due) => {
-                                // Clone (not move): the state guard's
-                                // borrow region still covers `task`.
-                                // Count first (release): a probe that
-                                // sees the count also sees the entry
-                                // once it takes the heap lock.
-                                sh.deferred_count.fetch_add(1, Ordering::Release);
-                                sh.deferred
-                                    .lock()
-                                    .push(Deferred { due, task: Arc::clone(&task) });
-                            }
+                        if let Some(due) = execute(&task, state, sh, Some(&local)) {
+                            // Zero-progress backpressure yield: the task
+                            // holds its `scheduled` flag and re-runs at
+                            // the deadline. Count first (release): a
+                            // probe that sees the count also sees the
+                            // entry once it takes the heap lock.
+                            sh.deferred_count.fetch_add(1, Ordering::Release);
+                            sh.deferred
+                                .lock()
+                                .push(Deferred { due, task: Arc::clone(&task) });
                         }
                     }
                     None => {
@@ -498,17 +673,106 @@ fn worker_loop(
 /// Parks the worker until new work may exist; returns true on shutdown.
 fn park(sh: &Shared, timeout: Duration) -> bool {
     let sleep = sh.sleep.lock();
-    if sleep.shutdown {
+    if sh.shutdown.load(Ordering::Acquire) {
         return true;
     }
-    // Timed wait: a notify may have raced our empty probe.
-    sh.sleepers.fetch_add(1, Ordering::AcqRel);
+    sh.sleepers.fetch_add(1, Ordering::SeqCst);
+    // Closing the probe/park race: a producer that pushed after our
+    // (empty) queue probe may have read `sleepers == 0` before the
+    // increment above and skipped its notify. Re-probing the injector
+    // *after* registering as a sleeper bounds that loss to the
+    // injector-push window; the timed wait below backstops the
+    // remaining (local-deque) cases. Deferrals are deliberately NOT
+    // re-probed: they are deadline-driven, the caller's `timeout`
+    // already expires at the earliest deadline, and bailing out on a
+    // merely-pending (not yet due) deferral would turn every idle
+    // worker into a busy-spinner for the whole backpressure window.
+    if !sh.injector.is_empty() {
+        sh.sleepers.fetch_sub(1, Ordering::SeqCst);
+        return false;
+    }
     let _ = sh
         .cv
         .wait_timeout(sleep, timeout)
         .unwrap_or_else(|e| e.into_inner());
-    sh.sleepers.fetch_sub(1, Ordering::AcqRel);
+    sh.sleepers.fetch_sub(1, Ordering::SeqCst);
     false
+}
+
+/// Runs one activation with panic containment. User box panics are
+/// already converted to errors inside `step`; a panic escaping the
+/// activation itself (a semantics/scheduler bug) must still not kill a
+/// persistent-pool thread — the pool never respawns workers, so an
+/// unwinding activation would silently shrink the pool and strand the
+/// run's completion latch forever. Instead the task's run is failed and
+/// the task finalized, so the end-of-stream cascade (and the driver)
+/// still complete, with the panic reported as the run's error.
+fn execute(
+    task: &Arc<Task>,
+    state: parking_lot::MutexGuard<'_, State>,
+    sh: &Shared,
+    local: Option<&Worker<Arc<Task>>>,
+) -> Option<Instant> {
+    let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_task(task, state, sh, local)
+    }));
+    match unwound {
+        Ok(defer) => defer,
+        Err(payload) => {
+            let cause = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            task.run.fail(SnetError::Engine(format!(
+                "scheduler activation panicked: {cause}"
+            )));
+            task.clear_mailbox();
+            // The state mutex recovers from the poisoned unwind (shim
+            // semantics); finalizing closes the task's ports so the
+            // cascade still reaches the sink.
+            if let Some(mut st) = task.state.try_lock() {
+                finalize(task, &mut st, sh, local);
+            }
+            None
+        }
+    }
+}
+
+/// Pops the earliest backpressure deferral if its deadline has passed.
+/// The atomic count keeps the no-backpressure path off the heap mutex;
+/// counting is Release/AcqRel-paired with the push sites so a probe
+/// that sees the count also sees the entry under the lock.
+fn pop_due_deferral(sh: &Shared) -> Option<Arc<Task>> {
+    if sh.deferred_count.load(Ordering::Acquire) == 0 {
+        return None;
+    }
+    let mut deferred = sh.deferred.lock();
+    if let Some(d) = deferred.peek() {
+        if d.due <= Instant::now() {
+            let task = deferred.pop().expect("peeked entry").task;
+            sh.deferred_count.fetch_sub(1, Ordering::AcqRel);
+            return Some(task);
+        }
+    }
+    None
+}
+
+/// Pops one ready task from the pool's *global* sources (expired
+/// deferrals, then the injector) — the part of [`find_task`] available
+/// to threads without a worker deque, i.e. a driver thread helping out
+/// via [`SchedHandle::drive`].
+fn pop_global(sh: &Shared) -> Option<Arc<Task>> {
+    if let Some(task) = pop_due_deferral(sh) {
+        return Some(task);
+    }
+    loop {
+        match sh.injector.steal() {
+            Steal::Success(t) => return Some(t),
+            Steal::Retry => std::hint::spin_loop(),
+            Steal::Empty => return None,
+        }
+    }
 }
 
 fn find_task(
@@ -519,18 +783,9 @@ fn find_task(
 ) -> Option<Arc<Task>> {
     // Expired backoff deferrals first: they are the oldest work and
     // their congestion has had the longest time to clear. The heap is
-    // shared, so whichever worker probes first resumes the task; the
-    // atomic count keeps the no-backpressure dispatch path off the
-    // heap mutex entirely.
-    if sh.deferred_count.load(Ordering::Acquire) > 0 {
-        let mut deferred = sh.deferred.lock();
-        if let Some(d) = deferred.peek() {
-            if d.due <= Instant::now() {
-                let task = deferred.pop().expect("peeked entry").task;
-                sh.deferred_count.fetch_sub(1, Ordering::AcqRel);
-                return Some(task);
-            }
-        }
+    // shared, so whichever worker probes first resumes the task.
+    if let Some(task) = pop_due_deferral(sh) {
+        return Some(task);
     }
     if let Some(t) = local.pop() {
         return Some(t);
@@ -566,20 +821,23 @@ fn find_task(
 /// marks), flush every output edge once, then finalize if end-of-stream
 /// has been reached. The caller holds the state lock (acquired with
 /// `try_lock`, so workers never block behind a running activation).
+///
+/// Returns `Some(deadline)` for a zero-progress backpressure yield that
+/// must be re-run no earlier than the deadline, `None` otherwise.
 fn run_task(
     task: &Arc<Task>,
     mut state: parking_lot::MutexGuard<'_, State>,
     sh: &Shared,
-    local: &Worker<Arc<Task>>,
-) -> Activation {
+    local: Option<&Worker<Arc<Task>>>,
+) -> Option<Instant> {
     // From here on, producers may re-queue the task; the held state
     // lock serializes actual execution.
     task.scheduled.store(false, Ordering::Release);
 
-    if sh.aborted.load(Ordering::Acquire) {
-        task.mailbox.lock().clear();
+    if task.run.aborted.load(Ordering::Acquire) {
+        task.clear_mailbox();
         finalize(task, &mut state, sh, local);
-        return Activation::Complete;
+        return None;
     }
 
     let batch = sh.config.batch.max(1);
@@ -608,12 +866,17 @@ fn run_task(
             }
             inbuf.extend(mb.drain(..take));
         }
+        // The mailbox just shrank: wake a streaming sender blocked on
+        // the ingress bound, if any.
+        if task.ingress_waiters.load(Ordering::Acquire) > 0 {
+            task.ingress_cv.notify_all();
+        }
         for rec in inbuf.drain(..) {
-            if let Err(e) = step(&mut state, rec, sh, local) {
-                sh.fail(e);
-                task.mailbox.lock().clear();
+            if let Err(e) = step(&mut state, rec, sh, &task.run, local) {
+                task.run.fail(e);
+                task.clear_mailbox();
                 finalize(task, &mut state, sh, local);
-                return Activation::Complete;
+                return None;
             }
             processed += 1;
         }
@@ -634,21 +897,44 @@ fn run_task(
     // between the two reads.
     let senders = task.open_senders.load(Ordering::Acquire);
     let mailbox_empty = task.mailbox.lock().is_empty();
-    if mailbox_empty {
+    // Sink delivery happens here, not in `flush_outputs`: deliver when
+    // the inbound stream pauses (empty mailbox — latency now matters)
+    // or a full hand-off batch has accumulated; holding smaller
+    // dribbles while more input is already queued coalesces consumer
+    // wakes without ever stranding a record (a non-empty mailbox
+    // guarantees another activation). A streaming sink can still be
+    // left with undelivered records when the output channel was full:
+    // nothing in the graph re-schedules it when the consumer drains
+    // (the channel has no back-edge into the scheduler), so it must
+    // re-defer itself even with an empty mailbox.
+    let undelivered = if let State::Sink { buf, dest } = &mut *state {
+        if mailbox_empty || buf.len() >= batch {
+            dest.flush(buf);
+        }
+        !buf.is_empty()
+    } else {
+        false
+    };
+    if mailbox_empty && !undelivered {
         if senders == 0 {
             finalize(task, &mut state, sh, local);
         }
-        Activation::Complete
+        None
     } else {
+        // Note the finalize-gate: a sink with undelivered output is
+        // never finalized, even at end-of-stream — it re-defers until
+        // the consumer makes room (or hangs up). Finalizing instead
+        // would force a blocking drain inside an activation, which
+        // deadlocks a single-threaded driver that is simultaneously
+        // the pool helper (`drive`) and the consumer.
         drop(state);
         if processed == 0 {
             // Zero-progress (backpressured) yield. Requeueing straight
             // onto the global queue spins hot while the downstream
             // mailbox stays full; instead, re-enqueue with exponential
-            // backoff. Claiming `scheduled` here transfers this
-            // activation's `active` token to the deferred entry and
-            // keeps producers from double-queueing the task; if a
-            // producer won the race, its queue entry owns the re-run.
+            // backoff. Claiming `scheduled` here keeps producers from
+            // double-queueing the task; if a producer won the race, its
+            // queue entry owns the re-run.
             if task
                 .scheduled
                 .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
@@ -658,25 +944,22 @@ fn run_task(
                     .backoff
                     .fetch_add(1, Ordering::Relaxed)
                     .min(BACKOFF_MAX_SHIFT);
-                return Activation::Defer(
-                    Instant::now() + Duration::from_micros(1u64 << shift),
-                );
+                return Some(Instant::now() + Duration::from_micros(1u64 << shift));
             }
-            Activation::Complete
+            None
         } else {
             // Budget yield with progress made: run again soon, from the
             // local deque.
-            notify(task, sh, Some(local));
-            Activation::Complete
+            notify(task, sh, local);
+            None
         }
     }
 }
 
 /// Flushes every coalescing output buffer reachable from `state`: one
 /// downstream mailbox push + consumer wake per edge with pending
-/// records, and the sink's buffered outputs into the shared vector.
-fn flush_outputs(state: &mut State, sh: &Shared, local: &Worker<Arc<Task>>) {
-    let local = Some(local);
+/// records, and the sink's buffered outputs into its destination.
+fn flush_outputs(state: &mut State, sh: &Shared, local: Option<&Worker<Arc<Task>>>) {
     match state {
         State::Box(_, out) | State::Filter(_, out) | State::Sync { out, .. } => {
             out.flush(sh, local);
@@ -701,24 +984,27 @@ fn flush_outputs(state: &mut State, sh: &Shared, local: &Worker<Arc<Task>>) {
             }
             out.flush(sh, local);
         }
-        State::Sink { buf } => {
-            if !buf.is_empty() {
-                sh.outputs.lock().append(buf);
-            }
-        }
-        State::Done => {}
+        // The sink is absent on purpose: its delivery cadence is decided
+        // in `run_task`'s tail (full batches, or everything once its
+        // mailbox pauses), not at every activation boundary — flushing
+        // dribbles per activation would wake the consumer per couple of
+        // records and let it preempt the worker mid-stream.
+        State::Sink { .. } | State::Done => {}
     }
 }
 
 /// Cooperative backpressure: stop consuming while the primary output
 /// mailbox is over the high-water mark. Dispatchers are exempt (their
-/// work per record is trivial and they feed many outputs).
+/// work per record is trivial and they feed many outputs). A streaming
+/// sink with undelivered records and a full output channel yields the
+/// same way — it must not grow its buffer while the consumer lags.
 fn output_backpressured(state: &State, sh: &Shared) -> bool {
     let hw = sh.high_water();
     match state {
         State::Box(_, out) | State::Filter(_, out) | State::Sync { out, .. } => {
             out.backlog() >= hw
         }
+        State::Sink { buf, dest } => !buf.is_empty() && dest.is_full(),
         _ => false,
     }
 }
@@ -731,7 +1017,8 @@ fn step(
     state: &mut State,
     rec: Record,
     sh: &Shared,
-    local: &Worker<Arc<Task>>,
+    run: &Arc<Run>,
+    local: Option<&Worker<Arc<Task>>>,
 ) -> Result<(), SnetError> {
     let batch = sh.config.batch.max(1);
     match state {
@@ -753,37 +1040,37 @@ fn step(
                 })
             })?;
             if step.matched {
-                sh.trace.count_box(step.work);
+                run.trace.count_box(step.work);
             } else {
-                Trace::add(&sh.trace.passthroughs, 1);
+                Trace::add(&run.trace.passthroughs, 1);
             }
             for r in step.records {
-                out.send(r, batch, sh, Some(local));
+                out.send(r, batch, sh, local);
             }
             Ok(())
         }
         State::Filter(spec, out) => {
             let step = semantics::filter_step(spec, rec, sh.config.mismatch)?;
             if step.matched {
-                Trace::add(&sh.trace.filter_records, 1);
+                Trace::add(&run.trace.filter_records, 1);
             } else {
-                Trace::add(&sh.trace.passthroughs, 1);
+                Trace::add(&run.trace.passthroughs, 1);
             }
             for r in step.records {
-                out.send(r, batch, sh, Some(local));
+                out.send(r, batch, sh, local);
             }
             Ok(())
         }
         State::Sync { spec, st, out } => {
             match st.push(spec, rec) {
                 SyncOutcome::Stored => {
-                    Trace::add(&sh.trace.sync_stores, 1);
+                    Trace::add(&run.trace.sync_stores, 1);
                 }
                 SyncOutcome::Fired(m) => {
-                    Trace::add(&sh.trace.sync_fires, 1);
-                    out.send(m, batch, sh, Some(local));
+                    Trace::add(&run.trace.sync_fires, 1);
+                    out.send(m, batch, sh, local);
                 }
-                SyncOutcome::Passed(r) => out.send(r, batch, sh, Some(local)),
+                SyncOutcome::Passed(r) => out.send(r, batch, sh, local),
             }
             Ok(())
         }
@@ -795,14 +1082,14 @@ fn step(
             let winners = semantics::matching_branches(patterns, &rec);
             match winners.first() {
                 Some(&i) => {
-                    Trace::add(&sh.trace.dispatched, 1);
-                    branches[i].send(rec, batch, sh, Some(local));
+                    Trace::add(&run.trace.dispatched, 1);
+                    branches[i].send(rec, batch, sh, local);
                     Ok(())
                 }
                 None => match sh.config.mismatch {
                     MismatchPolicy::Forward => {
-                        Trace::add(&sh.trace.passthroughs, 1);
-                        out.send(rec, batch, sh, Some(local));
+                        Trace::add(&run.trace.passthroughs, 1);
+                        out.send(rec, batch, sh, local);
                         Ok(())
                     }
                     MismatchPolicy::Error => Err(SnetError::TypeMismatch {
@@ -819,13 +1106,13 @@ fn step(
             out,
         } => {
             if exit.matches(&rec) {
-                out.send(rec, batch, sh, Some(local));
+                out.send(rec, batch, sh, local);
                 return Ok(());
             }
             if into_body.is_none() {
                 // Unfold one replica: body feeding the next tap, which
                 // shares our exit stream.
-                Trace::add(&sh.trace.star_unfoldings, 1);
+                Trace::add(&run.trace.star_unfoldings, 1);
                 let next_tap = Task::new(
                     "star-tap",
                     State::Star {
@@ -834,14 +1121,15 @@ fn step(
                         into_body: None,
                         out: out.another(),
                     },
+                    run,
                 );
-                let body_in = build(body, Port::new(&next_tap), sh);
+                let body_in = build(body, Port::new(&next_tap), sh, run);
                 *into_body = Some(body_in);
             }
             into_body
                 .as_mut()
                 .expect("replica just unfolded")
-                .send(rec, batch, sh, Some(local));
+                .send(rec, batch, sh, local);
             Ok(())
         }
         State::Split {
@@ -854,17 +1142,17 @@ fn step(
                 return Err(SnetError::MissingTag(*tag));
             };
             let port = replicas.entry(value).or_insert_with(|| {
-                Trace::add(&sh.trace.split_replicas, 1);
-                build(body, out.another(), sh)
+                Trace::add(&run.trace.split_replicas, 1);
+                build(body, out.another(), sh, run)
             });
-            Trace::add(&sh.trace.dispatched, 1);
-            port.send(rec, batch, sh, Some(local));
+            Trace::add(&run.trace.dispatched, 1);
+            port.send(rec, batch, sh, local);
             Ok(())
         }
-        State::Sink { buf } => {
+        State::Sink { buf, dest } => {
             buf.push(rec);
             if buf.len() >= batch {
-                sh.outputs.lock().append(buf);
+                dest.flush(buf);
             }
             Ok(())
         }
@@ -873,17 +1161,20 @@ fn step(
 }
 
 /// Observes end-of-stream: count stranded synchrocell records, close
-/// every downstream port, and become inert.
-fn finalize(task: &Arc<Task>, state: &mut State, sh: &Shared, local: &Worker<Arc<Task>>) {
+/// every downstream port, and become inert. The sink's finalization is
+/// the run's completion: it delivers the last buffered outputs, drops
+/// the streaming sender (end-of-stream for the consumer) and wakes the
+/// driver's completion latch.
+fn finalize(task: &Arc<Task>, state: &mut State, sh: &Shared, local: Option<&Worker<Arc<Task>>>) {
     let _ = task.label;
     let old = std::mem::replace(state, State::Done);
-    let close = |p: Port| p.close(sh, Some(local));
+    let close = |p: Port| p.close(sh, local);
     match old {
         State::Box(_, out) | State::Filter(_, out) => close(out),
         State::Sync { st, out, .. } => {
             let stranded = st.pending().count() as u64;
             if stranded > 0 {
-                Trace::add(&sh.trace.sync_stranded, stranded);
+                Trace::add(&task.run.trace.sync_stranded, stranded);
             }
             close(out);
         }
@@ -907,26 +1198,31 @@ fn finalize(task: &Arc<Task>, state: &mut State, sh: &Shared, local: &Worker<Arc
             }
             close(out);
         }
-        State::Sink { mut buf } => {
-            // Flush any outputs still coalescing in the sink buffer.
-            if !buf.is_empty() {
-                sh.outputs.lock().append(&mut buf);
-            }
+        State::Sink { mut buf, dest } => {
+            // By the finalize-gate in `run_task` the buffer is empty on
+            // every orderly end-of-stream; a non-empty buffer here means
+            // abort or a hung-up consumer, where dropping leftovers is
+            // the contract.
+            dest.flush(&mut buf);
+            // Streaming mode: dropping `dest` here disconnects the
+            // output channel — the consumer's end-of-stream.
+            drop(dest);
+            task.run.signal_done();
         }
         State::Done => {}
     }
 }
 
-/// Recursively instantiates `spec` as a task subgraph feeding `output`,
-/// returning the subtree's input port.
-fn build(spec: &NetSpec, output: Port, sh: &Shared) -> Port {
+/// Recursively instantiates `spec` as a task subgraph of `run` feeding
+/// `output`, returning the subtree's input port.
+fn build(spec: &NetSpec, output: Port, sh: &Shared, run: &Arc<Run>) -> Port {
     match spec {
         NetSpec::Box(def) => {
-            let t = Task::new("box", State::Box(def.clone(), output));
+            let t = Task::new("box", State::Box(def.clone(), output), run);
             Port::new(&t)
         }
         NetSpec::Filter(f) => {
-            let t = Task::new("filter", State::Filter(f.clone(), output));
+            let t = Task::new("filter", State::Filter(f.clone(), output), run);
             Port::new(&t)
         }
         NetSpec::Sync(spec) => {
@@ -937,19 +1233,20 @@ fn build(spec: &NetSpec, output: Port, sh: &Shared) -> Port {
                     spec: spec.clone(),
                     out: output,
                 },
+                run,
             );
             Port::new(&t)
         }
         NetSpec::Serial(a, b) => {
-            let mid = build(b, output, sh);
-            build(a, mid, sh)
+            let mid = build(b, output, sh, run);
+            build(a, mid, sh, run)
         }
         NetSpec::Parallel { branches, .. } => {
             let patterns: Vec<Vec<Pattern>> =
                 branches.iter().map(|b| b.input_patterns()).collect();
             let ports: Vec<Port> = branches
                 .iter()
-                .map(|b| build(b, output.another(), sh))
+                .map(|b| build(b, output.another(), sh, run))
                 .collect();
             let t = Task::new(
                 "par-dispatch",
@@ -958,6 +1255,7 @@ fn build(spec: &NetSpec, output: Port, sh: &Shared) -> Port {
                     branches: ports,
                     out: output,
                 },
+                run,
             );
             Port::new(&t)
         }
@@ -970,6 +1268,7 @@ fn build(spec: &NetSpec, output: Port, sh: &Shared) -> Port {
                     into_body: None,
                     out: output,
                 },
+                run,
             );
             Port::new(&t)
         }
@@ -984,10 +1283,272 @@ fn build(spec: &NetSpec, output: Port, sh: &Shared) -> Port {
                     replicas: HashMap::new(),
                     out: output,
                 },
+                run,
             );
             Port::new(&t)
         }
-        NetSpec::At { body, .. } | NetSpec::Named { body, .. } => build(body, output, sh),
+        NetSpec::At { body, .. } | NetSpec::Named { body, .. } => build(body, output, sh, run),
+    }
+}
+
+/// Error returned by [`SchedHandle::try_send`].
+#[derive(Debug)]
+pub enum TrySendError {
+    /// The entry mailbox is at [`EngineConfig::channel_capacity`]; the
+    /// record is handed back untouched.
+    Full(Record),
+    /// The run can no longer accept input (input closed or the run
+    /// failed); the cause is attached.
+    Closed(SnetError),
+}
+
+/// A running, streaming instance of a [`SchedNet`] on the shared
+/// worker pool.
+///
+/// Mirrors the threaded engine's [`crate::engine::NetHandle`]: records
+/// go in through [`SchedHandle::send`] (bounded — the call blocks once
+/// [`EngineConfig::channel_capacity`] records are resident in the entry
+/// mailbox), outputs stream out of [`SchedHandle::recv`] as the sink
+/// produces them, and [`SchedHandle::finish`] (or dropping the handle)
+/// closes the input and tears the run down via the usual end-of-stream
+/// cascade. All methods take `&self`, so one thread can feed the
+/// network while another drains it.
+pub struct SchedHandle {
+    input: Mutex<Option<Port>>,
+    output: Receiver<Record>,
+    run: Arc<Run>,
+    sh: Arc<Shared>,
+}
+
+impl SchedHandle {
+    /// The entry task, if the input is still open. Cloned out of the
+    /// `input` mutex so no caller ever blocks while holding it — a
+    /// `send` stalled on ingress backpressure must not lock out
+    /// `input_backlog`/`close_input` from other threads. A send racing
+    /// `close_input` may consequently land after finalization, where it
+    /// is dropped like any other post-teardown straggler.
+    fn entry_task(&self) -> Option<Arc<Task>> {
+        self.input.lock().as_ref().map(|p| Arc::clone(&p.task))
+    }
+
+    /// Blocks until the entry mailbox has room or the run aborts,
+    /// handing the re-acquired mailbox guard back. The timed wait is a
+    /// lost-wakeup safety net; the entry task signals `ingress_cv`
+    /// whenever it drains the mailbox.
+    fn wait_for_space<'a>(
+        &self,
+        task: &'a Task,
+        mut mb: parking_lot::MutexGuard<'a, VecDeque<Record>>,
+        cap: usize,
+    ) -> Result<parking_lot::MutexGuard<'a, VecDeque<Record>>, SnetError> {
+        loop {
+            if self.run.aborted.load(Ordering::Acquire) {
+                return Err(self.current_error("network failed while sending"));
+            }
+            if mb.len() < cap {
+                return Ok(mb);
+            }
+            task.ingress_waiters.fetch_add(1, Ordering::AcqRel);
+            let (guard, _) = task
+                .ingress_cv
+                .wait_timeout(mb, Duration::from_millis(100))
+                .unwrap_or_else(|e| e.into_inner());
+            task.ingress_waiters.fetch_sub(1, Ordering::AcqRel);
+            mb = guard;
+        }
+    }
+
+    /// Sends one record into the network, blocking while the entry
+    /// mailbox is at capacity (real ingress backpressure: a slow
+    /// network throttles its producer instead of buffering unboundedly).
+    pub fn send(&self, rec: Record) -> Result<(), SnetError> {
+        let Some(task) = self.entry_task() else {
+            return Err(SnetError::Engine("input already closed".into()));
+        };
+        let cap = self.sh.config.channel_capacity.max(1);
+        let mut mb = self.wait_for_space(&task, task.mailbox.lock(), cap)?;
+        mb.push_back(rec);
+        drop(mb);
+        notify(&task, &self.sh, None);
+        Ok(())
+    }
+
+    /// Sends a pre-materialized batch, still under the ingress bound:
+    /// records land in the entry mailbox in capacity-sized windows —
+    /// one mailbox lock and one wake per window instead of per record
+    /// — and the call blocks for drain space between windows, so
+    /// resident records never exceed [`EngineConfig::channel_capacity`].
+    /// The streaming counterpart of the batch driver's one-shot feed.
+    pub fn send_all(&self, records: Vec<Record>) -> Result<(), SnetError> {
+        let Some(task) = self.entry_task() else {
+            return Err(SnetError::Engine("input already closed".into()));
+        };
+        let cap = self.sh.config.channel_capacity.max(1);
+        let mut queue = records.into_iter();
+        let mut next = queue.next();
+        while next.is_some() {
+            let mut mb = self.wait_for_space(&task, task.mailbox.lock(), cap)?;
+            while next.is_some() && mb.len() < cap {
+                mb.push_back(next.take().expect("loop guard"));
+                next = queue.next();
+            }
+            drop(mb);
+            notify(&task, &self.sh, None);
+        }
+        Ok(())
+    }
+
+    /// Non-blocking send: hands the record back as
+    /// [`TrySendError::Full`] instead of blocking when the entry
+    /// mailbox is at capacity.
+    pub fn try_send(&self, rec: Record) -> Result<(), TrySendError> {
+        let Some(task) = self.entry_task() else {
+            return Err(TrySendError::Closed(SnetError::Engine(
+                "input already closed".into(),
+            )));
+        };
+        let task = &task;
+        if self.run.aborted.load(Ordering::Acquire) {
+            return Err(TrySendError::Closed(
+                self.current_error("network failed while sending"),
+            ));
+        }
+        let cap = self.sh.config.channel_capacity.max(1);
+        {
+            let mut mb = task.mailbox.lock();
+            if mb.len() >= cap {
+                return Err(TrySendError::Full(rec));
+            }
+            mb.push_back(rec);
+        }
+        notify(task, &self.sh, None);
+        Ok(())
+    }
+
+    /// Records currently resident in the entry mailbox (0 once the
+    /// input is closed). Never exceeds
+    /// [`EngineConfig::channel_capacity`] when the handle's own senders
+    /// are the only producers — the observable ingress bound.
+    pub fn input_backlog(&self) -> usize {
+        self.entry_task().map(|t| t.mailbox.lock().len()).unwrap_or(0)
+    }
+
+    /// Closes the input stream (end-of-stream for the network).
+    /// Idempotent.
+    pub fn close_input(&self) {
+        if let Some(port) = self.input.lock().take() {
+            port.close(&self.sh, None);
+        }
+    }
+
+    /// Receives the next output record; `None` once the output stream
+    /// has terminated (sink finalized, or the pool shut down).
+    pub fn recv(&self) -> Option<Record> {
+        loop {
+            match self.output.recv_timeout(Duration::from_millis(100)) {
+                Ok(rec) => return Some(rec),
+                Err(RecvTimeoutError::Disconnected) => return None,
+                Err(RecvTimeoutError::Timeout) => {
+                    // A dropped pool (SchedNet gone) can no longer run
+                    // the sink; don't block forever on it.
+                    if self.sh.shutdown.load(Ordering::Acquire) {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-blocking receive: `None` when nothing is currently queued
+    /// (including after termination — use [`SchedHandle::recv`] to
+    /// distinguish end-of-stream).
+    pub fn try_recv(&self) -> Option<Record> {
+        self.output.try_recv().ok()
+    }
+
+    /// Runs at most one ready scheduler task on the *calling* thread
+    /// (caller-runs work helping, à la Rayon): pops from the pool's
+    /// global queues and executes the activation in place. Returns
+    /// `true` if a task was executed. A streaming driver that would
+    /// otherwise block — ingress full, nothing to drain — can call this
+    /// to push the pipeline forward itself instead of paying a
+    /// park/wake round trip against the worker pool; on a single-CPU
+    /// host this is the difference between streaming and batch-mode
+    /// throughput. Tasks of *any* run on this net's pool may be
+    /// executed, exactly as a pool worker would.
+    pub fn drive(&self) -> bool {
+        let Some(task) = pop_global(&self.sh) else {
+            return false;
+        };
+        let guard = task.state.try_lock();
+        match guard {
+            Some(state) => {
+                if let Some(due) = execute(&task, state, &self.sh, None) {
+                    self.sh.deferred_count.fetch_add(1, Ordering::Release);
+                    self.sh
+                        .deferred
+                        .lock()
+                        .push(Deferred { due, task: Arc::clone(&task) });
+                }
+                true
+            }
+            None => {
+                // Mid-activation on another thread: hand it back and let
+                // the caller yield to the thread actually running it.
+                self.sh.injector.push(Arc::clone(&task));
+                false
+            }
+        }
+    }
+
+    /// The output stream receiver (for `select!`-style consumers).
+    pub fn output(&self) -> &Receiver<Record> {
+        &self.output
+    }
+
+    /// Shared event counters of this run.
+    pub fn trace(&self) -> &Trace {
+        &self.run.trace
+    }
+
+    /// Clonable handle to the run's counters.
+    pub fn trace_arc(&self) -> Arc<Trace> {
+        Arc::clone(&self.run.trace)
+    }
+
+    /// Closes the input, drains any remaining output, waits for the
+    /// run to finalize, and reports the first error raised during the
+    /// run, if any.
+    pub fn finish(self) -> Result<(), SnetError> {
+        self.close_input();
+        // Drain the output so the sink cannot block on a full channel.
+        while self.recv().is_some() {}
+        if !self.sh.shutdown.load(Ordering::Acquire) {
+            self.run.wait_done();
+        }
+        match self.run.error.lock().take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn current_error(&self, fallback: &str) -> SnetError {
+        self.run
+            .error
+            .lock()
+            .clone()
+            .unwrap_or_else(|| SnetError::Engine(fallback.into()))
+    }
+}
+
+impl Drop for SchedHandle {
+    /// Closing the input on drop lets the end-of-stream cascade tear
+    /// the task graph down even when the user walks away without
+    /// calling [`SchedHandle::finish`]; the receiver drop disconnects
+    /// the output channel, so the sink discards (rather than blocks on)
+    /// any undelivered records.
+    fn drop(&mut self) {
+        self.close_input();
     }
 }
 
@@ -1228,5 +1789,47 @@ mod tests {
     fn empty_batch_terminates() {
         let net = SchedNet::new(int_box("inc", "x", "x", |x| x + 1));
         assert!(net.run_batch(Vec::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn streaming_interface_overlaps() {
+        let net = SchedNet::new(int_box("inc", "x", "x", |x| x + 1));
+        let h = net.start();
+        h.send(Record::new().with_field("x", Value::Int(1))).unwrap();
+        let first = h.recv().expect("one output while input still open");
+        assert_eq!(first.field("x").unwrap().as_int(), Some(2));
+        h.send(Record::new().with_field("x", Value::Int(5))).unwrap();
+        h.close_input();
+        let second = h.recv().expect("second output");
+        assert_eq!(second.field("x").unwrap().as_int(), Some(6));
+        assert!(h.recv().is_none());
+        h.finish().unwrap();
+    }
+
+    #[test]
+    fn streaming_error_propagates_to_finish() {
+        let bad = NetSpec::Box(BoxDef::from_fn(
+            BoxSig::parse("bad", &["x"], &[&["y"]]),
+            |_| Err(SnetError::Engine("deliberate".into())),
+        ));
+        let net = SchedNet::new(bad);
+        let h = net.start();
+        let _ = h.send(Record::new().with_field("x", Value::Int(1)));
+        let err = h.finish().unwrap_err();
+        assert!(matches!(err, SnetError::BoxFailure { .. }), "{err}");
+    }
+
+    #[test]
+    fn batch_and_streaming_runs_interleave_on_one_pool() {
+        let net = SchedNet::new(int_box("inc", "x", "x", |x| x + 1));
+        let h = net.start();
+        h.send(Record::new().with_field("x", Value::Int(10))).unwrap();
+        // A whole batch run completes while the streaming run stays open.
+        let outs = net
+            .run_batch(vec![Record::new().with_field("x", Value::Int(100))])
+            .unwrap();
+        assert_eq!(ints(&outs, "x"), vec![101]);
+        assert_eq!(h.recv().unwrap().field("x").unwrap().as_int(), Some(11));
+        h.finish().unwrap();
     }
 }

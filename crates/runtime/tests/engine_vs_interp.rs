@@ -16,7 +16,7 @@ use snet_core::filter::OutputTemplate;
 use snet_core::{
     BinOp, FilterSpec, NetSpec, Pattern, Record, SyncSpec, TagExpr, Value, Variant,
 };
-use snet_runtime::{EngineConfig, Interp, Net, SchedNet};
+use snet_runtime::{run_stream, EngineConfig, Interp, Net, SchedNet};
 
 /// A box consuming `{a}` and emitting `{a: a + 1}`.
 fn add_box() -> NetSpec {
@@ -294,6 +294,52 @@ proptest! {
                 (0..n_records as i64).filter(|s| s % keys == k).collect();
             prop_assert_eq!(seq, expected, "stream k={} reordered", k);
         }
+    }
+
+    #[test]
+    fn streamed_sched_matches_batch_and_interp(
+        net in arb_net(),
+        batch in prop::collection::vec(arb_record(), 0..20),
+    ) {
+        // The streaming handle (bounded ingress, outputs draining
+        // concurrently through the bounded output channel) must produce
+        // the same multiset as the one-shot batch path and the oracle —
+        // both runs sharing one SchedNet's persistent pool.
+        let expected = Interp::new(&net).run_batch(batch.clone()).unwrap();
+        let sched = SchedNet::new(net);
+        let streamed = run_stream(&sched, batch.clone()).unwrap();
+        let batched = sched.run_batch(batch).unwrap();
+        prop_assert_eq!(multiset(&streamed), multiset(&expected.outputs));
+        prop_assert_eq!(multiset(&batched), multiset(&expected.outputs));
+    }
+
+    #[test]
+    fn streamed_threaded_matches_interp(
+        net in arb_net(),
+        batch in prop::collection::vec(arb_record(), 0..12),
+    ) {
+        // The same engine-generic streaming driver over the threaded
+        // engine: the unified handle API must not change its semantics.
+        let expected = Interp::new(&net).run_batch(batch.clone()).unwrap();
+        let streamed = run_stream(&Net::new(net), batch).unwrap();
+        prop_assert_eq!(multiset(&streamed), multiset(&expected.outputs));
+    }
+
+    #[test]
+    fn streamed_sched_under_tight_capacity_matches_interp(
+        net in arb_net(),
+        batch in prop::collection::vec(arb_record(), 0..16),
+    ) {
+        // Capacity 1 maximizes ingress blocking and output-channel
+        // stalls: the backpressure machinery must never drop, duplicate
+        // or manufacture records.
+        let expected = Interp::new(&net).run_batch(batch.clone()).unwrap();
+        let sched = SchedNet::with_config(
+            net,
+            EngineConfig { channel_capacity: 1, ..EngineConfig::default() },
+        );
+        let streamed = run_stream(&sched, batch).unwrap();
+        prop_assert_eq!(multiset(&streamed), multiset(&expected.outputs));
     }
 
     #[test]

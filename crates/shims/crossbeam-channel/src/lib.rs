@@ -22,6 +22,14 @@ struct State<T> {
     cap: Option<usize>,
     senders: usize,
     receivers: usize,
+    /// Receivers currently blocked in `recv`/`recv_timeout`. Senders
+    /// skip the `readable` notify syscall when nobody is waiting —
+    /// the same parked-thread gating the real crossbeam implements —
+    /// which matters on record-at-a-time hand-off paths.
+    recv_waiting: usize,
+    /// Senders currently blocked on a full bounded queue; receivers
+    /// skip the `writable` notify symmetrically.
+    send_waiting: usize,
 }
 
 struct Shared<T> {
@@ -75,6 +83,53 @@ pub enum TryRecvError {
     Disconnected,
 }
 
+/// Error returned by [`Sender::try_send`]; carries the undelivered
+/// message.
+#[derive(PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded queue is at capacity.
+    Full(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "TrySendError::Full(..)"),
+            TrySendError::Disconnected(_) => write!(f, "TrySendError::Disconnected(..)"),
+        }
+    }
+}
+
+/// Error returned by [`Sender::send_timeout`]; carries the undelivered
+/// message.
+#[derive(PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// No space freed up within the timeout; receivers remain.
+    Timeout(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
+impl<T> fmt::Debug for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => write!(f, "SendTimeoutError::Timeout(..)"),
+            SendTimeoutError::Disconnected(_) => write!(f, "SendTimeoutError::Disconnected(..)"),
+        }
+    }
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Nothing arrived within the timeout; senders remain.
+    Timeout,
+    /// Channel empty and all senders gone.
+    Disconnected,
+}
+
 /// The sending half of a channel. Clonable.
 pub struct Sender<T> {
     shared: Arc<Shared<T>>,
@@ -103,6 +158,8 @@ fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
             cap,
             senders: 1,
             receivers: 1,
+            recv_waiting: 0,
+            send_waiting: 0,
         }),
         readable: Condvar::new(),
         writable: Condvar::new(),
@@ -151,8 +208,9 @@ impl<T> Sender<T> {
             let mut queued = 0usize;
             loop {
                 if st.receivers == 0 {
+                    let wake = queued > 0 && st.recv_waiting > 0;
                     drop(st);
-                    if queued > 0 {
+                    if wake {
                         self.shared.readable.notify_all();
                     }
                     let mut rest = vec![pending];
@@ -164,15 +222,17 @@ impl<T> Sender<T> {
                     // Full: publish the window queued so far, then wait
                     // for space. notify_all because a window may
                     // satisfy many parked receivers at once.
-                    if queued > 0 {
+                    if queued > 0 && st.recv_waiting > 0 {
                         self.shared.readable.notify_all();
-                        queued = 0;
                     }
+                    queued = 0;
+                    st.send_waiting += 1;
                     st = self
                         .shared
                         .writable
                         .wait(st)
                         .unwrap_or_else(PoisonError::into_inner);
+                    st.send_waiting -= 1;
                     continue;
                 }
                 st.queue.push_back(pending);
@@ -182,10 +242,102 @@ impl<T> Sender<T> {
                     None => break,
                 }
             }
+            let wake = queued > 0 && st.recv_waiting > 0;
             drop(st);
-            if queued > 0 {
+            if wake {
                 self.shared.readable.notify_all();
             }
+        }
+    }
+
+    /// Is the bounded queue currently at capacity? (Unbounded channels
+    /// are never full.)
+    pub fn is_full(&self) -> bool {
+        let st = self.shared.lock();
+        st.cap.is_some_and(|c| st.queue.len() >= c)
+    }
+
+    /// Shim extension (not part of crossbeam's API; callers must treat
+    /// it as `try_send` in a loop, which is the drop-in replacement if
+    /// the real crate is ever vendored): moves as many items as fit
+    /// from the front of `src` into the queue under **one** lock with
+    /// at most **one** receiver wake. One wake per window instead of
+    /// one per record matters on a loaded single-core host, where every
+    /// wake lets the consumer preempt the producer mid-window.
+    /// Returns the number delivered; `Err` when every receiver is gone
+    /// (items stay in `src`).
+    pub fn try_send_front(&self, src: &mut Vec<T>) -> Result<usize, SendError<()>> {
+        let mut st = self.shared.lock();
+        if st.receivers == 0 {
+            return Err(SendError(()));
+        }
+        let room = match st.cap {
+            Some(c) => c.saturating_sub(st.queue.len()),
+            None => src.len(),
+        };
+        let n = room.min(src.len());
+        st.queue.extend(src.drain(..n));
+        let wake = n > 0 && st.recv_waiting > 0;
+        drop(st);
+        if wake {
+            self.shared.readable.notify_all();
+        }
+        Ok(n)
+    }
+
+    /// Non-blocking send: fails with [`TrySendError::Full`] instead of
+    /// waiting when the bounded queue is at capacity.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.shared.lock();
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if st.cap.is_some_and(|c| st.queue.len() >= c) {
+            return Err(TrySendError::Full(value));
+        }
+        st.queue.push_back(value);
+        let wake = st.recv_waiting > 0;
+        drop(st);
+        if wake {
+            self.shared.readable.notify_one();
+        }
+        Ok(())
+    }
+
+    /// Blocks until the message is enqueued, every receiver is gone, or
+    /// `timeout` elapses (returning the message in the latter cases).
+    pub fn send_timeout(
+        &self,
+        value: T,
+        timeout: std::time::Duration,
+    ) -> Result<(), SendTimeoutError<T>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.shared.lock();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(value));
+            }
+            if !st.cap.is_some_and(|c| st.queue.len() >= c) {
+                st.queue.push_back(value);
+                let wake = st.recv_waiting > 0;
+                drop(st);
+                if wake {
+                    self.shared.readable.notify_one();
+                }
+                return Ok(());
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(SendTimeoutError::Timeout(value));
+            }
+            st.send_waiting += 1;
+            let (guard, _) = self
+                .shared
+                .writable
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+            st.send_waiting -= 1;
         }
     }
 
@@ -199,15 +351,20 @@ impl<T> Sender<T> {
             let full = st.cap.is_some_and(|c| st.queue.len() >= c);
             if !full {
                 st.queue.push_back(value);
+                let wake = st.recv_waiting > 0;
                 drop(st);
-                self.shared.readable.notify_one();
+                if wake {
+                    self.shared.readable.notify_one();
+                }
                 return Ok(());
             }
+            st.send_waiting += 1;
             st = self
                 .shared
                 .writable
                 .wait(st)
                 .unwrap_or_else(PoisonError::into_inner);
+            st.send_waiting -= 1;
         }
     }
 }
@@ -241,18 +398,55 @@ impl<T> Receiver<T> {
         let mut st = self.shared.lock();
         loop {
             if let Some(v) = st.queue.pop_front() {
+                let wake = st.send_waiting > 0;
                 drop(st);
-                self.shared.writable.notify_one();
+                if wake {
+                    self.shared.writable.notify_one();
+                }
                 return Ok(v);
             }
             if st.senders == 0 {
                 return Err(RecvError);
             }
+            st.recv_waiting += 1;
             st = self
                 .shared
                 .readable
                 .wait(st)
                 .unwrap_or_else(PoisonError::into_inner);
+            st.recv_waiting -= 1;
+        }
+    }
+
+    /// Blocks until a message is available, the channel disconnects, or
+    /// `timeout` elapses.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                let wake = st.send_waiting > 0;
+                drop(st);
+                if wake {
+                    self.shared.writable.notify_one();
+                }
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            st.recv_waiting += 1;
+            let (guard, _) = self
+                .shared
+                .readable
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+            st.recv_waiting -= 1;
         }
     }
 
@@ -261,8 +455,11 @@ impl<T> Receiver<T> {
         let mut st = self.shared.lock();
         match st.queue.pop_front() {
             Some(v) => {
+                let wake = st.send_waiting > 0;
                 drop(st);
-                self.shared.writable.notify_one();
+                if wake {
+                    self.shared.writable.notify_one();
+                }
                 Ok(v)
             }
             None if st.senders == 0 => Err(TryRecvError::Disconnected),
@@ -479,6 +676,28 @@ mod tests {
         let mut sorted = got;
         sorted.sort_unstable();
         assert_eq!(sorted, (0..SENDERS * PER).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_send_reports_full_then_disconnected() {
+        let (tx, rx) = bounded::<u32>(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers_then_disconnects() {
+        let d = std::time::Duration::from_millis(10);
+        let (tx, rx) = bounded::<u32>(4);
+        assert_eq!(rx.recv_timeout(d), Err(RecvTimeoutError::Timeout));
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(d), Ok(9));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(d), Err(RecvTimeoutError::Disconnected));
     }
 
     #[test]

@@ -1,6 +1,10 @@
 //! Watch Fig 4's token-based dynamic scheduling at work.
 //!
-//! Sweeps the token count for a fixed task count on the simulated
+//! First runs the dynamic (token-scheduled) raytracing net *locally*,
+//! streamed through the unified handle API on both real engines — the
+//! thread-per-component engine and the persistent-pool scheduled
+//! engine — to show the same coordination program executing live.
+//! Then sweeps the token count for a fixed task count on the simulated
 //! 8-node testbed and prints the resulting virtual runtimes — a single
 //! row of Fig 5 — together with the synchrocell statistics that reveal
 //! the mechanism: every tokenless section must win a token in a
@@ -11,17 +15,70 @@
 //! cargo run --release --example dynamic_scheduling -- [tasks] [size]
 //! ```
 
-use snet_apps::{run_snet_cluster, NetVariant, Schedule, SnetConfig, Workload};
+use snet_apps::{
+    image_slot, input_record, raytracing_net, run_snet_cluster, NetVariant, Schedule,
+    SnetConfig, Workload,
+};
 use snet_dist::OverheadModel;
 use snet_raytracer::ScenePreset;
+use snet_runtime::{Engine, Net, SchedNet, StreamHandle};
 use snet_simnet::ClusterSpec;
 
 const NODES: usize = 8;
+
+/// Streams the single input record of the raytracing net through any
+/// engine and returns the wall time: the net's `genImg` sink consumes
+/// the stream (the picture lands in the image slot), so the drain loop
+/// simply waits for end-of-stream.
+fn stream_locally<E: Engine>(engine: &E, wl: &Workload, cfg: &SnetConfig) -> std::time::Duration {
+    let t0 = std::time::Instant::now();
+    let handle = engine.start();
+    handle.send(input_record(wl, cfg)).expect("input accepted");
+    handle.close_input();
+    while handle.recv().is_some() {}
+    handle.finish().expect("render completes");
+    t0.elapsed()
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let tasks: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(32);
     let size: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(256);
+
+    // ---- Local streaming execution, both engines, unified API. ----
+    let local_wl = Workload {
+        preset: ScenePreset::Clustered,
+        spheres: 35,
+        seed: 2010,
+        width: 96,
+        height: 96,
+    };
+    let local_cfg = SnetConfig {
+        variant: NetVariant::Dynamic,
+        nodes: 4,
+        tasks: 8,
+        tokens: 4,
+        schedule: Schedule::Block,
+    };
+    let reference_small = local_wl.reference_image();
+    println!("dynamic net streamed locally ({}x{} probe render, 8 tasks / 4 tokens):", 96, 96);
+    {
+        let slot = image_slot();
+        let threaded = Net::new(raytracing_net(NetVariant::Dynamic, slot.clone(), None));
+        let took = stream_locally(&threaded, &local_wl, &local_cfg);
+        let img = slot.lock().take().expect("picture produced");
+        assert_eq!(img, reference_small, "threaded engine must render exactly");
+        println!("  {:>8}: {took:>10.3?} (thread per component)", threaded.name());
+    }
+    {
+        let slot = image_slot();
+        let sched = SchedNet::new(raytracing_net(NetVariant::Dynamic, slot.clone(), None));
+        let took = stream_locally(&sched, &local_wl, &local_cfg);
+        let img = slot.lock().take().expect("picture produced");
+        assert_eq!(img, reference_small, "scheduled engine must render exactly");
+        println!("  {:>8}: {took:>10.3?} (persistent worker pool)", sched.name());
+    }
+    println!();
 
     let wl = Workload {
         preset: ScenePreset::Clustered,

@@ -9,7 +9,7 @@ use snet_apps::{
 };
 use snet_core::{Record, SnetError, Value};
 use snet_raytracer::{split_rows, Chunk, Image, ScenePreset};
-use snet_runtime::{Interp, Net, SchedNet};
+use snet_runtime::{Engine, Interp, Net, SchedNet, StreamHandle};
 
 fn workload() -> Workload {
     Workload {
@@ -81,6 +81,59 @@ fn factoring_schedule_end_to_end() {
     for (engine, run) in engines() {
         let img = run(&wl, &cfg).expect("pipeline completes");
         assert_eq!(img, reference, "{engine}");
+    }
+}
+
+/// Streams the raytracing input through an engine via the unified
+/// handle API (send → close → drain → finish) and returns the picture
+/// deposited in `slot`.
+fn render_streamed<E: Engine>(
+    engine: &E,
+    wl: &Workload,
+    cfg: &SnetConfig,
+    slot: &snet_apps::ImageSlot,
+) -> Image {
+    let handle = engine.start();
+    handle.send(input_record(wl, cfg)).expect("input accepted");
+    handle.close_input();
+    let mut stray = 0usize;
+    while handle.recv().is_some() {
+        stray += 1;
+    }
+    assert_eq!(stray, 0, "genImg terminates the stream");
+    handle.finish().expect("pipeline completes");
+    slot.lock().take().expect("genImg filled the slot")
+}
+
+#[test]
+fn streaming_handles_render_exact_on_both_engines() {
+    // The engine-generic streaming path — the same code driving a
+    // threaded NetHandle and a scheduled SchedHandle — must produce
+    // the byte-exact picture on the full application net.
+    let wl = workload();
+    let reference = wl.reference_image();
+    let cfg = SnetConfig {
+        variant: NetVariant::Dynamic,
+        nodes: 4,
+        tasks: 8,
+        tokens: 4,
+        schedule: Schedule::Block,
+    };
+    {
+        let slot = image_slot();
+        let engine = Net::new(raytracing_net(cfg.variant, slot.clone(), None));
+        let img = render_streamed(&engine, &wl, &cfg, &slot);
+        assert_eq!(img, reference, "threaded streaming render");
+    }
+    {
+        let slot = image_slot();
+        let engine = SchedNet::new(raytracing_net(cfg.variant, slot.clone(), None));
+        // Two streamed renders on one engine: the persistent pool and a
+        // fresh task graph per run must not leak state between them.
+        for round in 0..2 {
+            let img = render_streamed(&engine, &wl, &cfg, &slot);
+            assert_eq!(img, reference, "sched streaming render, round {round}");
+        }
     }
 }
 
