@@ -238,6 +238,29 @@ pub fn run_snet_local_sched(wl: &Workload, cfg: &SnetConfig) -> Result<Image, Sn
     Ok(image)
 }
 
+/// Like [`run_snet_local_sched`], but under an explicit
+/// [`snet_runtime::EngineConfig`] — failure policy, deadline — and
+/// reporting any diverted records alongside the picture. The error is
+/// boxed so experiment drivers that mix engine failures with IO and
+/// parse errors can `?` them all through one signature (the
+/// anyhow-style shape; [`SnetError`] implements `std::error::Error`,
+/// so the conversion is free).
+pub fn run_snet_local_sched_robust(
+    wl: &Workload,
+    cfg: &SnetConfig,
+    engine: snet_runtime::EngineConfig,
+) -> Result<(Image, Vec<snet_runtime::DeadLetter>), Box<dyn std::error::Error>> {
+    let slot = image_slot();
+    let net = SchedNet::with_config(raytracing_net(cfg.variant, Arc::clone(&slot), None), engine);
+    let report = net.run_batch_report(vec![input_record(wl, cfg)])?;
+    debug_assert!(report.outputs.is_empty(), "genImg terminates the stream");
+    let image = slot
+        .lock()
+        .take()
+        .ok_or_else(|| SnetError::Engine("genImg never produced the picture".into()))?;
+    Ok((image, report.dead_letters))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,6 +360,37 @@ mod tests {
         let reference = wl.reference_image();
         let img = run_snet_local_sched(&wl, &SnetConfig::fig6_static(2)).unwrap();
         assert_eq!(img, reference);
+    }
+
+    #[test]
+    fn robust_runner_composes_boxed_errors() {
+        // Healthy run under DeadLetter: same picture, no diversions.
+        let wl = Workload::small();
+        let reference = wl.reference_image();
+        let (img, dead) = run_snet_local_sched_robust(
+            &wl,
+            &SnetConfig::fig6_static(2),
+            snet_runtime::EngineConfig {
+                policy: snet_runtime::FailurePolicy::DeadLetter,
+                ..snet_runtime::EngineConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(img, reference);
+        assert!(dead.is_empty());
+
+        // An expired deadline flows through `?` as a boxed error with
+        // the engine's message intact.
+        let err = run_snet_local_sched_robust(
+            &wl,
+            &SnetConfig::fig6_static(2),
+            snet_runtime::EngineConfig {
+                deadline: Some(std::time::Duration::ZERO),
+                ..snet_runtime::EngineConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("deadline"), "got: {err}");
     }
 
     #[test]

@@ -22,12 +22,22 @@
 //!   scheduled-engine modes ride the same persistent pool; the gate
 //!   (enforced in CI, on the min-of-samples statistic) is that
 //!   interleaved streaming costs at most 5% vs batch on the depth-16
-//!   pipeline.
+//!   pipeline;
+//! * `--fault-out` (default `BENCH_fault_overhead.json`): the cost of
+//!   the failure-policy machinery on the depth-16 scheduled pipeline.
+//!   `failfast` (policy machinery disabled: no record clone, one
+//!   `Option` check per preemption point) is gated at < 3% vs the
+//!   committed pre-robustness scheduler number when measured locally;
+//!   CI re-measures on its own hardware, so it gates the relaxed
+//!   cross-machine backstop (>= 0.85x vs committed) plus the same-run
+//!   property that enabling a deadline or a lenient policy on a
+//!   fault-free run stays within noise of `failfast`.
 //!
 //! ```text
 //! cargo run -p snet-bench --release --bin bench_engines
 //! cargo run -p snet-bench --release --bin bench_engines -- \
-//!     --out path.json --handoff-out sweep.json --streaming-out s.json --samples 30
+//!     --out path.json --handoff-out sweep.json --streaming-out s.json \
+//!     --fault-out f.json --samples 30
 //! ```
 //!
 //! The headline number is `serial_depth=16`: a 16-stage box pipeline
@@ -37,7 +47,7 @@
 
 use snet_core::boxdef::{BoxDef, BoxOutput, BoxSig, Work};
 use snet_core::{NetSpec, Record, Value};
-use snet_runtime::{run_stream, run_stream_interleaved, EngineConfig, Net, SchedNet};
+use snet_runtime::{run_stream, run_stream_interleaved, EngineConfig, FailurePolicy, Net, SchedNet};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -103,6 +113,7 @@ fn main() {
     let mut out_path = "BENCH_threaded_vs_sched.json".to_owned();
     let mut handoff_path = "BENCH_batched_handoff.json".to_owned();
     let mut streaming_path = "BENCH_streaming.json".to_owned();
+    let mut fault_path = "BENCH_fault_overhead.json".to_owned();
     let mut baseline_path = "BENCH_threaded_vs_sched.json".to_owned();
     let mut samples = 20usize;
     let mut args = std::env::args().skip(1);
@@ -113,6 +124,7 @@ fn main() {
             "--streaming-out" => {
                 streaming_path = args.next().expect("--streaming-out needs a path");
             }
+            "--fault-out" => fault_path = args.next().expect("--fault-out needs a path"),
             "--baseline" => baseline_path = args.next().expect("--baseline needs a path"),
             "--samples" => {
                 samples = args
@@ -121,7 +133,7 @@ fn main() {
                     .expect("--samples needs a number");
             }
             other => panic!(
-                "unknown flag `{other}` (--out PATH, --handoff-out PATH, --streaming-out PATH, --baseline PATH, --samples N)"
+                "unknown flag `{other}` (--out PATH, --handoff-out PATH, --streaming-out PATH, --fault-out PATH, --baseline PATH, --samples N)"
             ),
         }
     }
@@ -403,4 +415,101 @@ fn main() {
         "serial_depth=16: streaming sched (interleaved) runs at {:.2}x batch-sched throughput (CI gate: >= 0.95x)",
         d16_stream.batch_min.as_secs_f64() / d16_stream.streaming_min.as_secs_f64()
     );
+
+    // ---- Failure-policy machinery overhead (scheduled engine) ----
+    //
+    // All four configurations run the identical fault-free depth-16
+    // pipeline; only the policy/deadline knobs differ. `failfast` is
+    // the post-robustness hot path with the machinery disabled — the
+    // configuration the < 3%-vs-committed-baseline claim is about. The
+    // other rows measure what merely *enabling* a deadline or a
+    // lenient policy costs when no fault ever fires.
+    struct FaultRow {
+        mode: &'static str,
+        min: Duration,
+        median: Duration,
+    }
+    let fault_spec = NetSpec::pipeline((0..16).map(|_| inc_box()));
+    let fault_baseline_ns = baseline_sched_ns(&baseline_json, "serial_depth=16");
+    let mut fault_rows: Vec<FaultRow> = Vec::new();
+    for (mode, cfg) in [
+        ("failfast", config),
+        (
+            "deadline_generous",
+            EngineConfig {
+                deadline: Some(Duration::from_secs(3600)),
+                ..config
+            },
+        ),
+        (
+            "deadletter_clean",
+            EngineConfig {
+                policy: FailurePolicy::DeadLetter,
+                ..config
+            },
+        ),
+        (
+            "retry_clean",
+            EngineConfig {
+                policy: FailurePolicy::Retry {
+                    max_attempts: 3,
+                    backoff: Duration::from_micros(100),
+                },
+                ..config
+            },
+        ),
+    ] {
+        let net = SchedNet::with_config(fault_spec.clone(), cfg);
+        let (median, min) = med_min(samples, || {
+            let outs = net.run_batch(records()).unwrap();
+            assert_eq!(outs.len(), RECORDS as usize);
+        });
+        eprintln!("serial_depth=16 {mode:>18}: sched min {min:>10.3?} med {median:>10.3?}");
+        fault_rows.push(FaultRow { mode, min, median });
+    }
+
+    let failfast_min = fault_rows[0].min;
+    let vs_committed = fault_baseline_ns
+        .map(|ns| format!("{:.3}", ns as f64 / failfast_min.as_nanos() as f64))
+        .unwrap_or_else(|| "null".into());
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"benchmark\": \"failure-policy machinery overhead, fault-free scheduled serial_depth=16 pipeline, {RECORDS}-record batches\",",
+    );
+    let _ = writeln!(json, "  \"workers\": {},", config.workers);
+    let _ = writeln!(json, "  \"samples_per_point\": {samples},");
+    let _ = writeln!(
+        json,
+        "  \"committed_baseline\": \"sched_ns for serial_depth=16 from {} as committed before this run (the pre-robustness scheduler)\",",
+        baseline_path
+    );
+    let _ = writeln!(
+        json,
+        "  \"gate\": \"failfast_vs_committed_throughput >= 0.97 locally (< 3% overhead with the machinery disabled); CI gates the cross-machine backstop >= 0.85, same-run overhead_vs_failfast <= 1.05 for deadline_generous, and <= 1.30 for the lenient policies (their one-clone-per-record cost)\",",
+    );
+    let _ = writeln!(json, "  \"failfast_vs_committed_throughput\": {vs_committed},");
+    json.push_str("  \"results\": [\n");
+    for (i, row) in fault_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"mode\": \"{}\", \"sched_min_ns\": {}, \"sched_median_ns\": {}, \"overhead_vs_failfast\": {:.3}}}{}",
+            row.mode,
+            row.min.as_nanos(),
+            row.median.as_nanos(),
+            row.min.as_nanos() as f64 / failfast_min.as_nanos() as f64,
+            if i + 1 < fault_rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&fault_path, &json).expect("write fault overhead json");
+    println!("wrote {fault_path}");
+    if let Some(ns) = fault_baseline_ns {
+        println!(
+            "serial_depth=16: failfast (machinery off) runs at {:.3}x the committed pre-robustness throughput (local gate: >= 0.97x)",
+            ns as f64 / failfast_min.as_nanos() as f64
+        );
+    }
 }

@@ -15,6 +15,7 @@
 //! threaded runtime the work value is simply recorded by the tracer.
 
 use crate::error::SnetError;
+use crate::fault::FailurePolicy;
 use crate::label::Label;
 use crate::record::Record;
 use crate::rtype::{RType, Variant};
@@ -219,11 +220,18 @@ pub struct BoxDef {
     pub sig: BoxSig,
     /// Implementation.
     pub func: Arc<dyn BoxFn>,
+    /// Per-box failure-policy override; `None` follows the engine's
+    /// configured policy.
+    pub policy: Option<FailurePolicy>,
 }
 
 impl BoxDef {
     pub fn new(sig: BoxSig, func: Arc<dyn BoxFn>) -> BoxDef {
-        BoxDef { sig, func }
+        BoxDef {
+            sig,
+            func,
+            policy: None,
+        }
     }
 
     /// Convenience constructor from a closure.
@@ -234,7 +242,19 @@ impl BoxDef {
         BoxDef {
             sig,
             func: Arc::new(f),
+            policy: None,
         }
+    }
+
+    /// Overrides the engine-level failure policy for this box only.
+    pub fn with_policy(mut self, policy: FailurePolicy) -> BoxDef {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// The policy this box runs under, given the engine default.
+    pub fn effective_policy(&self, engine_default: FailurePolicy) -> FailurePolicy {
+        self.policy.unwrap_or(engine_default)
     }
 }
 

@@ -48,6 +48,10 @@ pub enum SnetError {
     Check(String),
     /// Engine-level failure (channel teardown, poisoned state, …).
     Engine(String),
+    /// The run was cancelled cooperatively before completing.
+    Cancelled,
+    /// The run's deadline expired before completing.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for SnetError {
@@ -68,11 +72,28 @@ impl fmt::Display for SnetError {
             }
             SnetError::Check(msg) => write!(f, "network check error: {msg}"),
             SnetError::Engine(msg) => write!(f, "engine error: {msg}"),
+            SnetError::Cancelled => write!(f, "run cancelled"),
+            SnetError::DeadlineExceeded => write!(f, "run deadline exceeded"),
         }
     }
 }
 
 impl std::error::Error for SnetError {}
+
+/// Extracts a human-readable cause from a panic payload, handling both
+/// `&str` (literal `panic!("msg")`) and `String` (formatted
+/// `panic!("{}", dynamic)`) payloads. Shared by every engine's
+/// catch-site so a formatted panic never degrades to
+/// "non-string panic payload".
+pub fn panic_cause(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -33,6 +33,7 @@
 pub mod boxdef;
 pub mod error;
 pub mod expr;
+pub mod fault;
 pub mod filter;
 pub mod flow;
 pub mod label;
@@ -45,8 +46,9 @@ pub mod topology;
 pub mod value;
 
 pub use boxdef::{BoxFn, BoxOutput, BoxSig, SigItem, Work};
-pub use error::SnetError;
+pub use error::{panic_cause, SnetError};
 pub use expr::{BinOp, TagExpr, UnOp};
+pub use fault::{DeadLetter, FailurePolicy, FailureReport, StepVerdict};
 pub use filter::{FilterSpec, OutItem, OutputTemplate};
 pub use label::Label;
 pub use pattern::Pattern;

@@ -18,14 +18,25 @@
 //! every branch has terminated.
 
 use crate::trace::Trace;
-use crossbeam_channel::{bounded, Receiver, Sender};
+use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
+use snet_core::fault::{self, DeadLetter, FailurePolicy, StepVerdict};
 use snet_core::semantics::{self, MismatchPolicy};
 use snet_core::{NetSpec, Record, SnetError, SyncOutcome};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long blocked handle operations sleep between checks of the
+/// abort flag and deadline.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Dead-letter channel capacity multiplier over `channel_capacity`:
+/// the stream is bounded (workers never block on it), sized so a
+/// consumer draining at output cadence never sees overflow.
+const DEAD_CAPACITY_FACTOR: usize = 16;
 
 /// Engine tuning knobs (shared by the threaded and scheduled engines;
 /// each engine reads the knobs that apply to it).
@@ -55,6 +66,16 @@ pub struct EngineConfig {
     /// `send_iter`. Default 32, tuned on the serial-pipeline benchmark
     /// (see `BENCH_batched_handoff.json`).
     pub batch: usize,
+    /// Engine-wide failure policy; individual boxes may override it
+    /// via [`snet_core::boxdef::BoxDef::with_policy`]. Default
+    /// [`FailurePolicy::FailFast`] (the historical behavior).
+    pub policy: FailurePolicy,
+    /// Wall-clock budget for a run, measured from [`Net::start`] /
+    /// [`crate::SchedNet::start`]. On expiry the run aborts at the next
+    /// preemption point and reports [`SnetError::DeadlineExceeded`];
+    /// partial outputs already emitted remain retrievable. `None`
+    /// (default) disables the check entirely.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -64,6 +85,8 @@ impl Default for EngineConfig {
             mismatch: MismatchPolicy::Forward,
             workers: 4,
             batch: 32,
+            policy: FailurePolicy::FailFast,
+            deadline: None,
         }
     }
 }
@@ -100,18 +123,32 @@ impl Net {
     /// Instantiates the network and returns a handle for streaming
     /// records in and out.
     pub fn start(&self) -> NetHandle {
+        let cap = self.config.channel_capacity.max(1);
+        // No component can divert under this configuration => a 1-slot
+        // stub channel suffices (mirrors the scheduled engine).
+        let dead_cap = if self.spec.diverts_under(self.config.policy) {
+            cap * DEAD_CAPACITY_FACTOR
+        } else {
+            1
+        };
+        let (dead_tx, dead_rx) = bounded(dead_cap);
         let shared = Arc::new(Shared {
             threads: Mutex::new(Vec::new()),
             error: Mutex::new(None),
+            aborted: AtomicBool::new(false),
+            deadline_at: self.config.deadline.map(|d| Instant::now() + d),
+            seq: AtomicU64::new(0),
+            dead_tx,
             trace: Arc::new(Trace::new()),
             config: self.config,
         });
-        let (in_tx, in_rx) = bounded(self.config.channel_capacity.max(1));
-        let (out_tx, out_rx) = bounded(self.config.channel_capacity.max(1));
+        let (in_tx, in_rx) = bounded(cap);
+        let (out_tx, out_rx) = bounded(cap);
         build(&self.spec, in_rx, out_tx, &shared);
         NetHandle {
             input: Mutex::new(Some(in_tx)),
             output: out_rx,
+            dead: dead_rx,
             shared,
         }
     }
@@ -131,6 +168,15 @@ impl Net {
         &self,
         records: Vec<Record>,
     ) -> Result<(Vec<Record>, Arc<Trace>), SnetError> {
+        let report = self.run_batch_report(records)?;
+        Ok((report.outputs, report.trace))
+    }
+
+    /// Feeds a batch and returns the full [`crate::RunReport`]:
+    /// outputs, diverted dead letters, and the run's trace. This is
+    /// the driver to use with [`FailurePolicy::DeadLetter`], where
+    /// dropped records are data, not errors.
+    pub fn run_batch_report(&self, records: Vec<Record>) -> Result<crate::RunReport, SnetError> {
         let handle = self.start();
         let feeder_tx = handle.input.lock().take().expect("fresh handle has an input");
         let feeder = std::thread::spawn(move || {
@@ -140,11 +186,31 @@ impl Net {
             // error is recorded in `shared.error`.
             let _ = feeder_tx.send_iter(records);
         });
-        let outs: Vec<Record> = handle.output.iter().collect();
+        let mut outputs = Vec::new();
+        let mut dead_letters = Vec::new();
+        // `recv` enforces the deadline while blocked; dead letters are
+        // drained at the same cadence so the bounded dead stream never
+        // overflows while the batch driver is in charge.
+        loop {
+            while let Some(dl) = handle.try_recv_dead_letter() {
+                dead_letters.push(dl);
+            }
+            match handle.recv() {
+                Some(rec) => outputs.push(rec),
+                None => break,
+            }
+        }
+        while let Some(dl) = handle.try_recv_dead_letter() {
+            dead_letters.push(dl);
+        }
         feeder.join().expect("feeder thread never panics");
         let trace = handle.trace_arc();
         handle.finish()?;
-        Ok((outs, trace))
+        Ok(crate::RunReport {
+            outputs,
+            dead_letters,
+            trace,
+        })
     }
 }
 
@@ -156,6 +222,7 @@ impl Net {
 pub struct NetHandle {
     input: Mutex<Option<Sender<Record>>>,
     output: Receiver<Record>,
+    dead: Receiver<DeadLetter>,
     shared: Arc<Shared>,
 }
 
@@ -221,10 +288,37 @@ impl NetHandle {
         *self.input.lock() = None;
     }
 
+    /// Cancels the run cooperatively: records [`SnetError::Cancelled`],
+    /// raises the abort flag every component polls per record, and
+    /// closes the input so the teardown cascade reaches every thread.
+    /// Outputs already queued remain retrievable via
+    /// [`NetHandle::recv`]; [`NetHandle::finish`] returns the error.
+    /// Idempotent; a no-op if the run already failed or finished.
+    pub fn cancel(&self) {
+        self.shared.fail(SnetError::Cancelled);
+        self.close_input();
+    }
+
     /// Receives the next output record; `None` once the output stream
-    /// has terminated.
+    /// has terminated. Checks the deadline and abort flag while
+    /// blocked, so a stalled network cannot park the consumer past
+    /// `EngineConfig::deadline`.
     pub fn recv(&self) -> Option<Record> {
-        self.output.recv().ok()
+        loop {
+            match self.output.recv_timeout(POLL_INTERVAL) {
+                Ok(rec) => return Some(rec),
+                Err(RecvTimeoutError::Disconnected) => return None,
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.shared.should_stop() {
+                        // Aborted (cancel / failure / deadline): close
+                        // the input so the cascade tears the net down,
+                        // then keep draining what is already in flight
+                        // until the channel disconnects.
+                        self.close_input();
+                    }
+                }
+            }
+        }
     }
 
     /// Non-blocking receive: `None` when nothing is currently queued
@@ -237,6 +331,19 @@ impl NetHandle {
     /// The output stream receiver (for `select!`-style consumers).
     pub fn output(&self) -> &Receiver<Record> {
         &self.output
+    }
+
+    /// Non-blocking receive on the run's dead-letter stream. Only
+    /// populated under [`FailurePolicy::DeadLetter`]; drain it while
+    /// the run progresses — the stream is bounded and overflow fails
+    /// the run.
+    pub fn try_recv_dead_letter(&self) -> Option<DeadLetter> {
+        self.dead.try_recv().ok()
+    }
+
+    /// The dead-letter receiver (for `select!`-style consumers).
+    pub fn dead_letters(&self) -> &Receiver<DeadLetter> {
+        &self.dead
     }
 
     /// Shared event counters of this run.
@@ -253,8 +360,9 @@ impl NetHandle {
     /// first error raised during the run, if any.
     pub fn finish(self) -> Result<(), SnetError> {
         self.close_input();
-        // Drain the output so upstream senders cannot block forever.
-        while self.output.recv().is_ok() {}
+        // Drain the output so upstream senders cannot block forever;
+        // `recv` keeps enforcing the deadline while blocked.
+        while self.recv().is_some() {}
         loop {
             let handle = self.shared.threads.lock().pop();
             match handle {
@@ -282,6 +390,15 @@ impl NetHandle {
 struct Shared {
     threads: Mutex<Vec<JoinHandle<()>>>,
     error: Mutex<Option<SnetError>>,
+    /// Set by the first `fail` (including cancellation and deadline
+    /// expiry); components poll it per record and stop cooperatively.
+    aborted: AtomicBool,
+    /// Absolute deadline, fixed at `start()`.
+    deadline_at: Option<Instant>,
+    /// Dead-letter sequence-number allocator for this run.
+    seq: AtomicU64,
+    /// Producer side of the bounded dead-letter stream.
+    dead_tx: Sender<DeadLetter>,
     trace: Arc<Trace>,
     config: EngineConfig,
 }
@@ -299,6 +416,47 @@ impl Shared {
         let mut slot = self.error.lock();
         if slot.is_none() {
             *slot = Some(e);
+        }
+        self.aborted.store(true, Ordering::Relaxed);
+    }
+
+    /// Per-record preemption check: true once the run is aborted or
+    /// past its deadline (recording `DeadlineExceeded` on first
+    /// detection). With no deadline configured this is one relaxed
+    /// atomic load.
+    fn should_stop(&self) -> bool {
+        if self.aborted.load(Ordering::Relaxed) {
+            return true;
+        }
+        if let Some(at) = self.deadline_at {
+            if Instant::now() >= at {
+                self.fail(SnetError::DeadlineExceeded);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Routes a diverted record to the dead-letter stream. Never
+    /// blocks: the stream is bounded, and overflow (a consumer not
+    /// draining) is a fatal engine error rather than a stall. Returns
+    /// false when the component should stop.
+    fn divert(&self, dl: Box<DeadLetter>) -> bool {
+        use crossbeam_channel::TrySendError as ChanTrySend;
+        Trace::add(&self.trace.dead_letters, 1);
+        match self.dead_tx.try_send(*dl) {
+            Ok(()) => true,
+            Err(ChanTrySend::Full(dl)) => {
+                self.fail(SnetError::Engine(format!(
+                    "dead-letter channel overflow (capacity {}); last report: {}",
+                    self.config.channel_capacity.max(1) * DEAD_CAPACITY_FACTOR,
+                    dl.report
+                )));
+                false
+            }
+            // Receiver dropped: the caller stopped listening; letters
+            // are discarded but the run keeps its contract.
+            Err(ChanTrySend::Disconnected(_)) => true,
         }
     }
 
@@ -323,25 +481,22 @@ fn build(spec: &NetSpec, input: Receiver<Record>, output: Sender<Record>, sh: &A
             let def = def.clone();
             let sh2 = Arc::clone(sh);
             sh.spawn(&format!("box-{}", def.sig.name), move || {
+                let policy = def.effective_policy(sh2.config.policy);
                 for rec in input.iter() {
-                    // Box functions are user code: a panic must become a
-                    // reportable error, not a silently truncated stream.
-                    let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        semantics::box_step(&def, rec, sh2.config.mismatch)
-                    }))
-                    .unwrap_or_else(|payload| {
-                        let cause = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| (*s).to_owned())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "non-string panic payload".into());
-                        Err(SnetError::BoxFailure {
-                            name: def.sig.name.clone(),
-                            cause: format!("panicked: {cause}"),
-                        })
-                    });
-                    match step {
-                        Ok(step) => {
+                    if sh2.should_stop() {
+                        break;
+                    }
+                    // Box functions are user code: `policy_step`
+                    // contains panics and applies the failure policy.
+                    let verdict =
+                        fault::policy_step(policy, &def.sig.name, &sh2.seq, rec, |r| {
+                            semantics::box_step(&def, r, sh2.config.mismatch)
+                        });
+                    match verdict {
+                        StepVerdict::Out { step, attempts } => {
+                            if attempts > 1 {
+                                Trace::add(&sh2.trace.retries, u64::from(attempts - 1));
+                            }
                             if step.matched {
                                 sh2.trace.count_box(step.work);
                             } else {
@@ -351,7 +506,12 @@ fn build(spec: &NetSpec, input: Receiver<Record>, output: Sender<Record>, sh: &A
                                 break;
                             }
                         }
-                        Err(e) => {
+                        StepVerdict::Dead(dl) => {
+                            if !sh2.divert(dl) {
+                                break;
+                            }
+                        }
+                        StepVerdict::Fatal(e) => {
                             sh2.fail(e);
                             break;
                         }
@@ -363,9 +523,19 @@ fn build(spec: &NetSpec, input: Receiver<Record>, output: Sender<Record>, sh: &A
             let f = f.clone();
             let sh2 = Arc::clone(sh);
             sh.spawn("filter", move || {
+                // Filters follow the engine policy; their errors are
+                // deterministic, so Retry degenerates to FailFast
+                // inside `policy_step` (only `BoxFailure` retries).
+                let policy = sh2.config.policy;
                 for rec in input.iter() {
-                    match semantics::filter_step(&f, rec, sh2.config.mismatch) {
-                        Ok(step) => {
+                    if sh2.should_stop() {
+                        break;
+                    }
+                    let verdict = fault::policy_step(policy, "filter", &sh2.seq, rec, |r| {
+                        semantics::filter_step(&f, r, sh2.config.mismatch)
+                    });
+                    match verdict {
+                        StepVerdict::Out { step, .. } => {
                             if step.matched {
                                 Trace::add(&sh2.trace.filter_records, 1);
                             } else {
@@ -375,7 +545,12 @@ fn build(spec: &NetSpec, input: Receiver<Record>, output: Sender<Record>, sh: &A
                                 break;
                             }
                         }
-                        Err(e) => {
+                        StepVerdict::Dead(dl) => {
+                            if !sh2.divert(dl) {
+                                break;
+                            }
+                        }
+                        StepVerdict::Fatal(e) => {
                             sh2.fail(e);
                             break;
                         }
@@ -389,6 +564,9 @@ fn build(spec: &NetSpec, input: Receiver<Record>, output: Sender<Record>, sh: &A
             sh.spawn("sync", move || {
                 let mut state = spec.new_state();
                 for rec in input.iter() {
+                    if sh2.should_stop() {
+                        break;
+                    }
                     let out = match state.push(&spec, rec) {
                         SyncOutcome::Stored => {
                             Trace::add(&sh2.trace.sync_stores, 1);
@@ -430,6 +608,9 @@ fn build(spec: &NetSpec, input: Receiver<Record>, output: Sender<Record>, sh: &A
             let sh2 = Arc::clone(sh);
             sh.spawn("par-dispatch", move || {
                 for rec in input.iter() {
+                    if sh2.should_stop() {
+                        break;
+                    }
                     let winners = semantics::matching_branches(&patterns, &rec);
                     match winners.first() {
                         Some(&i) => {
@@ -446,11 +627,27 @@ fn build(spec: &NetSpec, input: Receiver<Record>, output: Sender<Record>, sh: &A
                                 }
                             }
                             MismatchPolicy::Error => {
-                                sh2.fail(SnetError::TypeMismatch {
+                                let cause = SnetError::TypeMismatch {
                                     expected: "any parallel branch".into(),
                                     got: format!("{rec:?}"),
-                                });
-                                break;
+                                };
+                                match fault::reject(
+                                    sh2.config.policy,
+                                    "par-dispatch",
+                                    &sh2.seq,
+                                    rec,
+                                    cause,
+                                ) {
+                                    Ok(dl) => {
+                                        if !sh2.divert(dl) {
+                                            break;
+                                        }
+                                    }
+                                    Err(e) => {
+                                        sh2.fail(e);
+                                        break;
+                                    }
+                                }
                             }
                         },
                     }
@@ -470,8 +667,24 @@ fn build(spec: &NetSpec, input: Receiver<Record>, output: Sender<Record>, sh: &A
             sh.spawn("split-dispatch", move || {
                 let mut replicas: HashMap<i64, Sender<Record>> = HashMap::new();
                 for rec in input.iter() {
+                    if sh2.should_stop() {
+                        break;
+                    }
                     let Some(value) = rec.tag(tag) else {
-                        sh2.fail(SnetError::MissingTag(tag));
+                        match fault::reject(
+                            sh2.config.policy,
+                            "split-dispatch",
+                            &sh2.seq,
+                            rec,
+                            SnetError::MissingTag(tag),
+                        ) {
+                            Ok(dl) => {
+                                if sh2.divert(dl) {
+                                    continue;
+                                }
+                            }
+                            Err(e) => sh2.fail(e),
+                        }
                         break;
                     };
                     let tx = replicas.entry(value).or_insert_with(|| {
@@ -511,6 +724,9 @@ fn build_star_tap(
     sh.spawn("star-tap", move || {
         let mut into_body: Option<Sender<Record>> = None;
         for rec in input.iter() {
+            if sh2.should_stop() {
+                break;
+            }
             if exit.matches(&rec) {
                 if output.send(rec).is_err() {
                     break;

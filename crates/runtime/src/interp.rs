@@ -13,11 +13,14 @@
 //! arrival-order, i.e. nondeterministic, merging).
 
 use snet_core::boxdef::{BoxDef, Work};
+use snet_core::fault::{self, DeadLetter, FailurePolicy, StepVerdict};
 use snet_core::semantics::{self, MismatchPolicy};
 use snet_core::{
     FilterSpec, Label, NetSpec, Pattern, Record, SnetError, SyncOutcome, SyncSpec, SyncState,
 };
 use std::collections::BTreeMap;
+use std::sync::atomic::AtomicU64;
+use std::time::{Duration, Instant};
 
 /// Result of an interpreter run.
 #[derive(Debug)]
@@ -28,6 +31,19 @@ pub struct InterpResult {
     pub work: Work,
     /// Records left in unfired synchrocells at end of input.
     pub stranded: usize,
+    /// Records diverted under [`FailurePolicy::DeadLetter`], in
+    /// deterministic divert order.
+    pub dead_letters: Vec<DeadLetter>,
+}
+
+/// Per-run fault state threaded through every [`Node::feed`]: the
+/// engine-level policy, the dead-letter sequence allocator, and the
+/// letters diverted so far (deterministic order — the interpreter is
+/// the oracle for the concurrent engines' dead-letter *multiset*).
+struct FaultCtx {
+    policy: FailurePolicy,
+    seq: AtomicU64,
+    dead: Vec<DeadLetter>,
 }
 
 /// Instantiated, stateful interpreter for one network.
@@ -35,6 +51,11 @@ pub struct Interp {
     root: Node,
     mismatch: MismatchPolicy,
     work: Work,
+    faults: FaultCtx,
+    deadline: Option<Duration>,
+    /// Fixed at the first `feed`, mirroring the concurrent engines
+    /// (whose clock starts at `start()`).
+    deadline_at: Option<Instant>,
 }
 
 impl Interp {
@@ -44,6 +65,13 @@ impl Interp {
             root: Node::instantiate(spec),
             mismatch: MismatchPolicy::Forward,
             work: Work::ZERO,
+            faults: FaultCtx {
+                policy: FailurePolicy::FailFast,
+                seq: AtomicU64::new(0),
+                dead: Vec::new(),
+            },
+            deadline: None,
+            deadline_at: None,
         }
     }
 
@@ -53,16 +81,39 @@ impl Interp {
         self
     }
 
+    /// Sets the engine-level failure policy (default: fail-fast);
+    /// boxes with a [`BoxDef::with_policy`] override keep theirs.
+    pub fn with_policy(mut self, policy: FailurePolicy) -> Interp {
+        self.faults.policy = policy;
+        self
+    }
+
+    /// Sets a wall-clock deadline, measured from the first `feed`.
+    /// Records fed after expiry fail with
+    /// [`SnetError::DeadlineExceeded`] — the interpreter's per-record
+    /// depth-first step is its only preemption point.
+    pub fn with_deadline(mut self, deadline: Duration) -> Interp {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Feeds one record through the network, returning everything it
     /// emits (fully deterministically).
     pub fn feed(&mut self, rec: Record) -> Result<Vec<Record>, SnetError> {
+        if let Some(d) = self.deadline {
+            let at = *self.deadline_at.get_or_insert_with(|| Instant::now() + d);
+            if Instant::now() >= at {
+                return Err(SnetError::DeadlineExceeded);
+            }
+        }
         let mut work = Work::ZERO;
-        let out = self.root.feed(rec, self.mismatch, &mut work);
+        let out = self.root.feed(rec, self.mismatch, &mut work, &mut self.faults);
         self.work += work;
         out
     }
 
-    /// Feeds a batch and reports outputs, work, and stranded records.
+    /// Feeds a batch and reports outputs, work, stranded records, and
+    /// diverted dead letters.
     pub fn run_batch(mut self, records: Vec<Record>) -> Result<InterpResult, SnetError> {
         let mut outputs = Vec::new();
         for rec in records {
@@ -72,6 +123,7 @@ impl Interp {
             outputs,
             work: self.work,
             stranded: self.root.stranded(),
+            dead_letters: self.faults.dead,
         })
     }
 
@@ -83,6 +135,11 @@ impl Interp {
     /// Records currently stuck in unfired synchrocells.
     pub fn stranded(&self) -> usize {
         self.root.stranded()
+    }
+
+    /// Dead letters diverted so far.
+    pub fn dead_letters(&self) -> &[DeadLetter] {
+        &self.faults.dead
     }
 }
 
@@ -149,16 +206,39 @@ impl Node {
         rec: Record,
         policy: MismatchPolicy,
         work: &mut Work,
+        faults: &mut FaultCtx,
     ) -> Result<Vec<Record>, SnetError> {
         match self {
             Node::Box(def) => {
-                let step = semantics::box_step(def, rec, policy)?;
-                *work += step.work;
-                Ok(step.records)
+                // `policy_step` contains panics and applies the failure
+                // policy, exactly like the concurrent engines — the
+                // oracle must agree with them on error paths too.
+                let p = def.effective_policy(faults.policy);
+                match fault::policy_step(p, &def.sig.name, &faults.seq, rec, |r| {
+                    semantics::box_step(def, r, policy)
+                }) {
+                    StepVerdict::Out { step, .. } => {
+                        *work += step.work;
+                        Ok(step.records)
+                    }
+                    StepVerdict::Dead(dl) => {
+                        faults.dead.push(*dl);
+                        Ok(Vec::new())
+                    }
+                    StepVerdict::Fatal(e) => Err(e),
+                }
             }
             Node::Filter(f) => {
-                let step = semantics::filter_step(f, rec, policy)?;
-                Ok(step.records)
+                match fault::policy_step(faults.policy, "filter", &faults.seq, rec, |r| {
+                    semantics::filter_step(f, r, policy)
+                }) {
+                    StepVerdict::Out { step, .. } => Ok(step.records),
+                    StepVerdict::Dead(dl) => {
+                        faults.dead.push(*dl);
+                        Ok(Vec::new())
+                    }
+                    StepVerdict::Fatal(e) => Err(e),
+                }
             }
             Node::Sync { spec, state } => Ok(match state.push(spec, rec) {
                 SyncOutcome::Stored => Vec::new(),
@@ -167,20 +247,31 @@ impl Node {
             }),
             Node::Serial(a, b) => {
                 let mut outs = Vec::new();
-                for mid in a.feed(rec, policy, work)? {
-                    outs.extend(b.feed(mid, policy, work)?);
+                for mid in a.feed(rec, policy, work, faults)? {
+                    outs.extend(b.feed(mid, policy, work, faults)?);
                 }
                 Ok(outs)
             }
             Node::Parallel { branches, patterns } => {
                 match semantics::best_branch(patterns, &rec) {
-                    Some(i) => branches[i].feed(rec, policy, work),
+                    Some(i) => branches[i].feed(rec, policy, work, faults),
                     None => match policy {
                         MismatchPolicy::Forward => Ok(vec![rec]),
-                        MismatchPolicy::Error => Err(SnetError::TypeMismatch {
-                            expected: "any parallel branch".into(),
-                            got: format!("{rec:?}"),
-                        }),
+                        MismatchPolicy::Error => {
+                            let cause = SnetError::TypeMismatch {
+                                expected: "any parallel branch".into(),
+                                got: format!("{rec:?}"),
+                            };
+                            let dl = fault::reject(
+                                faults.policy,
+                                "par-dispatch",
+                                &faults.seq,
+                                rec,
+                                cause,
+                            )?;
+                            faults.dead.push(*dl);
+                            Ok(Vec::new())
+                        }
                     },
                 }
             }
@@ -203,7 +294,7 @@ impl Node {
                     if chain.len() == i {
                         chain.push(Node::instantiate(template));
                     }
-                    for produced in chain[i].feed(r, policy, work)? {
+                    for produced in chain[i].feed(r, policy, work, faults)? {
                         queue.push_back((i + 1, produced));
                     }
                 }
@@ -214,11 +305,21 @@ impl Node {
                 tag,
                 replicas,
             } => {
-                let value = rec.tag(*tag).ok_or(SnetError::MissingTag(*tag))?;
+                let Some(value) = rec.tag(*tag) else {
+                    let dl = fault::reject(
+                        faults.policy,
+                        "split-dispatch",
+                        &faults.seq,
+                        rec,
+                        SnetError::MissingTag(*tag),
+                    )?;
+                    faults.dead.push(*dl);
+                    return Ok(Vec::new());
+                };
                 let replica = replicas
                     .entry(value)
                     .or_insert_with(|| Node::instantiate(template));
-                replica.feed(rec, policy, work)
+                replica.feed(rec, policy, work, faults)
             }
         }
     }

@@ -71,6 +71,46 @@
 //! consuming and re-enqueues itself with exponential backoff (1µs
 //! doubling to ~1ms) rather than spinning on the global queue.
 //!
+//! ## Failure semantics
+//!
+//! Every engine runs each component step under a [`FailurePolicy`] —
+//! the engine-wide default is [`EngineConfig::policy`], overridable per
+//! box with [`BoxDef::with_policy`](snet_core::BoxDef::with_policy):
+//!
+//! | Policy | Box error or panic | Glue error (filter, dispatch) |
+//! |---|---|---|
+//! | `FailFast` (default) | the first error poisons the run; `finish` / `run_batch` report it and in-flight records are dropped | same |
+//! | `Retry { max_attempts, backoff }` | the box step is re-attempted on `BoxFailure` (panics are caught and count) with exponential backoff; exhaustion is fatal | never retried — glue errors are deterministic, so this degenerates to `FailFast` |
+//! | `DeadLetter` | the offending record is diverted, with a [`FailureReport`], to the run's bounded dead-letter stream and the run continues | diverted too |
+//!
+//! Dead letters surface three ways: batch runs return them in
+//! [`RunReport::dead_letters`] (via [`Engine::run_batch_report`]);
+//! streaming runs poll [`StreamHandle::try_recv_dead_letter`]; and the
+//! [`Trace`] counts them (`dead_letters`, `retries`). Under
+//! `DeadLetter` the outputs plus the diverted records partition the
+//! input-derived record set — nothing is silently dropped. **Ordering
+//! caveat:** the stream is ordered by divert time, which on the
+//! concurrent engines is a race between components; only
+//! per-component subsequences (and [`FailureReport::seq`] within one
+//! run) are deterministic. The streaming dead-letter channel is
+//! bounded; a consumer that never drains it while diversions pile up
+//! fails the run with an engine error rather than blocking workers.
+//!
+//! Runs end early two ways, both cooperative:
+//! [`StreamHandle::cancel`] and [`EngineConfig::deadline`]. On either
+//! path `finish()` reports [`SnetError::Cancelled`] /
+//! [`SnetError::DeadlineExceeded`], outputs already produced stay
+//! retrievable (`recv` keeps draining until the output stream
+//! disconnects), and the scheduled engine's worker pool stays healthy
+//! and reusable — a later run on the same `SchedNet` spawns no new
+//! workers. Cancellation points are activation boundaries (plus the
+//! batch stride inside long drains), so a box body is never
+//! interrupted mid-call: a stalled box delays detection but cannot
+//! corrupt state.
+//!
+//! The [`faultinject`] module provides the deterministic, content-keyed
+//! chaos harness the robustness property tests drive these paths with.
+//!
 //! * [`interp::Interp`] — the **deterministic reference interpreter**:
 //!   single-threaded, FIFO scheduling, first-declared tie-breaks. It is
 //!   the executable semantics used as an oracle in property tests (both
@@ -106,17 +146,39 @@
 //! ```
 
 pub mod engine;
+pub mod faultinject;
 pub mod interp;
 pub mod sched;
 pub mod trace;
 
 pub use engine::{EngineConfig, Net, NetHandle};
+pub use faultinject::{chaos, chaos_with_stats, ChaosStats, FaultKind, FaultSpec};
 pub use interp::{Interp, InterpResult};
 pub use sched::{SchedHandle, SchedNet, TrySendError};
 pub use trace::Trace;
 
+pub use snet_core::fault::{DeadLetter, FailurePolicy, FailureReport};
+
 use snet_core::{NetSpec, Record, SnetError};
 use std::sync::Arc;
+
+/// Everything a batch run produced: the surviving outputs, the records
+/// diverted under [`FailurePolicy::DeadLetter`] (with their
+/// [`FailureReport`]s), and the run's event counters.
+///
+/// Under `DeadLetter`, `outputs` plus the input-derived records behind
+/// `dead_letters` partition the record set the fault-free run would
+/// have produced — nothing is silently dropped. Under the other
+/// policies `dead_letters` is always empty.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Output records in arrival order.
+    pub outputs: Vec<Record>,
+    /// Records diverted to the dead-letter stream, in divert order.
+    pub dead_letters: Vec<DeadLetter>,
+    /// The run's event counters.
+    pub trace: Arc<Trace>,
+}
 
 /// A running network instance accepting an input stream and producing
 /// an output stream, independent of which engine executes it.
@@ -155,6 +217,22 @@ pub trait StreamHandle: Send + Sync {
     /// Closes the input stream (end-of-stream for the network).
     /// Idempotent.
     fn close_input(&self);
+
+    /// Requests cooperative cancellation: the run fails with
+    /// [`SnetError::Cancelled`] (reported by
+    /// [`finish`](StreamHandle::finish)), components stop at their next
+    /// cancellation point, and outputs already produced remain
+    /// drainable via [`recv`](StreamHandle::recv). Idempotent; a no-op
+    /// after the run completed.
+    fn cancel(&self);
+
+    /// Non-blocking receive on the run's dead-letter stream: the next
+    /// record diverted under [`FailurePolicy::DeadLetter`], or `None`
+    /// when nothing is queued. Streaming consumers should poll this
+    /// alongside [`try_recv`](StreamHandle::try_recv) — the stream is
+    /// bounded, and letting it fill while diversions continue fails
+    /// the run.
+    fn try_recv_dead_letter(&self) -> Option<DeadLetter>;
 
     /// Receives the next output record; `None` once the output stream
     /// has terminated.
@@ -212,6 +290,12 @@ pub trait Engine {
         &self,
         records: Vec<Record>,
     ) -> Result<(Vec<Record>, Arc<Trace>), SnetError>;
+
+    /// Full-fidelity batch run: outputs, dead letters, and trace in one
+    /// [`RunReport`]. This is the entry point for
+    /// [`FailurePolicy::DeadLetter`] batch runs — the plainer
+    /// `run_batch*` forms discard the diverted records.
+    fn run_batch_report(&self, records: Vec<Record>) -> Result<RunReport, SnetError>;
 }
 
 impl StreamHandle for NetHandle {
@@ -226,6 +310,12 @@ impl StreamHandle for NetHandle {
     }
     fn close_input(&self) {
         NetHandle::close_input(self)
+    }
+    fn cancel(&self) {
+        NetHandle::cancel(self)
+    }
+    fn try_recv_dead_letter(&self) -> Option<DeadLetter> {
+        NetHandle::try_recv_dead_letter(self)
     }
     fn recv(&self) -> Option<Record> {
         NetHandle::recv(self)
@@ -253,6 +343,12 @@ impl StreamHandle for SchedHandle {
     }
     fn close_input(&self) {
         SchedHandle::close_input(self)
+    }
+    fn cancel(&self) {
+        SchedHandle::cancel(self)
+    }
+    fn try_recv_dead_letter(&self) -> Option<DeadLetter> {
+        SchedHandle::try_recv_dead_letter(self)
     }
     fn recv(&self) -> Option<Record> {
         SchedHandle::recv(self)
@@ -292,6 +388,9 @@ impl Engine for Net {
     ) -> Result<(Vec<Record>, Arc<Trace>), SnetError> {
         Net::run_batch_traced(self, records)
     }
+    fn run_batch_report(&self, records: Vec<Record>) -> Result<RunReport, SnetError> {
+        Net::run_batch_report(self, records)
+    }
 }
 
 impl Engine for SchedNet {
@@ -314,6 +413,9 @@ impl Engine for SchedNet {
         records: Vec<Record>,
     ) -> Result<(Vec<Record>, Arc<Trace>), SnetError> {
         SchedNet::run_batch_traced(self, records)
+    }
+    fn run_batch_report(&self, records: Vec<Record>) -> Result<RunReport, SnetError> {
+        SchedNet::run_batch_report(self, records)
     }
 }
 

@@ -53,10 +53,13 @@ use crate::trace::Trace;
 use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use crossbeam_deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::Mutex;
+use snet_core::fault::{self, DeadLetter, StepVerdict};
+use snet_core::panic_cause;
 use snet_core::semantics::{self, MismatchPolicy};
 use snet_core::{Label, NetSpec, Pattern, Record, SnetError, SyncOutcome, SyncSpec, SyncState};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -77,6 +80,12 @@ const BACKOFF_MAX_SHIFT: u32 = 10;
 /// timeout only bounds how long a lost wakeup could strand the driver.
 const DONE_SAFETY_TIMEOUT: Duration = Duration::from_millis(500);
 
+/// Dead-letter channel capacity multiplier over `channel_capacity` for
+/// streaming runs (batch runs collect into a vector). Bounded so a
+/// worker never blocks on a lagging dead-letter consumer; overflow is
+/// a fatal engine error instead of a stall.
+const DEAD_CAPACITY_FACTOR: usize = 16;
+
 /// A compiled network executed on the work-stealing scheduler.
 ///
 /// The worker pool is **persistent**: it spawns lazily on the first
@@ -93,6 +102,11 @@ const DONE_SAFETY_TIMEOUT: Duration = Duration::from_millis(500);
 pub struct SchedNet {
     spec: NetSpec,
     config: EngineConfig,
+    /// Whether any component can dead-letter under this configuration,
+    /// precomputed so `start()` can skip the dead-letter buffer (and
+    /// its allocation cost on the streaming hot path) when diversion
+    /// is provably impossible.
+    diverts: bool,
     shared: Arc<Shared>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     spawned: AtomicUsize,
@@ -107,9 +121,11 @@ impl SchedNet {
     /// Wraps a topology with explicit configuration (worker count,
     /// mismatch policy, mailbox high-water mark, ingress capacity).
     pub fn with_config(spec: NetSpec, config: EngineConfig) -> SchedNet {
+        let diverts = spec.diverts_under(config.policy);
         SchedNet {
             spec,
             config,
+            diverts,
             shared: Arc::new(Shared {
                 injector: Injector::new(),
                 deferred: Mutex::new(BinaryHeap::new()),
@@ -172,8 +188,21 @@ impl SchedNet {
     /// triggers the usual sender-refcount end-of-stream cascade.
     pub fn start(&self) -> SchedHandle {
         self.ensure_workers();
-        let run = Run::new();
-        let (out_tx, out_rx) = bounded(self.config.channel_capacity.max(1));
+        let cap = self.config.channel_capacity.max(1);
+        // A network that provably cannot divert gets a 1-slot stub
+        // channel instead of the real buffer, keeping the
+        // fault-free streaming path free of the allocation.
+        let dead_cap = if self.diverts {
+            cap * DEAD_CAPACITY_FACTOR
+        } else {
+            1
+        };
+        let (dead_tx, dead_rx) = bounded(dead_cap);
+        let run = Run::new(
+            self.config.deadline.map(|d| Instant::now() + d),
+            DeadDest::Stream(dead_tx),
+        );
+        let (out_tx, out_rx) = bounded(cap);
         let sink = Task::new(
             "sink",
             State::Sink {
@@ -186,6 +215,7 @@ impl SchedNet {
         SchedHandle {
             input: Mutex::new(Some(entry)),
             output: out_rx,
+            dead: dead_rx,
             run,
             sh: Arc::clone(&self.shared),
         }
@@ -210,8 +240,22 @@ impl SchedNet {
         &self,
         records: Vec<Record>,
     ) -> Result<(Vec<Record>, Arc<Trace>), SnetError> {
+        let report = self.run_batch_report(records)?;
+        Ok((report.outputs, report.trace))
+    }
+
+    /// Feeds a batch and returns the full [`crate::RunReport`]:
+    /// outputs, diverted dead letters, and the run's trace. This is
+    /// the driver to use with
+    /// [`snet_core::fault::FailurePolicy::DeadLetter`], where dropped
+    /// records are data, not errors.
+    pub fn run_batch_report(&self, records: Vec<Record>) -> Result<crate::RunReport, SnetError> {
         self.ensure_workers();
-        let run = Run::new();
+        let dead = Arc::new(Mutex::new(Vec::new()));
+        let run = Run::new(
+            self.config.deadline.map(|d| Instant::now() + d),
+            DeadDest::Collect(Arc::clone(&dead)),
+        );
         let outputs = Arc::new(Mutex::new(Vec::new()));
         let sink = Task::new(
             "sink",
@@ -229,7 +273,12 @@ impl SchedNet {
             return Err(e);
         }
         let outs = std::mem::take(&mut *outputs.lock());
-        Ok((outs, Arc::clone(&run.trace)))
+        let dead_letters = std::mem::take(&mut *dead.lock());
+        Ok(crate::RunReport {
+            outputs: outs,
+            dead_letters,
+            trace: Arc::clone(&run.trace),
+        })
     }
 }
 
@@ -287,6 +336,16 @@ struct Run {
     trace: Arc<Trace>,
     error: Mutex<Option<SnetError>>,
     aborted: AtomicBool,
+    /// Absolute deadline for this run, fixed when the run is created
+    /// from [`EngineConfig::deadline`]. Checked at the existing
+    /// preemption points (activation start, the amortized
+    /// backpressure-stride check, the driver's waits); `None` costs a
+    /// single branch per check.
+    deadline_at: Option<Instant>,
+    /// Dead-letter sequence-number allocator for this run.
+    seq: AtomicU64,
+    /// Where records diverted under `FailurePolicy::DeadLetter` go.
+    dead: DeadDest,
     /// Completion latch, set by the sink's finalization (the sink is
     /// always the last task of a run to finalize — its senders only
     /// reach zero after every upstream task has closed its ports).
@@ -294,12 +353,25 @@ struct Run {
     done_cv: Condvar,
 }
 
+/// Where a run's dead letters are delivered; the fault-path analogue of
+/// [`SinkDest`].
+enum DeadDest {
+    /// Batch mode: append to the driver's dead-letter vector.
+    Collect(Arc<Mutex<Vec<DeadLetter>>>),
+    /// Streaming mode: push into the handle's bounded dead-letter
+    /// channel. A worker never blocks on it — overflow fails the run.
+    Stream(Sender<DeadLetter>),
+}
+
 impl Run {
-    fn new() -> Arc<Run> {
+    fn new(deadline_at: Option<Instant>, dead: DeadDest) -> Arc<Run> {
         Arc::new(Run {
             trace: Arc::new(Trace::new()),
             error: Mutex::new(None),
             aborted: AtomicBool::new(false),
+            deadline_at,
+            seq: AtomicU64::new(0),
+            dead,
             done: Mutex::new(false),
             done_cv: Condvar::new(),
         })
@@ -313,6 +385,46 @@ impl Run {
         self.aborted.store(true, Ordering::Release);
     }
 
+    /// Preemption check: true once the run is aborted or past its
+    /// deadline (recording `DeadlineExceeded` on first detection).
+    /// Without a deadline this is one atomic load and one branch.
+    fn should_stop(&self) -> bool {
+        if self.aborted.load(Ordering::Acquire) {
+            return true;
+        }
+        if let Some(at) = self.deadline_at {
+            if Instant::now() >= at {
+                self.fail(SnetError::DeadlineExceeded);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Delivers a diverted record to the run's dead-letter destination.
+    /// Never blocks; a full streaming channel (consumer not draining)
+    /// is a fatal error so the bound is real.
+    fn divert(&self, dl: Box<DeadLetter>) -> Result<(), SnetError> {
+        use crossbeam_channel::TrySendError as ChanTrySend;
+        Trace::add(&self.trace.dead_letters, 1);
+        match &self.dead {
+            DeadDest::Collect(v) => {
+                v.lock().push(*dl);
+                Ok(())
+            }
+            DeadDest::Stream(tx) => match tx.try_send(*dl) {
+                Ok(()) => Ok(()),
+                Err(ChanTrySend::Full(dl)) => Err(SnetError::Engine(format!(
+                    "dead-letter channel overflow; last report: {}",
+                    dl.report
+                ))),
+                // Receiver dropped: the consumer stopped listening;
+                // letters are discarded but the run continues.
+                Err(ChanTrySend::Disconnected(_)) => Ok(()),
+            },
+        }
+    }
+
     fn signal_done(&self) {
         *self.done.lock() = true;
         self.done_cv.notify_all();
@@ -320,6 +432,9 @@ impl Run {
 
     /// Blocks until the run's sink has finalized. Purely wake-driven;
     /// the timeout is a lost-wakeup safety net, not a poll interval.
+    /// Each wakeup re-checks the deadline so an expired run is failed
+    /// (and its tasks abort at their next activation) even while the
+    /// driver sleeps here.
     fn wait_done(&self) {
         let mut done = self.done.lock();
         while !*done {
@@ -328,6 +443,9 @@ impl Run {
                 .wait_timeout(done, DONE_SAFETY_TIMEOUT)
                 .unwrap_or_else(|e| e.into_inner());
             done = guard;
+            if !*done {
+                let _ = self.should_stop();
+            }
         }
     }
 }
@@ -719,11 +837,7 @@ fn execute(
     match unwound {
         Ok(defer) => defer,
         Err(payload) => {
-            let cause = payload
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_owned())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".into());
+            let cause = panic_cause(payload.as_ref());
             task.run.fail(SnetError::Engine(format!(
                 "scheduler activation panicked: {cause}"
             )));
@@ -834,7 +948,8 @@ fn run_task(
     // lock serializes actual execution.
     task.scheduled.store(false, Ordering::Release);
 
-    if task.run.aborted.load(Ordering::Acquire) {
+    // Activation-start preemption point: abort flag and run deadline.
+    if task.run.should_stop() {
         task.clear_mailbox();
         finalize(task, &mut state, sh, local);
         return None;
@@ -852,6 +967,13 @@ fn run_task(
     let mut inbuf: Vec<Record> = Vec::new();
     while processed < budget {
         if processed >= next_bp_check {
+            // Mid-drain preemption point, amortized on the same stride
+            // as the backpressure probe.
+            if task.run.should_stop() {
+                task.clear_mailbox();
+                finalize(task, &mut state, sh, local);
+                return None;
+            }
             if output_backpressured(&state, sh) {
                 break;
             }
@@ -1023,43 +1145,54 @@ fn step(
     let batch = sh.config.batch.max(1);
     match state {
         State::Box(def, out) => {
-            // Box functions are user code: a panic must become a
-            // reportable error, not a poisoned scheduler.
-            let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                semantics::box_step(def, rec, sh.config.mismatch)
-            }))
-            .unwrap_or_else(|payload| {
-                let cause = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_owned())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".into());
-                Err(SnetError::BoxFailure {
-                    name: def.sig.name.clone(),
-                    cause: format!("panicked: {cause}"),
-                })
-            })?;
-            if step.matched {
-                run.trace.count_box(step.work);
-            } else {
-                Trace::add(&run.trace.passthroughs, 1);
+            // Box functions are user code: `policy_step` contains
+            // panics and applies the failure policy (per-box override
+            // first, engine default otherwise).
+            let policy = def.effective_policy(sh.config.policy);
+            let verdict = fault::policy_step(policy, &def.sig.name, &run.seq, rec, |r| {
+                semantics::box_step(def, r, sh.config.mismatch)
+            });
+            match verdict {
+                StepVerdict::Out { step, attempts } => {
+                    if attempts > 1 {
+                        Trace::add(&run.trace.retries, u64::from(attempts - 1));
+                    }
+                    if step.matched {
+                        run.trace.count_box(step.work);
+                    } else {
+                        Trace::add(&run.trace.passthroughs, 1);
+                    }
+                    for r in step.records {
+                        out.send(r, batch, sh, local);
+                    }
+                    Ok(())
+                }
+                StepVerdict::Dead(dl) => run.divert(dl),
+                StepVerdict::Fatal(e) => Err(e),
             }
-            for r in step.records {
-                out.send(r, batch, sh, local);
-            }
-            Ok(())
         }
         State::Filter(spec, out) => {
-            let step = semantics::filter_step(spec, rec, sh.config.mismatch)?;
-            if step.matched {
-                Trace::add(&run.trace.filter_records, 1);
-            } else {
-                Trace::add(&run.trace.passthroughs, 1);
+            // Filters follow the engine policy; their errors are
+            // deterministic, so Retry degenerates to FailFast inside
+            // `policy_step` (only `BoxFailure` retries).
+            let verdict = fault::policy_step(sh.config.policy, "filter", &run.seq, rec, |r| {
+                semantics::filter_step(spec, r, sh.config.mismatch)
+            });
+            match verdict {
+                StepVerdict::Out { step, .. } => {
+                    if step.matched {
+                        Trace::add(&run.trace.filter_records, 1);
+                    } else {
+                        Trace::add(&run.trace.passthroughs, 1);
+                    }
+                    for r in step.records {
+                        out.send(r, batch, sh, local);
+                    }
+                    Ok(())
+                }
+                StepVerdict::Dead(dl) => run.divert(dl),
+                StepVerdict::Fatal(e) => Err(e),
             }
-            for r in step.records {
-                out.send(r, batch, sh, local);
-            }
-            Ok(())
         }
         State::Sync { spec, st, out } => {
             match st.push(spec, rec) {
@@ -1092,10 +1225,14 @@ fn step(
                         out.send(rec, batch, sh, local);
                         Ok(())
                     }
-                    MismatchPolicy::Error => Err(SnetError::TypeMismatch {
-                        expected: "any parallel branch".into(),
-                        got: format!("{rec:?}"),
-                    }),
+                    MismatchPolicy::Error => {
+                        let cause = SnetError::TypeMismatch {
+                            expected: "any parallel branch".into(),
+                            got: format!("{rec:?}"),
+                        };
+                        fault::reject(sh.config.policy, "par-dispatch", &run.seq, rec, cause)
+                            .and_then(|dl| run.divert(dl))
+                    }
                 },
             }
         }
@@ -1139,7 +1276,9 @@ fn step(
             out,
         } => {
             let Some(value) = rec.tag(*tag) else {
-                return Err(SnetError::MissingTag(*tag));
+                let cause = SnetError::MissingTag(*tag);
+                return fault::reject(sh.config.policy, "split-dispatch", &run.seq, rec, cause)
+                    .and_then(|dl| run.divert(dl));
             };
             let port = replicas.entry(value).or_insert_with(|| {
                 Trace::add(&run.trace.split_replicas, 1);
@@ -1302,6 +1441,24 @@ pub enum TrySendError {
     Closed(SnetError),
 }
 
+impl fmt::Display for TrySendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "ingress full; record handed back"),
+            TrySendError::Closed(e) => write!(f, "ingress closed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrySendError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrySendError::Full(_) => None,
+            TrySendError::Closed(e) => Some(e),
+        }
+    }
+}
+
 /// A running, streaming instance of a [`SchedNet`] on the shared
 /// worker pool.
 ///
@@ -1316,6 +1473,7 @@ pub enum TrySendError {
 pub struct SchedHandle {
     input: Mutex<Option<Port>>,
     output: Receiver<Record>,
+    dead: Receiver<DeadLetter>,
     run: Arc<Run>,
     sh: Arc<Shared>,
 }
@@ -1342,7 +1500,12 @@ impl SchedHandle {
         cap: usize,
     ) -> Result<parking_lot::MutexGuard<'a, VecDeque<Record>>, SnetError> {
         loop {
-            if self.run.aborted.load(Ordering::Acquire) {
+            // `should_stop` also trips on deadline expiry, so a sender
+            // blocked on a stalled network is released with
+            // `DeadlineExceeded` rather than parked forever. No ports
+            // are closed here (we hold the mailbox lock; closing flushes
+            // other locks) — `finish`/`cancel` kick the cascade.
+            if self.run.should_stop() {
                 return Err(self.current_error("network failed while sending"));
             }
             if mb.len() < cap {
@@ -1441,8 +1604,25 @@ impl SchedHandle {
         }
     }
 
+    /// Cancels the run cooperatively: records [`SnetError::Cancelled`],
+    /// raises the abort flag every task checks at its activation
+    /// preemption points, and closes the input so the end-of-stream
+    /// cascade finalizes every task — including the sink, which keeps
+    /// the completion latch and the worker pool healthy for subsequent
+    /// runs. Outputs already queued remain retrievable via
+    /// [`SchedHandle::recv`]; [`SchedHandle::finish`] returns the
+    /// error. Idempotent; a no-op if the run already failed or
+    /// finished.
+    pub fn cancel(&self) {
+        self.run.fail(SnetError::Cancelled);
+        self.close_input();
+    }
+
     /// Receives the next output record; `None` once the output stream
-    /// has terminated (sink finalized, or the pool shut down).
+    /// has terminated (sink finalized, or the pool shut down). Checks
+    /// the abort flag and run deadline while blocked, so a stalled
+    /// network cannot park the consumer past
+    /// [`EngineConfig::deadline`].
     pub fn recv(&self) -> Option<Record> {
         loop {
             match self.output.recv_timeout(Duration::from_millis(100)) {
@@ -1453,6 +1633,13 @@ impl SchedHandle {
                     // the sink; don't block forever on it.
                     if self.sh.shutdown.load(Ordering::Acquire) {
                         return None;
+                    }
+                    if self.run.should_stop() {
+                        // Aborted (cancel / failure / deadline): close
+                        // the input so the cascade finalizes the sink,
+                        // then keep draining what is already in flight
+                        // until the channel disconnects.
+                        self.close_input();
                     }
                 }
             }
@@ -1504,6 +1691,20 @@ impl SchedHandle {
     /// The output stream receiver (for `select!`-style consumers).
     pub fn output(&self) -> &Receiver<Record> {
         &self.output
+    }
+
+    /// Non-blocking receive on the run's dead-letter stream. Only
+    /// populated under
+    /// [`snet_core::fault::FailurePolicy::DeadLetter`]; drain it while
+    /// the run progresses — the stream is bounded and overflow fails
+    /// the run.
+    pub fn try_recv_dead_letter(&self) -> Option<DeadLetter> {
+        self.dead.try_recv().ok()
+    }
+
+    /// The dead-letter receiver (for `select!`-style consumers).
+    pub fn dead_letters(&self) -> &Receiver<DeadLetter> {
+        &self.dead
     }
 
     /// Shared event counters of this run.

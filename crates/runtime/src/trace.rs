@@ -34,6 +34,11 @@ pub struct Trace {
     pub split_replicas: AtomicU64,
     /// Records routed by parallel dispatchers.
     pub dispatched: AtomicU64,
+    /// Records diverted to the dead-letter stream.
+    pub dead_letters: AtomicU64,
+    /// Extra box invocations performed by the retry policy (attempts
+    /// beyond the first, successful or not).
+    pub retries: AtomicU64,
 }
 
 impl Trace {
@@ -60,7 +65,7 @@ impl Trace {
         format!(
             "boxes: {} records / {} ops; filters: {}; dispatched: {}; \
              sync: {} stores, {} fires, {} stranded; unfoldings: {} star, {} split; \
-             passthroughs: {}",
+             passthroughs: {}; dead letters: {}; retries: {}",
             self.box_records.load(Ordering::Relaxed),
             self.box_ops.load(Ordering::Relaxed),
             self.filter_records.load(Ordering::Relaxed),
@@ -71,6 +76,8 @@ impl Trace {
             self.star_unfoldings.load(Ordering::Relaxed),
             self.split_replicas.load(Ordering::Relaxed),
             self.passthroughs.load(Ordering::Relaxed),
+            self.dead_letters.load(Ordering::Relaxed),
+            self.retries.load(Ordering::Relaxed),
         )
     }
 }
