@@ -43,7 +43,9 @@ pub fn splitter_box() -> BoxDef {
     BoxDef::from_fn(
         BoxSig::parse(
             "splitter",
-            &["scene", "<nodes>", "<tasks>", "<tokens>", "<sched>", "<cpus>"],
+            &[
+                "scene", "<nodes>", "<tasks>", "<tokens>", "<sched>", "<cpus>",
+            ],
             &[
                 &["scene", "sect", "<node>", "<cpu>", "<tasks>", "<fst>"],
                 &["scene", "sect", "<node>", "<cpu>", "<tasks>"],
@@ -51,7 +53,10 @@ pub fn splitter_box() -> BoxDef {
             ],
         ),
         |input: &Record| {
-            let scene_val = input.field("scene").expect("splitter needs a scene").clone();
+            let scene_val = input
+                .field("scene")
+                .expect("splitter needs a scene")
+                .clone();
             let sd: &SceneData = expect(&scene_val, "scene");
             let nodes = input.tag("nodes").unwrap_or(1).max(1);
             let tasks = input.tag("tasks").unwrap_or(1).max(1) as u32;
@@ -79,9 +84,11 @@ pub fn splitter_box() -> BoxDef {
             }
             // BVH construction (shipped with the scene) plus per-section
             // bookkeeping.
-            let bvh_ops =
-                sd.scene.shapes.len() as u64 * sd.bvh.depth().max(1) as u64 * 40;
-            Ok(BoxOutput::many(records, Work::ops(bvh_ops + 200 * tasks as u64)))
+            let bvh_ops = sd.scene.shapes.len() as u64 * sd.bvh.depth().max(1) as u64 * 40;
+            Ok(BoxOutput::many(
+                records,
+                Work::ops(bvh_ops + 200 * tasks as u64),
+            ))
         },
     )
 }
@@ -165,17 +172,20 @@ pub fn merge_box() -> BoxDef {
 /// file" (§IV.A): into the experiment's [`ImageSlot`], and optionally
 /// to a real PPM file.
 pub fn gen_img_box(slot: ImageSlot, path: Option<PathBuf>) -> BoxDef {
-    BoxDef::from_fn(BoxSig::parse("genImg", &["pic"], &[&[]]), move |input: &Record| {
-        let pic_val = input.field("pic").expect("genImg needs a pic");
-        let pd: &PicData = expect(pic_val, "pic");
-        if let Some(p) = &path {
-            pd.0.write_ppm(p)
-                .map_err(|e| SnetError::Engine(format!("genImg write failed: {e}")))?;
-        }
-        let work = copy_ops(pd.0.wire_bytes());
-        *slot.lock() = Some(pd.0.clone());
-        Ok(BoxOutput::many(Vec::new(), Work::ops(work)))
-    })
+    BoxDef::from_fn(
+        BoxSig::parse("genImg", &["pic"], &[&[]]),
+        move |input: &Record| {
+            let pic_val = input.field("pic").expect("genImg needs a pic");
+            let pd: &PicData = expect(pic_val, "pic");
+            if let Some(p) = &path {
+                pd.0.write_ppm(p)
+                    .map_err(|e| SnetError::Engine(format!("genImg write failed: {e}")))?;
+            }
+            let work = copy_ops(pd.0.wire_bytes());
+            *slot.lock() = Some(pd.0.clone());
+            Ok(BoxOutput::many(Vec::new(), Work::ops(work)))
+        },
+    )
 }
 
 #[cfg(test)]
@@ -207,7 +217,10 @@ mod tests {
 
     #[test]
     fn splitter_static_assigns_every_section_a_node() {
-        let out = splitter_box().func.call(&splitter_input(4, 8, 8, 1)).unwrap();
+        let out = splitter_box()
+            .func
+            .call(&splitter_input(4, 8, 8, 1))
+            .unwrap();
         assert_eq!(out.records.len(), 8);
         for (i, r) in out.records.iter().enumerate() {
             assert_eq!(r.tag("node"), Some(i as i64 % 4));
@@ -221,16 +234,25 @@ mod tests {
 
     #[test]
     fn splitter_dynamic_leaves_late_sections_untagged() {
-        let out = splitter_box().func.call(&splitter_input(4, 12, 5, 1)).unwrap();
+        let out = splitter_box()
+            .func
+            .call(&splitter_input(4, 12, 5, 1))
+            .unwrap();
         let tagged: Vec<bool> = out.records.iter().map(|r| r.has_tag("node")).collect();
         assert_eq!(tagged.iter().filter(|&&b| b).count(), 5);
-        assert!(tagged[..5].iter().all(|&b| b), "leading sections carry tokens");
+        assert!(
+            tagged[..5].iter().all(|&b| b),
+            "leading sections carry tokens"
+        );
         assert!(tagged[5..].iter().all(|&b| !b));
     }
 
     #[test]
     fn splitter_two_cpu_tags_second_wave() {
-        let out = splitter_box().func.call(&splitter_input(4, 8, 8, 2)).unwrap();
+        let out = splitter_box()
+            .func
+            .call(&splitter_input(4, 8, 8, 2))
+            .unwrap();
         for (i, r) in out.records.iter().enumerate() {
             assert_eq!(r.tag("cpu"), Some((i as i64 / 4) % 2));
         }
@@ -238,7 +260,10 @@ mod tests {
 
     #[test]
     fn splitter_sections_tile_the_image() {
-        let out = splitter_box().func.call(&splitter_input(2, 5, 5, 1)).unwrap();
+        let out = splitter_box()
+            .func
+            .call(&splitter_input(2, 5, 5, 1))
+            .unwrap();
         let mut rows = 0;
         for r in &out.records {
             let sect: &SectData = expect(r.field("sect").unwrap(), "sect");
@@ -286,7 +311,10 @@ mod tests {
         let sd: &SceneData = expect(&scene_val, "scene");
         let mut c = Counters::default();
         let reference = snet_raytracer::render_full(&sd.scene, 32, 32, &mut c);
-        assert_eq!(pd.0, reference, "merged picture must equal the direct render");
+        assert_eq!(
+            pd.0, reference,
+            "merged picture must equal the direct render"
+        );
     }
 
     #[test]
@@ -294,7 +322,10 @@ mod tests {
         let slot = image_slot();
         let img = Image::new(4, 4);
         let input = Record::new().with_field("pic", field(PicData(img.clone())));
-        let out = gen_img_box(Arc::clone(&slot), None).func.call(&input).unwrap();
+        let out = gen_img_box(Arc::clone(&slot), None)
+            .func
+            .call(&input)
+            .unwrap();
         assert!(out.records.is_empty(), "genImg emits nothing");
         assert_eq!(slot.lock().as_ref(), Some(&img));
     }
@@ -306,7 +337,10 @@ mod tests {
         let path = dir.join("final.ppm");
         let slot = image_slot();
         let input = Record::new().with_field("pic", field(PicData(Image::new(2, 2))));
-        gen_img_box(slot, Some(path.clone())).func.call(&input).unwrap();
+        gen_img_box(slot, Some(path.clone()))
+            .func
+            .call(&input)
+            .unwrap();
         assert!(path.exists());
         std::fs::remove_file(&path).ok();
     }

@@ -322,8 +322,14 @@ mod tests {
             OverheadModel::default(),
         )
         .unwrap();
-        assert_eq!(out.image, reference, "dynamic scheduling must not corrupt the picture");
-        assert!(out.stats.sync_fires >= 6, "tokenless sections must join tokens");
+        assert_eq!(
+            out.image, reference,
+            "dynamic scheduling must not corrupt the picture"
+        );
+        assert!(
+            out.stats.sync_fires >= 6,
+            "tokenless sections must join tokens"
+        );
     }
 
     #[test]

@@ -28,11 +28,13 @@ pub mod mpi_app;
 pub mod nets;
 pub mod schedule;
 
-pub use boxes::{gen_img_box, image_slot, init_box, merge_box, solver_box, splitter_box, ImageSlot};
+pub use boxes::{
+    gen_img_box, image_slot, init_box, merge_box, solver_box, splitter_box, ImageSlot,
+};
 pub use data::{ChunkData, PicData, SceneData, SectData};
 pub use experiment::{
-    input_record, run_snet_cluster, run_snet_local, run_snet_local_sched, SnetConfig,
-    SnetOutcome, Workload,
+    input_record, run_snet_cluster, run_snet_local, run_snet_local_sched, SnetConfig, SnetOutcome,
+    Workload,
 };
 pub use mpi_app::{run_mpi_raytrace, MpiOutcome};
 pub use nets::{

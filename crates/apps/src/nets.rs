@@ -9,9 +9,7 @@
 
 use crate::boxes::{self, ImageSlot};
 use snet_core::filter::OutputTemplate;
-use snet_core::{
-    BinOp, FilterSpec, NetSpec, Pattern, SyncSpec, TagExpr, Variant,
-};
+use snet_core::{BinOp, FilterSpec, NetSpec, Pattern, SyncSpec, TagExpr, Variant};
 use std::path::PathBuf;
 
 fn pat(fields: &[&str], tags: &[&str]) -> Pattern {
@@ -125,15 +123,16 @@ pub fn static_solver_2cpu() -> NetSpec {
 /// arrives, then loop into the next star unfolding with the token
 /// attached. Chunks exit the star.
 pub fn dynamic_solver() -> NetSpec {
-    let solve_and_release = NetSpec::serial(
-        NetSpec::Box(boxes::solver_box()),
-        token_release_filter(),
-    );
+    let solve_and_release =
+        NetSpec::serial(NetSpec::Box(boxes::solver_box()), token_release_filter());
     let placed = NetSpec::split_placed(solve_and_release, "node");
     let first = NetSpec::parallel(vec![placed, NetSpec::identity()]);
     let join = NetSpec::parallel(vec![
         NetSpec::identity(),
-        NetSpec::Sync(SyncSpec::new(vec![pat(&["sect"], &[]), pat(&[], &["node"])])),
+        NetSpec::Sync(SyncSpec::new(vec![
+            pat(&["sect"], &[]),
+            pat(&[], &["node"]),
+        ])),
     ]);
     let body = NetSpec::serial(first, join);
     NetSpec::star(body, pat(&["chunk"], &[]))
@@ -234,7 +233,11 @@ mod tests {
     #[test]
     fn paper_networks_pass_the_static_checker() {
         let slot = image_slot();
-        for variant in [NetVariant::Static, NetVariant::Static2Cpu, NetVariant::Dynamic] {
+        for variant in [
+            NetVariant::Static,
+            NetVariant::Static2Cpu,
+            NetVariant::Dynamic,
+        ] {
             let net = raytracing_net(variant, slot.clone(), None);
             let diags = snet_lang::check(&net);
             let errors: Vec<_> = diags
@@ -295,7 +298,9 @@ mod tests {
             .with_tag("tasks", 8);
         let i = best_branch(&patterns, &rec).unwrap();
         assert_eq!(i, 0, "fst result must take the fst-aware filter");
-        let NetSpec::Filter(f) = &branches[i] else { panic!() };
+        let NetSpec::Filter(f) = &branches[i] else {
+            panic!()
+        };
         let out = filter_step(f, rec, MismatchPolicy::Error).unwrap();
         assert_eq!(out.records.len(), 2);
         let chunk_rec = &out.records[0];

@@ -62,7 +62,10 @@ impl Schedule {
 
     /// Splits `height` rows into `tasks` sections.
     pub fn sections(&self, height: u32, tasks: u32) -> Vec<Section> {
-        assert!(tasks > 0 && height >= tasks, "need at least one row per task");
+        assert!(
+            tasks > 0 && height >= tasks,
+            "need at least one row per task"
+        );
         match *self {
             Schedule::Block => snet_raytracer::split_rows(height, tasks),
             Schedule::Factoring { batches, factor } => {
@@ -177,7 +180,10 @@ mod tests {
 
     #[test]
     fn tag_round_trip() {
-        assert_eq!(Schedule::from_tag(Schedule::Block.to_tag()), Schedule::Block);
+        assert_eq!(
+            Schedule::from_tag(Schedule::Block.to_tag()),
+            Schedule::Block
+        );
         let f = Schedule::paper_factoring();
         let decoded = Schedule::from_tag(f.to_tag());
         match decoded {

@@ -28,43 +28,33 @@ fn bench_intersection(c: &mut Criterion) {
         let scene = Scene::preset(ScenePreset::Balanced, spheres, 7);
         let bvh = Bvh::build(&scene.shapes);
         let rays = ray_bundle(256);
-        g.bench_with_input(
-            BenchmarkId::new("bvh", spheres),
-            &spheres,
-            |b, _| {
-                b.iter(|| {
-                    let mut c = Counters::default();
-                    let mut hits = 0;
-                    for ray in &rays {
-                        if bvh
-                            .intersect(&scene.shapes, ray, 1e-6, f64::INFINITY, &mut c)
-                            .is_some()
-                        {
-                            hits += 1;
-                        }
+        g.bench_with_input(BenchmarkId::new("bvh", spheres), &spheres, |b, _| {
+            b.iter(|| {
+                let mut c = Counters::default();
+                let mut hits = 0;
+                for ray in &rays {
+                    if bvh
+                        .intersect(&scene.shapes, ray, 1e-6, f64::INFINITY, &mut c)
+                        .is_some()
+                    {
+                        hits += 1;
                     }
-                    hits
-                });
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("brute", spheres),
-            &spheres,
-            |b, _| {
-                b.iter(|| {
-                    let mut c = Counters::default();
-                    let mut hits = 0;
-                    for ray in &rays {
-                        if intersect_brute(&scene.shapes, ray, 1e-6, f64::INFINITY, &mut c)
-                            .is_some()
-                        {
-                            hits += 1;
-                        }
+                }
+                hits
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("brute", spheres), &spheres, |b, _| {
+            b.iter(|| {
+                let mut c = Counters::default();
+                let mut hits = 0;
+                for ray in &rays {
+                    if intersect_brute(&scene.shapes, ray, 1e-6, f64::INFINITY, &mut c).is_some() {
+                        hits += 1;
                     }
-                    hits
-                });
-            },
-        );
+                }
+                hits
+            });
+        });
     }
     g.finish();
 }

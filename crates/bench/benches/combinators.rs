@@ -50,18 +50,25 @@ impl Engine {
 
 fn records(n: i64) -> Vec<Record> {
     (0..n)
-        .map(|i| Record::new().with_field("x", Value::Int(i)).with_tag("k", i % 4))
+        .map(|i| {
+            Record::new()
+                .with_field("x", Value::Int(i))
+                .with_tag("k", i % 4)
+        })
         .collect()
 }
 
 fn inc_box() -> NetSpec {
-    NetSpec::Box(BoxDef::from_fn(BoxSig::parse("inc", &["x"], &[&["x"]]), |r| {
-        let x = r.field("x").and_then(|v| v.as_int()).unwrap_or(0);
-        Ok(BoxOutput::one(
-            Record::new().with_field("x", Value::Int(x + 1)),
-            Work::ops(1),
-        ))
-    }))
+    NetSpec::Box(BoxDef::from_fn(
+        BoxSig::parse("inc", &["x"], &[&["x"]]),
+        |r| {
+            let x = r.field("x").and_then(|v| v.as_int()).unwrap_or(0);
+            Ok(BoxOutput::one(
+                Record::new().with_field("x", Value::Int(x + 1)),
+                Work::ops(1),
+            ))
+        },
+    ))
 }
 
 fn bench_serial_depth(c: &mut Criterion) {
@@ -86,7 +93,8 @@ fn bench_parallel_width(c: &mut Criterion) {
         for width in [2usize, 4, 8] {
             let id = BenchmarkId::new(engine.name(), width);
             g.bench_with_input(id, &width, |b, &width| {
-                let run = engine.runner(&NetSpec::parallel((0..width).map(|_| inc_box()).collect()));
+                let run =
+                    engine.runner(&NetSpec::parallel((0..width).map(|_| inc_box()).collect()));
                 b.iter(|| run(records(256)));
             });
         }
@@ -129,7 +137,11 @@ fn bench_split_fanout(c: &mut Criterion) {
             g.bench_with_input(id, &fan, |b, &fan| {
                 let run = engine.runner(&NetSpec::split(inc_box(), "r"));
                 let recs: Vec<Record> = (0..256)
-                    .map(|i| Record::new().with_field("x", Value::Int(i)).with_tag("r", i % fan))
+                    .map(|i| {
+                        Record::new()
+                            .with_field("x", Value::Int(i))
+                            .with_tag("r", i % fan)
+                    })
                     .collect();
                 b.iter(|| run(recs.clone()));
             });

@@ -6,9 +6,7 @@
 //! exercising every experimental code path end to end).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use snet_apps::{
-    run_mpi_raytrace, run_snet_cluster, NetVariant, Schedule, SnetConfig, Workload,
-};
+use snet_apps::{run_mpi_raytrace, run_snet_cluster, NetVariant, Schedule, SnetConfig, Workload};
 use snet_dist::OverheadModel;
 use snet_raytracer::ScenePreset;
 use snet_simnet::ClusterSpec;
@@ -39,20 +37,34 @@ fn bench_fig6_series(c: &mut Criterion) {
     for nodes in [1usize, 4, 8] {
         g.bench_with_input(BenchmarkId::new("snet_static", nodes), &nodes, |b, &n| {
             b.iter(|| {
-                run_snet_cluster(&wl, &SnetConfig::fig6_static(n), cluster(n), OverheadModel::default())
-                    .unwrap()
-                    .makespan_secs
+                run_snet_cluster(
+                    &wl,
+                    &SnetConfig::fig6_static(n),
+                    cluster(n),
+                    OverheadModel::default(),
+                )
+                .unwrap()
+                .makespan_secs
             });
         });
         g.bench_with_input(BenchmarkId::new("snet_dynamic", nodes), &nodes, |b, &n| {
             b.iter(|| {
-                run_snet_cluster(&wl, &SnetConfig::fig6_dynamic(n), cluster(n), OverheadModel::default())
-                    .unwrap()
-                    .makespan_secs
+                run_snet_cluster(
+                    &wl,
+                    &SnetConfig::fig6_dynamic(n),
+                    cluster(n),
+                    OverheadModel::default(),
+                )
+                .unwrap()
+                .makespan_secs
             });
         });
         g.bench_with_input(BenchmarkId::new("mpi_2proc", nodes), &nodes, |b, &n| {
-            b.iter(|| run_mpi_raytrace(&wl, n, 2, cluster(n)).unwrap().makespan_secs);
+            b.iter(|| {
+                run_mpi_raytrace(&wl, n, 2, cluster(n))
+                    .unwrap()
+                    .makespan_secs
+            });
         });
     }
     g.finish();

@@ -26,7 +26,13 @@ fn chunk_records(tasks: u32) -> Vec<Record> {
                 pixels: vec![[i as u8, 0, 0]; (s.rows() * WIDTH) as usize],
             };
             let mut rec = Record::new()
-                .with_field("chunk", Value::data(ChunkData { chunk, img_height: HEIGHT }))
+                .with_field(
+                    "chunk",
+                    Value::data(ChunkData {
+                        chunk,
+                        img_height: HEIGHT,
+                    }),
+                )
                 .with_tag("tasks", tasks as i64);
             if i == 0 {
                 rec.set_tag("fst", 1);
@@ -57,8 +63,7 @@ fn bench_merger(c: &mut Criterion) {
             let chunks: Vec<Chunk> = recs
                 .iter()
                 .map(|r| {
-                    let cd: &ChunkData =
-                        r.field("chunk").and_then(|v| v.downcast_ref()).unwrap();
+                    let cd: &ChunkData = r.field("chunk").and_then(|v| v.downcast_ref()).unwrap();
                     cd.chunk.clone()
                 })
                 .collect();

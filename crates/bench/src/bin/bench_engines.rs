@@ -1,7 +1,15 @@
 //! Threaded vs. scheduled engine baseline + batched hand-off sweep +
-//! streaming-vs-batch comparison.
+//! streaming-vs-batch comparison + operator-fusion speedup.
 //!
-//! Writes three result files:
+//! All sections except `--fusion-out` run with fusion *disabled*
+//! (`fuse: false`): they are longitudinal trajectory files whose
+//! committed baselines predate fusion, and they measure the
+//! per-component engines — thread-per-component spawning, the hand-off
+//! protocol, the streaming handle, the policy machinery. Fusion would
+//! collapse the pipelines they sweep into one task and change what the
+//! numbers mean. The fused-vs-unfused comparison gets its own file.
+//!
+//! Writes five result files:
 //!
 //! * `--out` (default `BENCH_threaded_vs_sched.json`): threaded vs
 //!   scheduled engine at the default configuration, the perf
@@ -31,7 +39,13 @@
 //!   CI re-measures on its own hardware, so it gates the relaxed
 //!   cross-machine backstop (>= 0.85x vs committed) plus the same-run
 //!   property that enabling a deadline or a lenient policy on a
-//!   fault-free run stays within noise of `failfast`.
+//!   fault-free run stays within noise of `failfast`;
+//! * `--fusion-out` (default `BENCH_fusion.json`): the scheduled engine
+//!   with SISO-chain fusion on vs off on the same pipelines. The
+//!   depth-16 pipeline fuses to a single task (three components:
+//!   source, chain, sink), eliminating 15 mailbox hops per record; the
+//!   gate is >= 1.5x fused-over-unfused locally on the min-of-samples
+//!   statistic, with a >= 1.2x cross-machine backstop in CI.
 //!
 //! ```text
 //! cargo run -p snet-bench --release --bin bench_engines
@@ -47,25 +61,34 @@
 
 use snet_core::boxdef::{BoxDef, BoxOutput, BoxSig, Work};
 use snet_core::{NetSpec, Record, Value};
-use snet_runtime::{run_stream, run_stream_interleaved, EngineConfig, FailurePolicy, Net, SchedNet};
+use snet_runtime::{
+    run_stream, run_stream_interleaved, EngineConfig, FailurePolicy, Net, SchedNet,
+};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 const RECORDS: i64 = 256;
 
 fn inc_box() -> NetSpec {
-    NetSpec::Box(BoxDef::from_fn(BoxSig::parse("inc", &["x"], &[&["x"]]), |r| {
-        let x = r.field("x").and_then(|v| v.as_int()).unwrap_or(0);
-        Ok(BoxOutput::one(
-            Record::new().with_field("x", Value::Int(x + 1)),
-            Work::ops(1),
-        ))
-    }))
+    NetSpec::Box(BoxDef::from_fn(
+        BoxSig::parse("inc", &["x"], &[&["x"]]),
+        |r| {
+            let x = r.field("x").and_then(|v| v.as_int()).unwrap_or(0);
+            Ok(BoxOutput::one(
+                Record::new().with_field("x", Value::Int(x + 1)),
+                Work::ops(1),
+            ))
+        },
+    ))
 }
 
 fn records() -> Vec<Record> {
     (0..RECORDS)
-        .map(|i| Record::new().with_field("x", Value::Int(i)).with_tag("k", i % 4))
+        .map(|i| {
+            Record::new()
+                .with_field("x", Value::Int(i))
+                .with_tag("k", i % 4)
+        })
         .collect()
 }
 
@@ -114,6 +137,7 @@ fn main() {
     let mut handoff_path = "BENCH_batched_handoff.json".to_owned();
     let mut streaming_path = "BENCH_streaming.json".to_owned();
     let mut fault_path = "BENCH_fault_overhead.json".to_owned();
+    let mut fusion_path = "BENCH_fusion.json".to_owned();
     let mut baseline_path = "BENCH_threaded_vs_sched.json".to_owned();
     let mut samples = 20usize;
     let mut args = std::env::args().skip(1);
@@ -125,6 +149,7 @@ fn main() {
                 streaming_path = args.next().expect("--streaming-out needs a path");
             }
             "--fault-out" => fault_path = args.next().expect("--fault-out needs a path"),
+            "--fusion-out" => fusion_path = args.next().expect("--fusion-out needs a path"),
             "--baseline" => baseline_path = args.next().expect("--baseline needs a path"),
             "--samples" => {
                 samples = args
@@ -133,7 +158,7 @@ fn main() {
                     .expect("--samples needs a number");
             }
             other => panic!(
-                "unknown flag `{other}` (--out PATH, --handoff-out PATH, --streaming-out PATH, --fault-out PATH, --baseline PATH, --samples N)"
+                "unknown flag `{other}` (--out PATH, --handoff-out PATH, --streaming-out PATH, --fault-out PATH, --fusion-out PATH, --baseline PATH, --samples N)"
             ),
         }
     }
@@ -141,7 +166,12 @@ fn main() {
     // to the same path).
     let baseline_json = std::fs::read_to_string(&baseline_path).unwrap_or_default();
 
-    let config = EngineConfig::default();
+    // Fusion off for the trajectory sections (see the module docs); the
+    // fused-vs-unfused comparison below constructs its own config.
+    let config = EngineConfig {
+        fuse: false,
+        ..EngineConfig::default()
+    };
     let mut rows: Vec<Row> = Vec::new();
     for depth in [1usize, 4, 16] {
         let spec = NetSpec::pipeline((0..depth).map(|_| inc_box()));
@@ -164,14 +194,20 @@ fn main() {
         };
         eprintln!(
             "{:>16}: threaded {:>10.3?}  sched {:>10.3?}  speedup {:.2}x",
-            row.topology, row.threaded, row.sched, row.speedup(),
+            row.topology,
+            row.threaded,
+            row.sched,
+            row.speedup(),
         );
         rows.push(row);
     }
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"benchmark\": \"combinator serial pipelines, {RECORDS}-record batches\",");
+    let _ = writeln!(
+        json,
+        "  \"benchmark\": \"combinator serial pipelines, {RECORDS}-record batches\","
+    );
     let _ = writeln!(json, "  \"workers\": {},", config.workers);
     let _ = writeln!(json, "  \"samples_per_point\": {samples},");
     json.push_str("  \"results\": [\n");
@@ -407,9 +443,7 @@ fn main() {
 
     let d16_stream = streaming_rows
         .iter()
-        .find(|r| {
-            r.engine == "sched" && r.mode == "interleaved" && r.topology == "serial_depth=16"
-        })
+        .find(|r| r.engine == "sched" && r.mode == "interleaved" && r.topology == "serial_depth=16")
         .expect("sched/interleaved depth-16 is in the streaming rows");
     println!(
         "serial_depth=16: streaming sched (interleaved) runs at {:.2}x batch-sched throughput (CI gate: >= 0.95x)",
@@ -490,7 +524,10 @@ fn main() {
         json,
         "  \"gate\": \"failfast_vs_committed_throughput >= 0.97 locally (< 3% overhead with the machinery disabled); CI gates the cross-machine backstop >= 0.85, same-run overhead_vs_failfast <= 1.05 for deadline_generous, and <= 1.30 for the lenient policies (their one-clone-per-record cost)\",",
     );
-    let _ = writeln!(json, "  \"failfast_vs_committed_throughput\": {vs_committed},");
+    let _ = writeln!(
+        json,
+        "  \"failfast_vs_committed_throughput\": {vs_committed},"
+    );
     json.push_str("  \"results\": [\n");
     for (i, row) in fault_rows.iter().enumerate() {
         let _ = writeln!(
@@ -512,4 +549,115 @@ fn main() {
             ns as f64 / failfast_min.as_nanos() as f64
         );
     }
+
+    // ---- Operator fusion: fused vs unfused scheduled engine ----
+    //
+    // The same fault-free pipelines, same pool, same hand-off batch —
+    // the only difference is the planner collapsing the SISO box run
+    // into one fused-chain task. min-of-samples is the gated statistic.
+    struct FusionRow {
+        topology: String,
+        fused_min: Duration,
+        fused_median: Duration,
+        unfused_min: Duration,
+        unfused_median: Duration,
+    }
+    /// (median, min) pairs for two alternating measurees. The fusion
+    /// gate is a *ratio* of the two, so the samples are interleaved —
+    /// A, B, A, B, … — rather than block-sampled: slow machine drift
+    /// (thermal, scheduler mood) then hits both sides equally instead
+    /// of skewing whichever block ran during the bad stretch.
+    #[allow(clippy::type_complexity)]
+    fn med_min_paired(
+        samples: usize,
+        mut a: impl FnMut(),
+        mut b: impl FnMut(),
+    ) -> ((Duration, Duration), (Duration, Duration)) {
+        a();
+        b();
+        let mut ta: Vec<Duration> = Vec::with_capacity(samples);
+        let mut tb: Vec<Duration> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            a();
+            ta.push(t0.elapsed());
+            let t0 = Instant::now();
+            b();
+            tb.push(t0.elapsed());
+        }
+        ta.sort_unstable();
+        tb.sort_unstable();
+        ((ta[ta.len() / 2], ta[0]), (tb[tb.len() / 2], tb[0]))
+    }
+    let mut fusion_rows: Vec<FusionRow> = Vec::new();
+    for depth in [4usize, 16] {
+        let topology = format!("serial_depth={depth}");
+        let spec = NetSpec::pipeline((0..depth).map(|_| inc_box()));
+        let fused_net = SchedNet::with_config(
+            spec.clone(),
+            EngineConfig {
+                fuse: true,
+                ..config
+            },
+        );
+        let unfused_net = SchedNet::with_config(spec, config);
+        let ((fused_median, fused_min), (unfused_median, unfused_min)) = med_min_paired(
+            samples,
+            || {
+                let outs = fused_net.run_batch(records()).unwrap();
+                assert_eq!(outs.len(), RECORDS as usize);
+            },
+            || {
+                let outs = unfused_net.run_batch(records()).unwrap();
+                assert_eq!(outs.len(), RECORDS as usize);
+            },
+        );
+        eprintln!(
+            "{topology:>16}: fused min {fused_min:>10.3?}  unfused min {unfused_min:>10.3?}  speedup {:.2}x",
+            unfused_min.as_secs_f64() / fused_min.as_secs_f64(),
+        );
+        fusion_rows.push(FusionRow {
+            topology,
+            fused_min,
+            fused_median,
+            unfused_min,
+            unfused_median,
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"benchmark\": \"SISO-chain operator fusion on vs off, scheduled engine, combinator serial pipelines, {RECORDS}-record batches\",",
+    );
+    let _ = writeln!(json, "  \"workers\": {},", config.workers);
+    let _ = writeln!(json, "  \"samples_per_point\": {samples},");
+    let _ = writeln!(
+        json,
+        "  \"gate\": \"speedup_fused_over_unfused on serial_depth=16 must be >= 1.5 locally; CI gates the cross-machine backstop >= 1.2 (min-of-samples is the gated statistic)\",",
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, row) in fusion_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"topology\": \"{}\", \"fused_min_ns\": {}, \"fused_median_ns\": {}, \"unfused_min_ns\": {}, \"unfused_median_ns\": {}, \"speedup_fused_over_unfused\": {:.3}}}{}",
+            row.topology,
+            row.fused_min.as_nanos(),
+            row.fused_median.as_nanos(),
+            row.unfused_min.as_nanos(),
+            row.unfused_median.as_nanos(),
+            row.unfused_min.as_nanos() as f64 / row.fused_min.as_nanos() as f64,
+            if i + 1 < fusion_rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&fusion_path, &json).expect("write fusion json");
+    println!("wrote {fusion_path}");
+
+    let d16_fusion = fusion_rows.last().expect("two fusion rows");
+    println!(
+        "serial_depth=16: fused chain runs at {:.2}x unfused scheduled throughput (local gate: >= 1.5x; CI backstop: >= 1.2x)",
+        d16_fusion.unfused_min.as_nanos() as f64 / d16_fusion.fused_min.as_nanos() as f64
+    );
 }

@@ -11,8 +11,8 @@
 //! cargo run -p snet-bench --release --bin fig5 -- block --csv
 //! ```
 
-use snet_bench::{secs, FigureOpts};
 use snet_apps::{run_snet_cluster, NetVariant, Schedule, SnetConfig};
+use snet_bench::{secs, FigureOpts};
 use snet_dist::OverheadModel;
 
 const NODES: usize = 8;

@@ -12,8 +12,8 @@
 //! cargo run -p snet-bench --release --bin fig6
 //! ```
 
-use snet_bench::{secs, FigureOpts};
 use snet_apps::{run_mpi_raytrace, run_snet_cluster, SnetConfig};
+use snet_bench::{secs, FigureOpts};
 use snet_dist::OverheadModel;
 
 const NODE_COUNTS: [usize; 5] = [1, 2, 4, 6, 8];
@@ -43,9 +43,8 @@ fn main() {
         assert_eq!(stat.image, reference, "static image mismatch");
         rows[0][ni] = stat.makespan_secs;
 
-        let stat2 =
-            run_snet_cluster(&wl, &SnetConfig::fig6_static_2cpu(nodes), cluster, overhead)
-                .expect("static 2cpu run");
+        let stat2 = run_snet_cluster(&wl, &SnetConfig::fig6_static_2cpu(nodes), cluster, overhead)
+            .expect("static 2cpu run");
         assert_eq!(stat2.image, reference, "static-2cpu image mismatch");
         rows[1][ni] = stat2.makespan_secs;
 

@@ -19,8 +19,14 @@ use crate::fault::FailurePolicy;
 use crate::label::Label;
 use crate::record::Record;
 use crate::rtype::{RType, Variant};
+use smallvec::SmallVec;
 use std::fmt;
 use std::sync::Arc;
+
+/// Records emitted by one step. Every engine produces one of these per
+/// record per component, and the overwhelmingly common case is a single
+/// output record — the inline capacity keeps that case off the heap.
+pub type RecordVec = SmallVec<[Record; 1]>;
 
 /// One entry of an ordered box signature.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -175,23 +181,26 @@ impl std::ops::AddAssign for Work {
 #[derive(Debug, Default)]
 pub struct BoxOutput {
     /// Produced records in emission order.
-    pub records: Vec<Record>,
+    pub records: RecordVec,
     /// Abstract work for the simulator's cost model.
     pub work: Work,
 }
 
 impl BoxOutput {
-    /// Single-record output with work.
+    /// Single-record output with work (no heap allocation).
     pub fn one(rec: Record, work: Work) -> BoxOutput {
         BoxOutput {
-            records: vec![rec],
+            records: SmallVec::from_buf([rec]),
             work,
         }
     }
 
     /// Multi-record output with work.
     pub fn many(records: Vec<Record>, work: Work) -> BoxOutput {
-        BoxOutput { records, work }
+        BoxOutput {
+            records: SmallVec::from_vec(records),
+            work,
+        }
     }
 }
 
@@ -223,14 +232,22 @@ pub struct BoxDef {
     /// Per-box failure-policy override; `None` follows the engine's
     /// configured policy.
     pub policy: Option<FailurePolicy>,
+    /// `sig.input_variant()` cached at construction. Rebuilding the
+    /// variant allocates label sets, and every engine consults it once
+    /// per record per box — the single hottest line in the workspace.
+    /// `sig` is never mutated after construction (every constructor
+    /// funnels through `new`/`from_fn`), so the cache cannot go stale.
+    iv: Variant,
 }
 
 impl BoxDef {
     pub fn new(sig: BoxSig, func: Arc<dyn BoxFn>) -> BoxDef {
+        let iv = sig.input_variant();
         BoxDef {
             sig,
             func,
             policy: None,
+            iv,
         }
     }
 
@@ -239,11 +256,13 @@ impl BoxDef {
     where
         F: Fn(&Record) -> Result<BoxOutput, SnetError> + Send + Sync + 'static,
     {
-        BoxDef {
-            sig,
-            func: Arc::new(f),
-            policy: None,
-        }
+        BoxDef::new(sig, Arc::new(f))
+    }
+
+    /// The box's input variant, cached at construction (the per-record
+    /// hot path must not rebuild label sets).
+    pub fn input_variant(&self) -> &Variant {
+        &self.iv
     }
 
     /// Overrides the engine-level failure policy for this box only.
@@ -271,20 +290,13 @@ mod tests {
 
     #[test]
     fn signature_parsing_and_types() {
-        let sig = BoxSig::parse(
-            "foo",
-            &["a", "<b>"],
-            &[&["c"], &["c", "d", "<e>"]],
-        );
+        let sig = BoxSig::parse("foo", &["a", "<b>"], &[&["c"], &["c", "d", "<e>"]]);
         let iv = sig.input_variant();
         assert!(iv.has_field(Label::new("a")));
         assert!(iv.has_tag(Label::new("b")));
         let ot = sig.output_type();
         assert_eq!(ot.variants().len(), 2);
-        assert_eq!(
-            sig.to_string(),
-            "box foo ((a, <b>) -> (c) | (c, d, <e>))"
-        );
+        assert_eq!(sig.to_string(), "box foo ((a, <b>) -> (c) | (c, d, <e>))");
     }
 
     #[test]

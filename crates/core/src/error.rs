@@ -65,7 +65,10 @@ impl fmt::Display for SnetError {
             }
             SnetError::BoxFailure { name, cause } => write!(f, "box {name} failed: {cause}"),
             SnetError::OutputMismatch { name, record } => {
-                write!(f, "box {name} emitted a record outside its output type: {record}")
+                write!(
+                    f,
+                    "box {name} emitted a record outside its output type: {record}"
+                )
             }
             SnetError::Parse { line, col, msg } => {
                 write!(f, "parse error at {line}:{col}: {msg}")

@@ -259,7 +259,11 @@ mod tests {
     #[test]
     fn conditional() {
         let e = TagExpr::Cond(
-            Box::new(TagExpr::bin(BinOp::Lt, TagExpr::tag("cnt"), TagExpr::tag("tasks"))),
+            Box::new(TagExpr::bin(
+                BinOp::Lt,
+                TagExpr::tag("cnt"),
+                TagExpr::tag("tasks"),
+            )),
             Box::new(TagExpr::Const(100)),
             Box::new(TagExpr::Const(200)),
         );

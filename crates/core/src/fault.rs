@@ -159,15 +159,15 @@ pub fn policy_step(
     rec: Record,
     mut attempt: impl FnMut(Record) -> Result<StepOut, SnetError>,
 ) -> StepVerdict {
-    let mut guarded = |rec: Record| match std::panic::catch_unwind(
-        std::panic::AssertUnwindSafe(|| attempt(rec)),
-    ) {
-        Ok(res) => res,
-        Err(payload) => Err(SnetError::BoxFailure {
-            name: component.to_owned(),
-            cause: format!("panicked: {}", panic_cause(payload.as_ref())),
-        }),
-    };
+    let mut guarded =
+        |rec: Record| match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| attempt(rec)))
+        {
+            Ok(res) => res,
+            Err(payload) => Err(SnetError::BoxFailure {
+                name: component.to_owned(),
+                cause: format!("panicked: {}", panic_cause(payload.as_ref())),
+            }),
+        };
     match policy {
         FailurePolicy::FailFast => match guarded(rec) {
             Ok(step) => StepVerdict::Out { step, attempts: 1 },

@@ -199,7 +199,9 @@ mod tests {
             Pattern::any(),
             vec![OutputTemplate::empty().set_tag("cnt", TagExpr::Const(1))],
         );
-        let input = Record::new().with_field("pic", Value::Int(9)).with_tag("tasks", 8);
+        let input = Record::new()
+            .with_field("pic", Value::Int(9))
+            .with_tag("tasks", 8);
         let outs = f.apply(&input).unwrap();
         assert_eq!(outs.len(), 1);
         assert_eq!(outs[0].tag("cnt"), Some(1));
@@ -217,7 +219,9 @@ mod tests {
                 TagExpr::bin(BinOp::Add, TagExpr::tag("cnt"), TagExpr::Const(1)),
             )],
         );
-        let input = Record::new().with_tag("cnt", 3).with_field("pic", Value::Unit);
+        let input = Record::new()
+            .with_tag("cnt", 3)
+            .with_field("pic", Value::Unit);
         let outs = f.apply(&input).unwrap();
         assert_eq!(outs[0].tag("cnt"), Some(4));
         assert!(outs[0].has_field("pic"));
@@ -254,7 +258,9 @@ mod tests {
     fn identity_filter_is_identity() {
         let f = FilterSpec::identity();
         assert!(f.is_identity());
-        let input = Record::new().with_field("x", Value::Int(1)).with_tag("t", 2);
+        let input = Record::new()
+            .with_field("x", Value::Int(1))
+            .with_tag("t", 2);
         let outs = f.apply(&input).unwrap();
         assert_eq!(outs, vec![input]);
     }
@@ -265,7 +271,9 @@ mod tests {
             Pattern::from_variant(Variant::parse_labels(&["a"], &[])),
             vec![OutputTemplate::empty().rename_field("b", "a")],
         );
-        let outs = f.apply(&Record::new().with_field("a", Value::Int(1))).unwrap();
+        let outs = f
+            .apply(&Record::new().with_field("a", Value::Int(1)))
+            .unwrap();
         assert!(outs[0].has_field("b"));
         assert!(!outs[0].has_field("a")); // consumed, not inherited
     }

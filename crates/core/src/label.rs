@@ -213,8 +213,7 @@ mod tests {
         for _ in 0..1000 {
             assert_eq!(Label::new(long), first);
         }
-        let from_other_thread =
-            std::thread::spawn(move || Label::new(long)).join().unwrap();
+        let from_other_thread = std::thread::spawn(move || Label::new(long)).join().unwrap();
         assert_eq!(from_other_thread, first);
         assert_eq!(first.as_str(), long);
     }
@@ -240,8 +239,7 @@ mod tests {
                 })
             })
             .collect();
-        let per_thread: Vec<Vec<u32>> =
-            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let per_thread: Vec<Vec<u32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         for ids in &per_thread {
             assert_eq!(ids, &per_thread[0], "every thread must see the same ids");
         }

@@ -36,6 +36,7 @@ pub mod expr;
 pub mod fault;
 pub mod filter;
 pub mod flow;
+pub mod fusion;
 pub mod label;
 pub mod pattern;
 pub mod record;
@@ -45,11 +46,12 @@ pub mod sync;
 pub mod topology;
 pub mod value;
 
-pub use boxdef::{BoxFn, BoxOutput, BoxSig, SigItem, Work};
+pub use boxdef::{BoxFn, BoxOutput, BoxSig, RecordVec, SigItem, Work};
 pub use error::{panic_cause, SnetError};
 pub use expr::{BinOp, TagExpr, UnOp};
 pub use fault::{DeadLetter, FailurePolicy, FailureReport, StepVerdict};
 pub use filter::{FilterSpec, OutItem, OutputTemplate};
+pub use fusion::{fuse, ChainRunner, ChainStage, ChainTally};
 pub use label::Label;
 pub use pattern::Pattern;
 pub use record::Record;

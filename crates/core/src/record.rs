@@ -210,11 +210,7 @@ impl Record {
     /// Approximate wire size: payload bytes plus a fixed per-label framing
     /// overhead (label id + discriminant ≈ 8 bytes, tag payload 8 bytes).
     pub fn approx_bytes(&self) -> usize {
-        let fields: usize = self
-            .fields
-            .iter()
-            .map(|(_, v)| v.approx_bytes() + 8)
-            .sum();
+        let fields: usize = self.fields.iter().map(|(_, v)| v.approx_bytes() + 8).sum();
         let tags = self.tags.len() * 16;
         fields + tags
     }
@@ -228,9 +224,9 @@ impl fmt::Debug for Record {
         // processes regardless of interning order. Printing is cold;
         // the sort costs nothing that matters.
         let mut fields: Vec<(Label, &Value)> = self.fields().collect();
-        fields.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        fields.sort_unstable_by_key(|&(a, _)| a);
         let mut tags: Vec<(Label, i64)> = self.tags().collect();
-        tags.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        tags.sort_unstable_by_key(|&(a, _)| a);
         write!(f, "{{")?;
         let mut first = true;
         for (l, v) in fields {
@@ -304,7 +300,9 @@ mod tests {
 
     #[test]
     fn absorb_does_not_overwrite() {
-        let mut a = Record::new().with_tag("cnt", 1).with_field("pic", Value::Int(10));
+        let mut a = Record::new()
+            .with_tag("cnt", 1)
+            .with_field("pic", Value::Int(10));
         let b = Record::new()
             .with_tag("cnt", 99)
             .with_tag("tasks", 8)
@@ -348,7 +346,9 @@ mod tests {
 
     #[test]
     fn debug_format_is_stable() {
-        let r = Record::new().with_field("a", Value::Int(1)).with_tag("t", 2);
+        let r = Record::new()
+            .with_field("a", Value::Int(1))
+            .with_tag("t", 2);
         assert_eq!(format!("{r:?}"), "{a=1, <t=2>}");
     }
 

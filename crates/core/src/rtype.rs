@@ -182,7 +182,10 @@ impl RType {
 
     /// Best match score of a record against any variant of this type.
     pub fn match_score(&self, rec: &Record) -> Option<usize> {
-        self.variants.iter().filter_map(|v| v.match_score(rec)).max()
+        self.variants
+            .iter()
+            .filter_map(|v| v.match_score(rec))
+            .max()
     }
 
     /// Does any variant accept the record?
@@ -294,7 +297,9 @@ mod tests {
 
     #[test]
     fn best_score_across_variants() {
-        let rec = Record::new().with_field("c", Value::Unit).with_field("d", Value::Unit);
+        let rec = Record::new()
+            .with_field("c", Value::Unit)
+            .with_field("d", Value::Unit);
         let t = RType::new([v(&["c"], &[]), v(&["c", "d"], &[])]);
         assert_eq!(t.match_score(&rec), Some(2));
     }

@@ -6,7 +6,7 @@
 //! semantically. Each function maps *one* input record to the records a
 //! component emits in response, plus the abstract work performed.
 
-use crate::boxdef::{BoxDef, Work};
+use crate::boxdef::{BoxDef, RecordVec, Work};
 use crate::error::SnetError;
 use crate::filter::FilterSpec;
 use crate::flow;
@@ -17,8 +17,8 @@ use std::fmt;
 /// Result of feeding one record to a stateless component.
 #[derive(Debug)]
 pub struct StepOut {
-    /// Emitted records, in order.
-    pub records: Vec<Record>,
+    /// Emitted records, in order (inline for the common single record).
+    pub records: RecordVec,
     /// Abstract work performed (box compute; zero for glue).
     pub work: Work,
     /// Whether the record actually matched the component (false means it
@@ -29,7 +29,7 @@ pub struct StepOut {
 impl StepOut {
     fn passthrough(rec: Record) -> StepOut {
         StepOut {
-            records: vec![rec],
+            records: RecordVec::from_buf([rec]),
             work: Work::ZERO,
             matched: false,
         }
@@ -55,7 +55,7 @@ pub enum MismatchPolicy {
 /// consumed/rest, invoke the function on the consumed part, flow-inherit
 /// the rest into every output. Otherwise apply `policy`.
 pub fn box_step(def: &BoxDef, rec: Record, policy: MismatchPolicy) -> Result<StepOut, SnetError> {
-    let iv = def.sig.input_variant();
+    let iv = def.input_variant();
     if !iv.accepts(&rec) {
         return match policy {
             MismatchPolicy::Forward => Ok(StepOut::passthrough(rec)),
@@ -65,14 +65,27 @@ pub fn box_step(def: &BoxDef, rec: Record, policy: MismatchPolicy) -> Result<Ste
             }),
         };
     }
-    let (consumed, rest) = flow::split(&rec, &iv);
-    let out = def.func.call(&consumed).map_err(|e| match e {
+    let map_fail = |e| match e {
         SnetError::BoxFailure { .. } => e,
         other => SnetError::BoxFailure {
             name: def.sig.name.clone(),
             cause: other.to_string(),
         },
-    })?;
+    };
+    // Exact match: `accepts` proved the record a per-namespace superset of
+    // the variant, so equal totals mean the labels coincide exactly — the
+    // consumed part *is* the record and the rest is empty. Skip the two
+    // record builds in `flow::split` and the inheritance walk.
+    if rec.len() == iv.arity() {
+        let out = def.func.call(&rec).map_err(map_fail)?;
+        return Ok(StepOut {
+            records: out.records,
+            work: out.work,
+            matched: true,
+        });
+    }
+    let (consumed, rest) = flow::split(&rec, iv);
+    let out = def.func.call(&consumed).map_err(map_fail)?;
     let mut records = out.records;
     flow::inherit_all(&mut records, &rest);
     Ok(StepOut {
@@ -97,7 +110,7 @@ pub fn filter_step(
             }),
         };
     }
-    let records = spec.apply(&rec)?;
+    let records = RecordVec::from_vec(spec.apply(&rec)?);
     Ok(StepOut {
         records,
         work: Work::ZERO,
@@ -161,17 +174,14 @@ mod tests {
     use crate::value::Value;
 
     fn adder_box() -> BoxDef {
-        BoxDef::from_fn(
-            BoxSig::parse("adder", &["x", "<k>"], &[&["y"]]),
-            |input| {
-                let x = input.field("x").and_then(|v| v.as_int()).unwrap();
-                let k = input.tag("k").unwrap();
-                Ok(BoxOutput::one(
-                    Record::new().with_field("y", Value::Int(x + k)),
-                    Work::ops(1),
-                ))
-            },
-        )
+        BoxDef::from_fn(BoxSig::parse("adder", &["x", "<k>"], &[&["y"]]), |input| {
+            let x = input.field("x").and_then(|v| v.as_int()).unwrap();
+            let k = input.tag("k").unwrap();
+            Ok(BoxOutput::one(
+                Record::new().with_field("y", Value::Int(x + k)),
+                Work::ops(1),
+            ))
+        })
     }
 
     #[test]
@@ -196,7 +206,7 @@ mod tests {
         let rec = Record::new().with_tag("other", 1);
         let out = box_step(&adder_box(), rec.clone(), MismatchPolicy::Forward).unwrap();
         assert!(!out.matched);
-        assert_eq!(out.records, vec![rec]);
+        assert_eq!(out.records.to_vec(), vec![rec]);
     }
 
     #[test]
@@ -232,7 +242,7 @@ mod tests {
         let rec = Record::new().with_field("b", Value::Unit);
         let out = filter_step(&f, rec.clone(), MismatchPolicy::Forward).unwrap();
         assert!(!out.matched);
-        assert_eq!(out.records, vec![rec]);
+        assert_eq!(out.records.to_vec(), vec![rec]);
     }
 
     #[test]

@@ -137,8 +137,12 @@ mod tests {
     fn stores_then_fires() {
         let spec = pic_chunk_cell();
         let mut st = spec.new_state();
-        let pic = Record::new().with_field("pic", Value::Int(1)).with_tag("cnt", 1);
-        let chunk = Record::new().with_field("chunk", Value::Int(2)).with_tag("tasks", 8);
+        let pic = Record::new()
+            .with_field("pic", Value::Int(1))
+            .with_tag("cnt", 1);
+        let chunk = Record::new()
+            .with_field("chunk", Value::Int(2))
+            .with_tag("tasks", 8);
         assert_eq!(st.push(&spec, pic), SyncOutcome::Stored);
         match st.push(&spec, chunk) {
             SyncOutcome::Fired(m) => {
@@ -186,8 +190,12 @@ mod tests {
     fn merge_precedence_earlier_pattern_wins() {
         let spec = pic_chunk_cell();
         let mut st = spec.new_state();
-        let pic = Record::new().with_field("pic", Value::Unit).with_tag("shared", 1);
-        let chunk = Record::new().with_field("chunk", Value::Unit).with_tag("shared", 2);
+        let pic = Record::new()
+            .with_field("pic", Value::Unit)
+            .with_tag("shared", 1);
+        let chunk = Record::new()
+            .with_field("chunk", Value::Unit)
+            .with_tag("shared", 2);
         st.push(&spec, pic);
         match st.push(&spec, chunk) {
             SyncOutcome::Fired(m) => assert_eq!(m.tag("shared"), Some(1)),

@@ -18,6 +18,7 @@
 
 use crate::boxdef::BoxDef;
 use crate::filter::FilterSpec;
+use crate::fusion::ChainStage;
 use crate::label::Label;
 use crate::pattern::Pattern;
 use crate::sync::SyncSpec;
@@ -73,6 +74,14 @@ pub enum NetSpec {
         name: String,
         /// The body.
         body: Box<NetSpec>,
+    },
+    /// A maximal static SISO chain of boxes/filters collapsed into one
+    /// component by [`crate::fusion::fuse`]. Semantically identical to
+    /// the serial composition of its stages; operationally it runs as
+    /// a single task with zero mailbox hops between stages.
+    FusedChain {
+        /// The original components, in pipeline order (length ≥ 2).
+        stages: Vec<ChainStage>,
     },
 }
 
@@ -154,10 +163,9 @@ impl NetSpec {
             NetSpec::Filter(f) => vec![f.pattern.clone()],
             NetSpec::Sync(s) => s.patterns.clone(),
             NetSpec::Serial(a, _) => a.input_patterns(),
-            NetSpec::Parallel { branches, .. } => branches
-                .iter()
-                .flat_map(|b| b.input_patterns())
-                .collect(),
+            NetSpec::Parallel { branches, .. } => {
+                branches.iter().flat_map(|b| b.input_patterns()).collect()
+            }
             NetSpec::Star { body, exit, .. } => {
                 let mut ps = body.input_patterns();
                 ps.push(exit.clone());
@@ -174,6 +182,11 @@ impl NetSpec {
                     .collect()
             }
             NetSpec::At { body, .. } | NetSpec::Named { body, .. } => body.input_patterns(),
+            // Like Serial: the head stage decides what the chain attracts.
+            NetSpec::FusedChain { stages } => stages
+                .first()
+                .map(|s| vec![s.input_pattern()])
+                .unwrap_or_default(),
         }
     }
 
@@ -202,6 +215,10 @@ impl NetSpec {
             | NetSpec::Split { body, .. }
             | NetSpec::At { body, .. }
             | NetSpec::Named { body, .. } => body.diverts_under(engine_policy),
+            NetSpec::FusedChain { stages } => stages.iter().any(|s| match s {
+                ChainStage::Box(b) => b.policy == Some(DeadLetter),
+                ChainStage::Filter(_) => false,
+            }),
         }
     }
 
@@ -218,6 +235,9 @@ impl NetSpec {
             | NetSpec::Split { body, .. }
             | NetSpec::At { body, .. }
             | NetSpec::Named { body, .. } => body.component_count(),
+            // Counts original components: fusion must not change the
+            // static description's size.
+            NetSpec::FusedChain { stages } => stages.len(),
         }
     }
 
@@ -244,6 +264,15 @@ impl NetSpec {
             | NetSpec::Split { body, .. }
             | NetSpec::At { body, .. }
             | NetSpec::Named { body, .. } => body.box_names(out),
+            NetSpec::FusedChain { stages } => {
+                for s in stages {
+                    if let ChainStage::Box(b) = s {
+                        if !out.contains(&b.sig.name) {
+                            out.push(b.sig.name.clone());
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -274,6 +303,16 @@ impl fmt::Display for NetSpec {
             }
             NetSpec::At { body, node } => write!(f, "({body})@{node}"),
             NetSpec::Named { name, .. } => write!(f, "{name}"),
+            NetSpec::FusedChain { stages } => {
+                write!(f, "⟨")?;
+                for (i, s) in stages.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " .. ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                write!(f, "⟩")
+            }
         }
     }
 }
@@ -287,18 +326,24 @@ mod tests {
     use crate::value::Value;
 
     fn dummy_box(name: &str, input: &[&str], outputs: &[&[&str]]) -> NetSpec {
-        NetSpec::Box(BoxDef::from_fn(
-            BoxSig::parse(name, input, outputs),
-            |_r| Ok(BoxOutput::one(Record::new(), Work::ZERO)),
-        ))
+        NetSpec::Box(BoxDef::from_fn(BoxSig::parse(name, input, outputs), |_r| {
+            Ok(BoxOutput::one(Record::new(), Work::ZERO))
+        }))
     }
 
     #[test]
     fn static_net_display_matches_paper_shape() {
         // splitter .. solver!@<node> .. merger .. genImg  (Fig 2)
         let net = NetSpec::pipeline([
-            dummy_box("splitter", &["scene", "<nodes>", "<tasks>"], &[&["scene", "sect"]]),
-            NetSpec::split_placed(dummy_box("solver", &["scene", "sect"], &[&["chunk"]]), "node"),
+            dummy_box(
+                "splitter",
+                &["scene", "<nodes>", "<tasks>"],
+                &[&["scene", "sect"]],
+            ),
+            NetSpec::split_placed(
+                dummy_box("solver", &["scene", "sect"], &[&["chunk"]]),
+                "node",
+            ),
             NetSpec::named("merger", NetSpec::identity()),
             dummy_box("genImg", &["pic"], &[&[]]),
         ]);
@@ -341,10 +386,7 @@ mod tests {
 
     #[test]
     fn serial_takes_left_patterns() {
-        let net = NetSpec::serial(
-            NetSpec::identity(),
-            dummy_box("b", &["x"], &[&["y"]]),
-        );
+        let net = NetSpec::serial(NetSpec::identity(), dummy_box("b", &["x"], &[&["y"]]));
         let ps = net.input_patterns();
         assert_eq!(ps.len(), 1);
         assert!(ps[0].variant.is_empty()); // identity filter pattern

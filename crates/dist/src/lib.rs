@@ -27,7 +27,7 @@
 use parking_lot::Mutex;
 use snet_core::semantics::{self, MismatchPolicy};
 use snet_core::value::AnyData;
-use snet_core::{NetSpec, Record, SnetError, SyncOutcome, Value};
+use snet_core::{ChainStage, NetSpec, Record, SnetError, SyncOutcome, Value};
 use snet_simnet::{Cluster, ClusterSpec, SimCtx, SimError, SimHandle, SimQueue, Simulation};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -257,9 +257,10 @@ impl Env {
                     // Pointer hand-off within a node.
                     continue;
                 }
-                let mut dst = self.resident[to].lock();
-                if !dst.contains_key(&key) {
-                    dst.insert(key, Arc::clone(d));
+                if let std::collections::hash_map::Entry::Vacant(e) =
+                    self.resident[to].lock().entry(key)
+                {
+                    e.insert(Arc::clone(d));
                     bytes += v.approx_bytes();
                 }
                 continue;
@@ -402,11 +403,7 @@ pub fn run_on_cluster(
         stats: env.stats.snapshot(),
         events: report.events,
         processes: report.processes,
-        cpu_busy_secs: cluster
-            .cpu_busy()
-            .iter()
-            .map(|d| d.as_secs_f64())
-            .collect(),
+        cpu_busy_secs: cluster.cpu_busy().iter().map(|d| d.as_secs_f64()).collect(),
     })
 }
 
@@ -415,6 +412,17 @@ pub fn run_on_cluster(
 /// placement combinator overrides it.
 fn build(spec: &NetSpec, input: SimQueue<Record>, output: Tx, node: usize, env: &Arc<Env>) {
     match spec {
+        NetSpec::FusedChain { stages } => {
+            // Fusion is an execution-plan artifact of the shared-memory
+            // engines; the simulated cluster models one process per
+            // component, so a chain expands back to the serial
+            // composition it denotes (same processes, same hop costs).
+            let serial = NetSpec::pipeline(stages.iter().map(|s| match s {
+                ChainStage::Box(def) => NetSpec::Box(def.clone()),
+                ChainStage::Filter(f) => NetSpec::Filter(f.clone()),
+            }));
+            build(&serial, input, output, node, env);
+        }
         NetSpec::Box(def) => {
             let def = def.clone();
             let env2 = Arc::clone(env);
@@ -533,25 +541,26 @@ fn build(spec: &NetSpec, input: SimQueue<Record>, output: Tx, node: usize, env: 
                 patterns.push(branch.input_patterns());
             }
             let env2 = Arc::clone(env);
-            env.handle.spawn(&format!("par-dispatch@{node}"), move |ctx| {
-                while let Some(rec) = input.recv(ctx) {
-                    let winners = semantics::matching_branches(&patterns, &rec);
-                    match winners.first() {
-                        Some(&i) => {
-                            Stats::add(&env2.stats.dispatched, 1);
-                            env2.send(ctx, node, &branch_txs[i], rec);
-                        }
-                        None => {
-                            Stats::add(&env2.stats.passthroughs, 1);
-                            env2.send(ctx, node, &output, rec);
+            env.handle
+                .spawn(&format!("par-dispatch@{node}"), move |ctx| {
+                    while let Some(rec) = input.recv(ctx) {
+                        let winners = semantics::matching_branches(&patterns, &rec);
+                        match winners.first() {
+                            Some(&i) => {
+                                Stats::add(&env2.stats.dispatched, 1);
+                                env2.send(ctx, node, &branch_txs[i], rec);
+                            }
+                            None => {
+                                Stats::add(&env2.stats.passthroughs, 1);
+                                env2.send(ctx, node, &output, rec);
+                            }
                         }
                     }
-                }
-                for tx in branch_txs {
-                    tx.close();
-                }
-                output.close();
-            });
+                    for tx in branch_txs {
+                        tx.close();
+                    }
+                    output.close();
+                });
         }
         NetSpec::Star { body, exit, .. } => {
             build_star_tap(body, exit.clone(), input, output, node, env);
@@ -561,32 +570,34 @@ fn build(spec: &NetSpec, input: SimQueue<Record>, output: Tx, node: usize, env: 
             let tag = *tag;
             let placed = *placed;
             let env2 = Arc::clone(env);
-            env.handle.spawn(&format!("split-dispatch@{node}"), move |ctx| {
-                // BTreeMap: replica creation and teardown order must be
-                // deterministic for reproducible event logs.
-                let mut replicas: BTreeMap<i64, Tx> = BTreeMap::new();
-                while let Some(rec) = input.recv(ctx) {
-                    let Some(value) = rec.tag(tag) else {
-                        env2.fail(SnetError::MissingTag(tag));
-                    };
-                    if !replicas.contains_key(&value) {
-                        Stats::add(&env2.stats.split_replicas, 1);
-                        // `!@<tag>`: the tag value names the hosting
-                        // node; plain `!` keeps replicas local.
-                        let replica_node = if placed { env2.place_tag(value) } else { node };
-                        let rhome = home_node(&body, replica_node, env2.nodes);
-                        let rq = env2.queue("split-replica");
-                        build(&body, rq.clone(), output.another(), replica_node, &env2);
-                        replicas.insert(value, Tx::new(rq, rhome));
+            env.handle
+                .spawn(&format!("split-dispatch@{node}"), move |ctx| {
+                    // BTreeMap: replica creation and teardown order must be
+                    // deterministic for reproducible event logs.
+                    let mut replicas: BTreeMap<i64, Tx> = BTreeMap::new();
+                    while let Some(rec) = input.recv(ctx) {
+                        let Some(value) = rec.tag(tag) else {
+                            env2.fail(SnetError::MissingTag(tag));
+                        };
+                        if let std::collections::btree_map::Entry::Vacant(e) = replicas.entry(value)
+                        {
+                            Stats::add(&env2.stats.split_replicas, 1);
+                            // `!@<tag>`: the tag value names the hosting
+                            // node; plain `!` keeps replicas local.
+                            let replica_node = if placed { env2.place_tag(value) } else { node };
+                            let rhome = home_node(&body, replica_node, env2.nodes);
+                            let rq = env2.queue("split-replica");
+                            build(&body, rq.clone(), output.another(), replica_node, &env2);
+                            e.insert(Tx::new(rq, rhome));
+                        }
+                        Stats::add(&env2.stats.dispatched, 1);
+                        env2.send(ctx, node, &replicas[&value], rec);
                     }
-                    Stats::add(&env2.stats.dispatched, 1);
-                    env2.send(ctx, node, &replicas[&value], rec);
-                }
-                for (_, tx) in replicas {
-                    tx.close();
-                }
-                output.close();
-            });
+                    for (_, tx) in replicas {
+                        tx.close();
+                    }
+                    output.close();
+                });
         }
         NetSpec::At { body, node: n } => {
             let placed = env.place(*n);
@@ -621,7 +632,13 @@ fn build_star_tap(
                 let body_home = home_node(&body, node, env2.nodes);
                 let body_q = env2.queue("star-body");
                 let next_q = env2.queue("star-next");
-                build(&body, body_q.clone(), Tx::new(next_q.clone(), node), node, &env2);
+                build(
+                    &body,
+                    body_q.clone(),
+                    Tx::new(next_q.clone(), node),
+                    node,
+                    &env2,
+                );
                 build_star_tap(&body, exit.clone(), next_q, output.another(), node, &env2);
                 into_body = Some(Tx::new(body_q, body_home));
             }
@@ -661,7 +678,9 @@ mod tests {
     }
 
     fn xrecs(n: i64) -> Vec<Record> {
-        (0..n).map(|i| Record::new().with_field("x", Value::Int(i))).collect()
+        (0..n)
+            .map(|i| Record::new().with_field("x", Value::Int(i)))
+            .collect()
     }
 
     #[test]
@@ -672,7 +691,10 @@ mod tests {
         assert_eq!(out.outputs.len(), 4);
         assert!(out.makespan.as_secs_f64() >= 2.0, "{:?}", out.makespan);
         assert_eq!(out.stats.box_ops, 4_000_000);
-        assert_eq!(out.stats.wire_bytes, 0, "single node: nothing crosses the wire");
+        assert_eq!(
+            out.stats.wire_bytes, 0,
+            "single node: nothing crosses the wire"
+        );
     }
 
     #[test]
@@ -690,7 +712,11 @@ mod tests {
     fn placed_split_spreads_load_by_tag() {
         let net = NetSpec::split_placed(work_box("w", 400_000), "node");
         let inputs: Vec<Record> = (0..8)
-            .map(|i| Record::new().with_field("x", Value::Int(i)).with_tag("node", i % 4))
+            .map(|i| {
+                Record::new()
+                    .with_field("x", Value::Int(i))
+                    .with_tag("node", i % 4)
+            })
             .collect();
         let out = run_on_cluster(&net, inputs, spec(4), OverheadModel::zero()).unwrap();
         assert_eq!(out.stats.split_replicas, 4);
@@ -703,13 +729,8 @@ mod tests {
     fn overhead_model_slows_the_run_down() {
         let net = work_box("w", 10_000);
         let cheap = run_on_cluster(&net, xrecs(16), spec(2), OverheadModel::zero()).unwrap();
-        let costly = run_on_cluster(
-            &net,
-            xrecs(16),
-            spec(2),
-            OverheadModel { hop_ops: 100_000 },
-        )
-        .unwrap();
+        let costly =
+            run_on_cluster(&net, xrecs(16), spec(2), OverheadModel { hop_ops: 100_000 }).unwrap();
         assert!(costly.makespan > cheap.makespan);
         assert!(costly.stats.glue_ops > 0);
         assert_eq!(cheap.stats.glue_ops, 0);
@@ -722,7 +743,11 @@ mod tests {
             work_box("post", 7_000),
         );
         let inputs: Vec<Record> = (0..10)
-            .map(|i| Record::new().with_field("x", Value::Int(i)).with_tag("node", i % 3))
+            .map(|i| {
+                Record::new()
+                    .with_field("x", Value::Int(i))
+                    .with_tag("node", i % 3)
+            })
             .collect();
         let a = run_on_cluster(&net, inputs.clone(), spec(3), OverheadModel::default()).unwrap();
         let b = run_on_cluster(&net, inputs, spec(3), OverheadModel::default()).unwrap();
@@ -768,7 +793,10 @@ mod tests {
         let err = run_on_cluster(&bad, xrecs(5), spec(2), OverheadModel::zero())
             .expect_err("fault must abort");
         let msg = err.to_string();
-        assert!(msg.contains("fragile") && msg.contains("injected fault"), "{msg}");
+        assert!(
+            msg.contains("fragile") && msg.contains("injected fault"),
+            "{msg}"
+        );
     }
 
     #[test]

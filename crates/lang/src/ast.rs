@@ -151,10 +151,24 @@ pub enum NetExpr {
     Filter(FilterAst),
     Sync(Vec<PatternAst>),
     Serial(Box<NetExpr>, Box<NetExpr>),
-    Parallel { branches: Vec<NetExpr>, det: bool },
-    Star { body: Box<NetExpr>, exit: PatternAst, det: bool },
-    Split { body: Box<NetExpr>, tag: String, placed: bool },
-    At { body: Box<NetExpr>, node: i64 },
+    Parallel {
+        branches: Vec<NetExpr>,
+        det: bool,
+    },
+    Star {
+        body: Box<NetExpr>,
+        exit: PatternAst,
+        det: bool,
+    },
+    Split {
+        body: Box<NetExpr>,
+        tag: String,
+        placed: bool,
+    },
+    At {
+        body: Box<NetExpr>,
+        node: i64,
+    },
 }
 
 fn fmt_sig_items(f: &mut fmt::Formatter<'_>, items: &[SigItem]) -> fmt::Result {

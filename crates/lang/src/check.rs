@@ -17,7 +17,7 @@
 //!   produced labels is fine, but a right side demanding a label that the
 //!   left consumes and provably never re-emits is flagged).
 
-use snet_core::{NetSpec, Pattern, RType, Variant};
+use snet_core::{ChainStage, NetSpec, Pattern, RType, Variant};
 use std::fmt;
 
 /// Diagnostic severity.
@@ -56,7 +56,9 @@ pub fn check(net: &NetSpec) -> Vec<Diagnostic> {
 
 fn walk(net: &NetSpec, out: &mut Vec<Diagnostic>) {
     match net {
-        NetSpec::Box(_) | NetSpec::Filter(_) => {}
+        // Chain stages are boxes and filters, which have no structural
+        // checks of their own.
+        NetSpec::Box(_) | NetSpec::Filter(_) | NetSpec::FusedChain { .. } => {}
         NetSpec::Sync(s) => {
             if s.patterns.len() < 2 {
                 out.push(Diagnostic {
@@ -115,10 +117,7 @@ fn walk(net: &NetSpec, out: &mut Vec<Diagnostic>) {
 /// the output of a synchrocell is the union of its patterns.
 pub fn infer(net: &NetSpec) -> (RType, RType) {
     match net {
-        NetSpec::Box(b) => (
-            RType::single(b.sig.input_variant()),
-            b.sig.output_type(),
-        ),
+        NetSpec::Box(b) => (RType::single(b.sig.input_variant()), b.sig.output_type()),
         NetSpec::Filter(f) => {
             let out = RType::new(f.outputs.iter().map(|t| t.variant()));
             (RType::single(f.pattern.variant.clone()), out)
@@ -161,6 +160,19 @@ pub fn infer(net: &NetSpec) -> (RType, RType) {
             (input, ob)
         }
         NetSpec::At { body, .. } | NetSpec::Named { body, .. } => infer(body),
+        // Like Serial: the head decides the input, the tail the output.
+        NetSpec::FusedChain { stages } => {
+            let stage_types = |s: &ChainStage| match s {
+                ChainStage::Box(b) => (RType::single(b.sig.input_variant()), b.sig.output_type()),
+                ChainStage::Filter(f) => (
+                    RType::single(f.pattern.variant.clone()),
+                    RType::new(f.outputs.iter().map(|t| t.variant())),
+                ),
+            };
+            let input = stages.first().map(|s| stage_types(s).0).unwrap_or_default();
+            let output = stages.last().map(|s| stage_types(s).1).unwrap_or_default();
+            (input, output)
+        }
     }
 }
 

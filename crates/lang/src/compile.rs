@@ -92,16 +92,12 @@ impl<'a> Scopes<'a> {
                         self.stack.pop();
                         NetSpec::named(&def.name, result?)
                     }
-                    None => self
-                        .registry
-                        .get_net(&def.name)
-                        .cloned()
-                        .ok_or_else(|| {
-                            SnetError::Check(format!(
-                                "net `{}` declared without a body and not registered",
-                                def.name
-                            ))
-                        })?,
+                    None => self.registry.get_net(&def.name).cloned().ok_or_else(|| {
+                        SnetError::Check(format!(
+                            "net `{}` declared without a body and not registered",
+                            def.name
+                        ))
+                    })?,
                 };
                 self.bind(&def.name, Binding::Net(net.clone()));
                 Ok(Some(net))
@@ -130,9 +126,7 @@ impl<'a> Scopes<'a> {
             NetExpr::Sync(patterns) => NetSpec::Sync(SyncSpec::new(
                 patterns.iter().map(pattern_from_ast).collect(),
             )),
-            NetExpr::Serial(a, b) => {
-                NetSpec::serial(self.net_expr(a)?, self.net_expr(b)?)
-            }
+            NetExpr::Serial(a, b) => NetSpec::serial(self.net_expr(a)?, self.net_expr(b)?),
             NetExpr::Parallel { branches, det } => NetSpec::Parallel {
                 branches: branches
                     .iter()
@@ -170,7 +164,10 @@ fn sig_from_ast(name: &str, input: &[ast::SigItem], outputs: &[Vec<ast::SigItem>
     BoxSig {
         name: name.to_owned(),
         input: input.iter().map(item).collect(),
-        outputs: outputs.iter().map(|o| o.iter().map(item).collect()).collect(),
+        outputs: outputs
+            .iter()
+            .map(|o| o.iter().map(item).collect())
+            .collect(),
     }
 }
 
@@ -184,9 +181,9 @@ pub fn pattern_from_ast(p: &PatternAst) -> Pattern {
     match p.guards.split_first() {
         None => Pattern::from_variant(variant),
         Some((first, rest)) => {
-            let guard = rest
-                .iter()
-                .fold(first.clone(), |acc, g| TagExpr::bin(BinOp::And, acc, g.clone()));
+            let guard = rest.iter().fold(first.clone(), |acc, g| {
+                TagExpr::bin(BinOp::And, acc, g.clone())
+            });
             Pattern::guarded(variant, guard)
         }
     }

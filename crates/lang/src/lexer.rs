@@ -432,10 +432,7 @@ mod tests {
             vec![TagRef("tasks".into()), EqEq, TagRef("cnt".into())]
         );
         // a <= b stays a comparison
-        assert_eq!(
-            kinds("3 <= 4"),
-            vec![Int(3), Le, Int(4)]
-        );
+        assert_eq!(kinds("3 <= 4"), vec![Int(3), Le, Int(4)]);
     }
 
     #[test]
@@ -460,14 +457,24 @@ mod tests {
 
     #[test]
     fn keywords() {
-        assert_eq!(kinds("net box connect if"), vec![KwNet, KwBox, KwConnect, KwIf]);
+        assert_eq!(
+            kinds("net box connect if"),
+            vec![KwNet, KwBox, KwConnect, KwIf]
+        );
         assert_eq!(kinds("network"), vec![Ident("network".into())]);
     }
 
     #[test]
     fn double_star_and_double_pipe() {
-        assert_eq!(kinds("a ** b || c"), vec![
-            Ident("a".into()), StarStar, Ident("b".into()), PipePipe, Ident("c".into())
-        ]);
+        assert_eq!(
+            kinds("a ** b || c"),
+            vec![
+                Ident("a".into()),
+                StarStar,
+                Ident("b".into()),
+                PipePipe,
+                Ident("c".into())
+            ]
+        );
     }
 }

@@ -141,9 +141,7 @@ impl Parser {
                         items.push(SigItem::Tag(n));
                     }
                     other => {
-                        return Err(
-                            self.err_here(format!("expected field or <tag>, found {other}"))
-                        )
+                        return Err(self.err_here(format!("expected field or <tag>, found {other}")))
                     }
                 }
                 if !self.eat(TokenKind::Comma) {
@@ -302,8 +300,9 @@ impl Parser {
                     let node = match self.bump() {
                         TokenKind::Int(v) => v,
                         other => {
-                            return Err(self
-                                .err_here(format!("expected node number after `@`, found {other}")))
+                            return Err(self.err_here(format!(
+                                "expected node number after `@`, found {other}"
+                            )))
                         }
                     };
                     expr = NetExpr::At {

@@ -31,37 +31,37 @@ pub enum TokenKind {
     RParen,
     LBrace,
     RBrace,
-    LBracket,  // [
-    RBracket,  // ]
-    LSync,     // [|
-    RSync,     // |]
+    LBracket, // [
+    RBracket, // ]
+    LSync,    // [|
+    RSync,    // |]
     Comma,
     Semi,
-    Arrow,     // ->
-    DotDot,    // ..
-    Pipe,      // |
-    PipePipe,  // ||
-    Star,      // *
-    StarStar,  // **
-    Bang,      // !
-    BangAt,    // !@
-    At,        // @
-    Lt,        // <
-    Gt,        // >
-    Le,        // <=
-    Ge,        // >=
-    EqEq,      // ==
-    Ne,        // !=
-    Assign,    // =
-    PlusEq,    // +=
-    MinusEq,   // -=
+    Arrow,    // ->
+    DotDot,   // ..
+    Pipe,     // |
+    PipePipe, // ||
+    Star,     // *
+    StarStar, // **
+    Bang,     // !
+    BangAt,   // !@
+    At,       // @
+    Lt,       // <
+    Gt,       // >
+    Le,       // <=
+    Ge,       // >=
+    EqEq,     // ==
+    Ne,       // !=
+    Assign,   // =
+    PlusEq,   // +=
+    MinusEq,  // -=
     Plus,
     Minus,
     Slash,
     Percent,
-    Amp2,      // &&
-    Question,  // ?
-    Colon,     // :
+    Amp2,     // &&
+    Question, // ?
+    Colon,    // :
 
     Eof,
 }

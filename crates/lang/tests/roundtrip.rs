@@ -77,11 +77,7 @@ fn arb_filter() -> impl Strategy<Value = NetSpec> {
         .prop_map(|(pattern, templates, expr)| {
             // Output fields must exist on the input: restrict field
             // copies to labels the pattern requires.
-            let available: Vec<&str> = pattern
-                .variant
-                .fields()
-                .map(|l| l.as_str())
-                .collect();
+            let available: Vec<&str> = pattern.variant.fields().map(|l| l.as_str()).collect();
             let outputs: Vec<OutputTemplate> = templates
                 .into_iter()
                 .map(|items| {
@@ -103,12 +99,18 @@ fn arb_filter() -> impl Strategy<Value = NetSpec> {
         })
 }
 
-fn arb_box(counter: std::sync::Arc<std::sync::atomic::AtomicUsize>) -> impl Strategy<Value = NetSpec> {
+fn arb_box(
+    counter: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+) -> impl Strategy<Value = NetSpec> {
     arb_variant().prop_map(move |v| {
         let n = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let fields: Vec<String> = v.fields().map(|l| l.to_string()).collect();
         let tags: Vec<String> = v.tags().map(|l| format!("<{l}>")).collect();
-        let input: Vec<&str> = fields.iter().chain(tags.iter()).map(|s| s.as_str()).collect();
+        let input: Vec<&str> = fields
+            .iter()
+            .chain(tags.iter())
+            .map(|s| s.as_str())
+            .collect();
         NetSpec::Box(BoxDef::from_fn(
             BoxSig::parse(&format!("bx{n}"), &input, &[&["alpha"]]),
             |r: &Record| Ok(BoxOutput::one(r.clone(), Work::ZERO)),
@@ -136,13 +138,13 @@ fn arb_net() -> impl Strategy<Value = NetSpec> {
                     det,
                 }
             }),
-            (inner.clone(), 0usize..TAGS.len(), any::<bool>()).prop_map(
-                |(body, tag, placed)| NetSpec::Split {
+            (inner.clone(), 0usize..TAGS.len(), any::<bool>()).prop_map(|(body, tag, placed)| {
+                NetSpec::Split {
                     body: Box::new(body),
                     tag: snet_core::Label::new(TAGS[tag]),
                     placed,
                 }
-            ),
+            }),
             (inner, 0u32..8).prop_map(|(body, node)| NetSpec::at(body, node)),
         ]
     })

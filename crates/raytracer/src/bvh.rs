@@ -250,7 +250,11 @@ mod tests {
     fn grid_spheres(n: usize) -> Vec<Shape> {
         (0..n)
             .map(|i| Shape::Sphere {
-                center: v3((i % 10) as f64 * 3.0, ((i / 10) % 10) as f64 * 3.0, (i / 100) as f64 * 3.0 + 10.0),
+                center: v3(
+                    (i % 10) as f64 * 3.0,
+                    ((i / 10) % 10) as f64 * 3.0,
+                    (i / 100) as f64 * 3.0 + 10.0,
+                ),
                 radius: 1.0,
             })
             .collect()
@@ -261,7 +265,9 @@ mod tests {
         let bvh = Bvh::build(&[]);
         let ray = Ray::new(v3(0.0, 0.0, 0.0), v3(0.0, 0.0, 1.0));
         let mut c = Counters::default();
-        assert!(bvh.intersect(&[], &ray, 1e-6, f64::INFINITY, &mut c).is_none());
+        assert!(bvh
+            .intersect(&[], &ray, 1e-6, f64::INFINITY, &mut c)
+            .is_none());
         assert!(!bvh.occluded(&[], &ray, 1e-6, f64::INFINITY, &mut c));
         assert_eq!(bvh.depth(), 0);
     }
@@ -275,7 +281,9 @@ mod tests {
         let bvh = Bvh::build(&shapes);
         let ray = Ray::new(v3(0.0, 0.0, 0.0), v3(0.0, 0.0, 1.0));
         let mut c = Counters::default();
-        let h = bvh.intersect(&shapes, &ray, 1e-6, f64::INFINITY, &mut c).unwrap();
+        let h = bvh
+            .intersect(&shapes, &ray, 1e-6, f64::INFINITY, &mut c)
+            .unwrap();
         assert_eq!(h.shape, 0);
         assert!((h.t - 4.0).abs() < 1e-9);
     }
@@ -365,7 +373,9 @@ mod tests {
         let bvh = Bvh::build(&shapes);
         let ray = Ray::new(v3(0.0, 0.0, 0.0), v3(0.0, 0.0, 1.0));
         let mut c = Counters::default();
-        let h = bvh.intersect(&shapes, &ray, 1e-6, f64::INFINITY, &mut c).unwrap();
+        let h = bvh
+            .intersect(&shapes, &ray, 1e-6, f64::INFINITY, &mut c)
+            .unwrap();
         assert_eq!(h.shape, 1);
     }
 }

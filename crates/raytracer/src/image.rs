@@ -137,7 +137,10 @@ impl Image {
 /// decomposition; the remainder is distributed one row at a time to the
 /// leading sections).
 pub fn split_rows(height: u32, count: u32) -> Vec<Section> {
-    assert!(count > 0 && height >= count, "need at least one row per section");
+    assert!(
+        count > 0 && height >= count,
+        "need at least one row per section"
+    );
     let base = height / count;
     let extra = height % count;
     let mut out = Vec::with_capacity(count as usize);

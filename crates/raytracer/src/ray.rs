@@ -109,6 +109,9 @@ mod tests {
             ..Counters::default()
         };
         a.merge(&b);
-        assert_eq!(a.ops(), cost::PRIMARY_RAY + 2 * cost::SHADE + 3 * cost::PRIM_TEST);
+        assert_eq!(
+            a.ops(),
+            cost::PRIMARY_RAY + 2 * cost::SHADE + 3 * cost::PRIM_TEST
+        );
     }
 }

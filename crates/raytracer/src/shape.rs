@@ -93,10 +93,9 @@ impl Shape {
                 center - v3(radius, radius, radius),
                 center + v3(radius, radius, radius),
             ),
-            Shape::Floor { level, half } => Aabb::from_corners(
-                v3(-half, level - 1e-4, -half),
-                v3(half, level + 1e-4, half),
-            ),
+            Shape::Floor { level, half } => {
+                Aabb::from_corners(v3(-half, level - 1e-4, -half), v3(half, level + 1e-4, half))
+            }
             Shape::Triangle { a, b, c } => {
                 let mut bb = Aabb::empty();
                 bb.extend(a);

@@ -215,7 +215,10 @@ mod tests {
         let img = render_full(&scene, W, H, &mut c);
         let bg = img.pixels[0];
         let non_bg = img.pixels.iter().filter(|p| **p != bg).count();
-        assert!(non_bg > (img.pixels.len() / 20), "only {non_bg} non-background pixels");
+        assert!(
+            non_bg > (img.pixels.len() / 20),
+            "only {non_bg} non-background pixels"
+        );
         assert!(c.shades > 0 && c.secondary_rays > 0 && c.shadow_rays > 0);
     }
 
@@ -247,7 +250,10 @@ mod tests {
             clustered > balanced,
             "clustered {clustered:.2} must exceed balanced {balanced:.2}"
         );
-        assert!(clustered > 1.6, "clustered imbalance too mild: {clustered:.2}");
+        assert!(
+            clustered > 1.6,
+            "clustered imbalance too mild: {clustered:.2}"
+        );
     }
 
     #[test]

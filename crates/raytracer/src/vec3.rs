@@ -16,8 +16,16 @@ pub fn v3(x: f64, y: f64, z: f64) -> Vec3 {
 }
 
 impl Vec3 {
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
-    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+    pub const ONE: Vec3 = Vec3 {
+        x: 1.0,
+        y: 1.0,
+        z: 1.0,
+    };
 
     pub fn dot(self, o: Vec3) -> f64 {
         self.x * o.x + self.y * o.y + self.z * o.z
@@ -84,7 +92,11 @@ impl Vec3 {
 
     /// Clamps each component into `[lo, hi]`.
     pub fn clamp(self, lo: f64, hi: f64) -> Vec3 {
-        v3(self.x.clamp(lo, hi), self.y.clamp(lo, hi), self.z.clamp(lo, hi))
+        v3(
+            self.x.clamp(lo, hi),
+            self.y.clamp(lo, hi),
+            self.z.clamp(lo, hi),
+        )
     }
 }
 
@@ -196,6 +208,9 @@ mod tests {
     fn clamp_and_hadamard() {
         let c = v3(2.0, -0.5, 0.25).clamp(0.0, 1.0);
         assert_eq!(c, v3(1.0, 0.0, 0.25));
-        assert_eq!(v3(2.0, 3.0, 4.0).hadamard(v3(0.5, 0.0, 0.25)), v3(1.0, 0.0, 1.0));
+        assert_eq!(
+            v3(2.0, 3.0, 4.0).hadamard(v3(0.5, 0.0, 0.25)),
+            v3(1.0, 0.0, 1.0)
+        );
     }
 }

@@ -22,7 +22,7 @@ use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use snet_core::fault::{self, DeadLetter, FailurePolicy, StepVerdict};
 use snet_core::semantics::{self, MismatchPolicy};
-use snet_core::{NetSpec, Record, SnetError, SyncOutcome};
+use snet_core::{ChainRunner, ChainTally, NetSpec, Record, SnetError, SyncOutcome};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -76,6 +76,23 @@ pub struct EngineConfig {
     /// partial outputs already emitted remain retrievable. `None`
     /// (default) disables the check entirely.
     pub deadline: Option<Duration>,
+    /// Fuse maximal static SISO chains of boxes/filters into single
+    /// components ([`snet_core::fusion::fuse`]) before instantiating
+    /// the network. Default `true`: fusion is observationally
+    /// equivalent (same output multiset, traces, and fault
+    /// attribution — see the `fusion_equivalence` property suite) and
+    /// strictly cheaper on deep pipelines. Set `false` to run the
+    /// topology exactly as written (one task/thread per component),
+    /// e.g. to measure hand-off cost itself.
+    pub fuse: bool,
+    /// Pin each scheduled-engine pool worker to a CPU core (worker `i`
+    /// → core `i % available cores`, Linux only, best-effort). Keeps a
+    /// fused task's record batches on the same cache hierarchy across
+    /// activations. Default `false` — shared CI runners and
+    /// container-restricted CPU sets make pinning a pessimization
+    /// there; opt in for dedicated hardware. The threaded engine
+    /// ignores it.
+    pub pin_workers: bool,
 }
 
 impl Default for EngineConfig {
@@ -83,12 +100,29 @@ impl Default for EngineConfig {
         EngineConfig {
             channel_capacity: 64,
             mismatch: MismatchPolicy::Forward,
-            workers: 4,
+            workers: default_workers(),
             batch: 32,
             policy: FailurePolicy::FailFast,
             deadline: None,
+            fuse: true,
+            pin_workers: false,
         }
     }
+}
+
+/// Default scheduled-engine pool size: the `SNET_WORKERS` environment
+/// variable when set to a positive integer (the CI constrained lane
+/// uses `SNET_WORKERS=1` under `taskset -c 0`), else 4. Read once; a
+/// later env change does not move the default mid-process.
+fn default_workers() -> usize {
+    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::env::var("SNET_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(4)
+    })
 }
 
 /// A compiled network ready to execute records.
@@ -98,21 +132,26 @@ impl Default for EngineConfig {
 /// replication state never leaks between runs.
 pub struct Net {
     spec: NetSpec,
+    /// What actually runs: `spec` with SISO chains fused (or a clone of
+    /// `spec` when [`EngineConfig::fuse`] is off).
+    plan: NetSpec,
     config: EngineConfig,
 }
 
 impl Net {
     /// Wraps a topology with default configuration.
     pub fn new(spec: NetSpec) -> Net {
-        Net {
-            spec,
-            config: EngineConfig::default(),
-        }
+        Net::with_config(spec, EngineConfig::default())
     }
 
     /// Wraps a topology with explicit configuration.
     pub fn with_config(spec: NetSpec, config: EngineConfig) -> Net {
-        Net { spec, config }
+        let plan = if config.fuse {
+            snet_core::fuse(&spec)
+        } else {
+            spec.clone()
+        };
+        Net { spec, plan, config }
     }
 
     /// The underlying topology.
@@ -144,7 +183,7 @@ impl Net {
         });
         let (in_tx, in_rx) = bounded(cap);
         let (out_tx, out_rx) = bounded(cap);
-        build(&self.spec, in_rx, out_tx, &shared);
+        build(&self.plan, in_rx, out_tx, &shared);
         NetHandle {
             input: Mutex::new(Some(in_tx)),
             output: out_rx,
@@ -178,7 +217,11 @@ impl Net {
     /// dropped records are data, not errors.
     pub fn run_batch_report(&self, records: Vec<Record>) -> Result<crate::RunReport, SnetError> {
         let handle = self.start();
-        let feeder_tx = handle.input.lock().take().expect("fresh handle has an input");
+        let feeder_tx = handle
+            .input
+            .lock()
+            .take()
+            .expect("fresh handle has an input");
         let feeder = std::thread::spawn(move || {
             // One batched send for the whole input: the feeder blocks in
             // `send_iter` whenever the entry channel fills. A send error
@@ -252,6 +295,7 @@ impl NetHandle {
     /// Non-blocking send: hands the record back as
     /// [`crate::TrySendError::Full`] instead of blocking when the
     /// bounded entry channel is full.
+    #[allow(clippy::result_large_err)] // Full carries the record back by design
     pub fn try_send(&self, rec: Record) -> Result<(), crate::TrySendError> {
         use crossbeam_channel::TrySendError as ChanTrySend;
         match self.entry_sender() {
@@ -470,7 +514,7 @@ impl Shared {
 /// Multi-record outputs are handed to the channel as one batch
 /// (`send_iter`): one lock window and one receiver wake per output set
 /// instead of one per record.
-fn send_all(tx: &Sender<Record>, records: Vec<Record>) -> bool {
+fn send_all(tx: &Sender<Record>, records: impl IntoIterator<Item = Record>) -> bool {
     tx.send_iter(records).is_ok()
 }
 
@@ -488,10 +532,9 @@ fn build(spec: &NetSpec, input: Receiver<Record>, output: Sender<Record>, sh: &A
                     }
                     // Box functions are user code: `policy_step`
                     // contains panics and applies the failure policy.
-                    let verdict =
-                        fault::policy_step(policy, &def.sig.name, &sh2.seq, rec, |r| {
-                            semantics::box_step(&def, r, sh2.config.mismatch)
-                        });
+                    let verdict = fault::policy_step(policy, &def.sig.name, &sh2.seq, rec, |r| {
+                        semantics::box_step(&def, r, sh2.config.mismatch)
+                    });
                     match verdict {
                         StepVerdict::Out { step, attempts } => {
                             if attempts > 1 {
@@ -551,6 +594,54 @@ fn build(spec: &NetSpec, input: Receiver<Record>, output: Sender<Record>, sh: &A
                             }
                         }
                         StepVerdict::Fatal(e) => {
+                            sh2.fail(e);
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+        NetSpec::FusedChain { stages } => {
+            // One thread for the whole chain: records traverse every
+            // stage in-thread, with no channel between stages. Fault
+            // attribution stays per stage inside `ChainRunner::step`.
+            let stages = stages.clone();
+            let sh2 = Arc::clone(sh);
+            sh.spawn("fused-chain", move || {
+                let mut runner = ChainRunner::new();
+                let mut outs = Vec::new();
+                for rec in input.iter() {
+                    if sh2.should_stop() {
+                        break;
+                    }
+                    let mut tally = ChainTally::default();
+                    let res = runner.step(
+                        &stages,
+                        sh2.config.policy,
+                        sh2.config.mismatch,
+                        &sh2.seq,
+                        rec,
+                        &mut tally,
+                        &mut outs,
+                        &mut |dl| {
+                            if sh2.divert(dl) {
+                                Ok(())
+                            } else {
+                                // Overflow already recorded by `divert`;
+                                // this error just unwinds the chain
+                                // (first recorded error wins).
+                                Err(SnetError::Engine("dead-letter overflow".into()))
+                            }
+                        },
+                    );
+                    sh2.trace.count_chain(&tally);
+                    match res {
+                        Ok(()) => {
+                            if !send_all(&output, std::mem::take(&mut outs)) {
+                                break;
+                            }
+                        }
+                        Err(e) => {
                             sh2.fail(e);
                             break;
                         }
@@ -795,7 +886,11 @@ mod tests {
     fn single_box_pipeline() {
         let net = Net::new(int_box("double", "x", "x", |x| 2 * x));
         let outs = net
-            .run_batch((0..10).map(|i| Record::new().with_field("x", Value::Int(i))).collect())
+            .run_batch(
+                (0..10)
+                    .map(|i| Record::new().with_field("x", Value::Int(i)))
+                    .collect(),
+            )
             .unwrap();
         assert_eq!(ints(&outs, "x"), (0..10).map(|i| 2 * i).collect::<Vec<_>>());
     }
@@ -865,7 +960,11 @@ mod tests {
     fn split_creates_replica_per_tag_value() {
         let net = Net::new(NetSpec::split(int_box("id", "x", "x", |x| x), "k"));
         let recs: Vec<Record> = (0..12)
-            .map(|i| Record::new().with_field("x", Value::Int(i)).with_tag("k", i % 3))
+            .map(|i| {
+                Record::new()
+                    .with_field("x", Value::Int(i))
+                    .with_tag("k", i % 3)
+            })
             .collect();
         let (outs, trace) = net.run_batch_traced(recs).unwrap();
         assert_eq!(outs.len(), 12);
@@ -939,7 +1038,11 @@ mod tests {
         ));
         let net = Net::new(bomb);
         let err = net
-            .run_batch((0..5).map(|i| Record::new().with_field("x", Value::Int(i))).collect())
+            .run_batch(
+                (0..5)
+                    .map(|i| Record::new().with_field("x", Value::Int(i)))
+                    .collect(),
+            )
             .unwrap_err();
         match err {
             SnetError::BoxFailure { name, cause } => {
@@ -969,10 +1072,12 @@ mod tests {
     fn streaming_interface_overlaps() {
         let net = Net::new(int_box("inc", "x", "x", |x| x + 1));
         let h = net.start();
-        h.send(Record::new().with_field("x", Value::Int(1))).unwrap();
+        h.send(Record::new().with_field("x", Value::Int(1)))
+            .unwrap();
         let first = h.recv().expect("one output while input still open");
         assert_eq!(first.field("x").unwrap().as_int(), Some(2));
-        h.send(Record::new().with_field("x", Value::Int(5))).unwrap();
+        h.send(Record::new().with_field("x", Value::Int(5)))
+            .unwrap();
         h.close_input();
         let second = h.recv().expect("second output");
         assert_eq!(second.field("x").unwrap().as_int(), Some(6));
@@ -1003,7 +1108,9 @@ mod tests {
     fn deep_pipeline_respects_backpressure() {
         // Tiny channels + many records: exercises the bounded-channel
         // path without deadlocking.
-        let stages: Vec<NetSpec> = (0..8).map(|_| int_box("inc", "x", "x", |x| x + 1)).collect();
+        let stages: Vec<NetSpec> = (0..8)
+            .map(|_| int_box("inc", "x", "x", |x| x + 1))
+            .collect();
         let net = Net::with_config(
             NetSpec::pipeline(stages),
             EngineConfig {
@@ -1012,7 +1119,11 @@ mod tests {
             },
         );
         let outs = net
-            .run_batch((0..200).map(|i| Record::new().with_field("x", Value::Int(i))).collect())
+            .run_batch(
+                (0..200)
+                    .map(|i| Record::new().with_field("x", Value::Int(i)))
+                    .collect(),
+            )
             .unwrap();
         assert_eq!(outs.len(), 200);
         assert_eq!(ints(&outs, "x"), (8..208).collect::<Vec<_>>());

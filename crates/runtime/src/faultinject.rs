@@ -91,7 +91,7 @@ impl FaultSpec {
     /// Whether this schedule selects `rec` for fault injection. Pure:
     /// tests use it to predict the fault set ahead of a run.
     pub fn selects(&self, rec: &Record) -> bool {
-        self.one_in > 0 && splitmix64(self.seed ^ record_key(rec)) % self.one_in == 0
+        self.one_in > 0 && splitmix64(self.seed ^ record_key(rec)).is_multiple_of(self.one_in)
     }
 }
 
@@ -192,7 +192,7 @@ pub fn chaos_with_stats(def: &BoxDef, spec: FaultSpec) -> (BoxDef, Arc<ChaosStat
 
     let func = move |input: &Record| -> Result<BoxOutput, SnetError> {
         let key = record_key(input);
-        let due = spec.one_in > 0 && splitmix64(spec.seed ^ key) % spec.one_in == 0 && {
+        let due = spec.one_in > 0 && splitmix64(spec.seed ^ key).is_multiple_of(spec.one_in) && {
             let mut map = attempts.lock().unwrap();
             let n = map.entry(key).or_insert(0);
             if *n < spec.fails_per_record {
@@ -281,8 +281,7 @@ mod tests {
 
     #[test]
     fn permanent_faults_never_recover() {
-        let (chaotic, stats) =
-            chaos_with_stats(&identity_box(), FaultSpec::errors(1, 1, u32::MAX));
+        let (chaotic, stats) = chaos_with_stats(&identity_box(), FaultSpec::errors(1, 1, u32::MAX));
         let r = rec(5);
         for _ in 0..10 {
             assert!(chaotic.func.call(&r).is_err());

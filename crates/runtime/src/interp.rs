@@ -16,7 +16,8 @@ use snet_core::boxdef::{BoxDef, Work};
 use snet_core::fault::{self, DeadLetter, FailurePolicy, StepVerdict};
 use snet_core::semantics::{self, MismatchPolicy};
 use snet_core::{
-    FilterSpec, Label, NetSpec, Pattern, Record, SnetError, SyncOutcome, SyncSpec, SyncState,
+    ChainStage, FilterSpec, Label, NetSpec, Pattern, Record, SnetError, SyncOutcome, SyncSpec,
+    SyncState,
 };
 use std::collections::BTreeMap;
 use std::sync::atomic::AtomicU64;
@@ -107,7 +108,9 @@ impl Interp {
             }
         }
         let mut work = Work::ZERO;
-        let out = self.root.feed(rec, self.mismatch, &mut work, &mut self.faults);
+        let out = self
+            .root
+            .feed(rec, self.mismatch, &mut work, &mut self.faults);
         self.work += work;
         out
     }
@@ -180,9 +183,10 @@ impl Node {
                 spec: s.clone(),
                 state: s.new_state(),
             },
-            NetSpec::Serial(a, b) => {
-                Node::Serial(Box::new(Node::instantiate(a)), Box::new(Node::instantiate(b)))
-            }
+            NetSpec::Serial(a, b) => Node::Serial(
+                Box::new(Node::instantiate(a)),
+                Box::new(Node::instantiate(b)),
+            ),
             NetSpec::Parallel { branches, .. } => Node::Parallel {
                 patterns: branches.iter().map(|b| b.input_patterns()).collect(),
                 branches: branches.iter().map(Node::instantiate).collect(),
@@ -198,6 +202,17 @@ impl Node {
                 replicas: BTreeMap::new(),
             },
             NetSpec::At { body, .. } | NetSpec::Named { body, .. } => Node::instantiate(body),
+            // Fusion is an execution-plan concern; the oracle expands a
+            // chain back to the serial composition it denotes, so fused
+            // and unfused specs are *literally* the same program here.
+            NetSpec::FusedChain { stages } => {
+                let mut nodes = stages.iter().rev().map(|s| match s {
+                    ChainStage::Box(def) => Node::Box(def.clone()),
+                    ChainStage::Filter(f) => Node::Filter(f.clone()),
+                });
+                let last = nodes.next().expect("fused chains are non-empty");
+                nodes.fold(last, |acc, n| Node::Serial(Box::new(n), Box::new(acc)))
+            }
         }
     }
 
@@ -219,7 +234,7 @@ impl Node {
                 }) {
                     StepVerdict::Out { step, .. } => {
                         *work += step.work;
-                        Ok(step.records)
+                        Ok(step.records.into_vec())
                     }
                     StepVerdict::Dead(dl) => {
                         faults.dead.push(*dl);
@@ -232,7 +247,7 @@ impl Node {
                 match fault::policy_step(faults.policy, "filter", &faults.seq, rec, |r| {
                     semantics::filter_step(f, r, policy)
                 }) {
-                    StepVerdict::Out { step, .. } => Ok(step.records),
+                    StepVerdict::Out { step, .. } => Ok(step.records.into_vec()),
                     StepVerdict::Dead(dl) => {
                         faults.dead.push(*dl);
                         Ok(Vec::new())
@@ -252,29 +267,22 @@ impl Node {
                 }
                 Ok(outs)
             }
-            Node::Parallel { branches, patterns } => {
-                match semantics::best_branch(patterns, &rec) {
-                    Some(i) => branches[i].feed(rec, policy, work, faults),
-                    None => match policy {
-                        MismatchPolicy::Forward => Ok(vec![rec]),
-                        MismatchPolicy::Error => {
-                            let cause = SnetError::TypeMismatch {
-                                expected: "any parallel branch".into(),
-                                got: format!("{rec:?}"),
-                            };
-                            let dl = fault::reject(
-                                faults.policy,
-                                "par-dispatch",
-                                &faults.seq,
-                                rec,
-                                cause,
-                            )?;
-                            faults.dead.push(*dl);
-                            Ok(Vec::new())
-                        }
-                    },
-                }
-            }
+            Node::Parallel { branches, patterns } => match semantics::best_branch(patterns, &rec) {
+                Some(i) => branches[i].feed(rec, policy, work, faults),
+                None => match policy {
+                    MismatchPolicy::Forward => Ok(vec![rec]),
+                    MismatchPolicy::Error => {
+                        let cause = SnetError::TypeMismatch {
+                            expected: "any parallel branch".into(),
+                            got: format!("{rec:?}"),
+                        };
+                        let dl =
+                            fault::reject(faults.policy, "par-dispatch", &faults.seq, rec, cause)?;
+                        faults.dead.push(*dl);
+                        Ok(Vec::new())
+                    }
+                },
+            },
             Node::Star {
                 template,
                 exit,
@@ -371,11 +379,21 @@ mod tests {
         // first-declared one.
         let left = NetSpec::Box(BoxDef::from_fn(
             BoxSig::parse("l", &["x"], &[&["l"]]),
-            |_| Ok(BoxOutput::one(Record::new().with_field("l", Value::Unit), Work::ZERO)),
+            |_| {
+                Ok(BoxOutput::one(
+                    Record::new().with_field("l", Value::Unit),
+                    Work::ZERO,
+                ))
+            },
         ));
         let right = NetSpec::Box(BoxDef::from_fn(
             BoxSig::parse("r", &["x"], &[&["r"]]),
-            |_| Ok(BoxOutput::one(Record::new().with_field("r", Value::Unit), Work::ZERO)),
+            |_| {
+                Ok(BoxOutput::one(
+                    Record::new().with_field("r", Value::Unit),
+                    Work::ZERO,
+                ))
+            },
         ));
         let net = NetSpec::parallel(vec![left, right]);
         let res = Interp::new(&net)
@@ -432,9 +450,15 @@ mod tests {
         let net = NetSpec::split(cell, "k");
         let res = Interp::new(&net)
             .run_batch(vec![
-                Record::new().with_field("a", Value::Int(1)).with_tag("k", 0),
-                Record::new().with_field("b", Value::Int(2)).with_tag("k", 1),
-                Record::new().with_field("b", Value::Int(3)).with_tag("k", 0),
+                Record::new()
+                    .with_field("a", Value::Int(1))
+                    .with_tag("k", 0),
+                Record::new()
+                    .with_field("b", Value::Int(2))
+                    .with_tag("k", 1),
+                Record::new()
+                    .with_field("b", Value::Int(3))
+                    .with_tag("k", 0),
             ])
             .unwrap();
         // k=0 fires (a joins b); k=1 still waits.

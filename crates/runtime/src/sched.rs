@@ -56,7 +56,10 @@ use parking_lot::Mutex;
 use snet_core::fault::{self, DeadLetter, StepVerdict};
 use snet_core::panic_cause;
 use snet_core::semantics::{self, MismatchPolicy};
-use snet_core::{Label, NetSpec, Pattern, Record, SnetError, SyncOutcome, SyncSpec, SyncState};
+use snet_core::{
+    ChainRunner, ChainStage, ChainTally, Label, NetSpec, Pattern, Record, SnetError, SyncOutcome,
+    SyncSpec, SyncState,
+};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
@@ -101,6 +104,11 @@ const DEAD_CAPACITY_FACTOR: usize = 16;
 /// records will be processed, so finish or drop handles first.
 pub struct SchedNet {
     spec: NetSpec,
+    /// What actually runs: `spec` with maximal SISO chains fused into
+    /// single tasks (or a clone of `spec` when [`EngineConfig::fuse`]
+    /// is off). Computed once at construction; every run instantiates
+    /// its task graph from the plan.
+    plan: NetSpec,
     config: EngineConfig,
     /// Whether any component can dead-letter under this configuration,
     /// precomputed so `start()` can skip the dead-letter buffer (and
@@ -122,8 +130,14 @@ impl SchedNet {
     /// mismatch policy, mailbox high-water mark, ingress capacity).
     pub fn with_config(spec: NetSpec, config: EngineConfig) -> SchedNet {
         let diverts = spec.diverts_under(config.policy);
+        let plan = if config.fuse {
+            snet_core::fuse(&spec)
+        } else {
+            spec.clone()
+        };
         SchedNet {
             spec,
+            plan,
             config,
             diverts,
             shared: Arc::new(Shared {
@@ -164,13 +178,19 @@ impl SchedNet {
         let locals: Vec<Worker<Arc<Task>>> = (0..n).map(|_| Worker::new_fifo()).collect();
         let stealers: Arc<Vec<Stealer<Arc<Task>>>> =
             Arc::new(locals.iter().map(|w| w.stealer()).collect());
+        let pin = self.config.pin_workers;
         for (i, local) in locals.into_iter().enumerate() {
             let sh = Arc::clone(&self.shared);
             let stealers = Arc::clone(&stealers);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("snet-sched-{i}"))
-                    .spawn(move || worker_loop(i, local, &stealers, &sh))
+                    .spawn(move || {
+                        if pin {
+                            pin_to_core(i);
+                        }
+                        worker_loop(i, local, &stealers, &sh)
+                    })
                     .expect("spawn sched worker"),
             );
         }
@@ -211,7 +231,7 @@ impl SchedNet {
             },
             &run,
         );
-        let entry = build(&self.spec, Port::new(&sink), &self.shared, &run);
+        let entry = build(&self.plan, Port::new(&sink), &run);
         SchedHandle {
             input: Mutex::new(Some(entry)),
             output: out_rx,
@@ -265,7 +285,7 @@ impl SchedNet {
             },
             &run,
         );
-        let entry = build(&self.spec, Port::new(&sink), &self.shared, &run);
+        let entry = build(&self.plan, Port::new(&sink), &run);
         entry.send_now(records, &self.shared, None);
         entry.close(&self.shared, None);
         run.wait_done();
@@ -475,6 +495,15 @@ struct Task {
 enum State {
     Box(snet_core::boxdef::BoxDef, Port),
     Filter(snet_core::FilterSpec, Port),
+    /// A fused SISO chain: one task pushes each record through every
+    /// stage with zero mailbox hops. `runner` and `outs` are reusable
+    /// scratch, so the steady-state per-record path allocates nothing.
+    Chain {
+        stages: Vec<ChainStage>,
+        runner: ChainRunner,
+        outs: Vec<Record>,
+        out: Port,
+    },
     Sync {
         spec: SyncSpec,
         st: SyncState,
@@ -610,13 +639,7 @@ impl Port {
 
     /// Buffered send: coalesces until `batch` records are pending, then
     /// pushes the whole run with one lock acquisition and one wake.
-    fn send(
-        &mut self,
-        rec: Record,
-        batch: usize,
-        sh: &Shared,
-        local: Option<&Worker<Arc<Task>>>,
-    ) {
+    fn send(&mut self, rec: Record, batch: usize, sh: &Shared, local: Option<&Worker<Arc<Task>>>) {
         self.buf.push(rec);
         if self.buf.len() >= batch {
             self.flush(sh, local);
@@ -717,6 +740,32 @@ impl Ord for Deferred {
     }
 }
 
+/// Best-effort worker→core pinning: worker `i` lands on core
+/// `i % cores` via a raw `sched_setaffinity` syscall binding (no
+/// external crate). Failure — a container-restricted cpuset, an
+/// exotic kernel — silently leaves the default affinity; pinning is a
+/// locality hint, never a correctness requirement.
+#[cfg(target_os = "linux")]
+fn pin_to_core(core: usize) {
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let core = core % cores;
+    // `cpu_set_t` is 1024 bits (16 × u64) on every mainstream Linux ABI.
+    let mut set = [0u64; 16];
+    set[core / 64] |= 1 << (core % 64);
+    unsafe {
+        // pid 0 = the calling thread.
+        let _ = sched_setaffinity(0, std::mem::size_of_val(&set), set.as_ptr());
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pin_to_core(_core: usize) {}
+
 fn worker_loop(
     index: usize,
     local: Worker<Arc<Task>>,
@@ -727,11 +776,16 @@ fn worker_loop(
     // on another worker). Seeing it twice in a row means there is no
     // other work — park briefly instead of spinning on the mutex.
     let mut contended: Option<*const Task> = None;
+    // The sibling we last stole from successfully; probed first on the
+    // next steal (producers are bursty, so the victim that had work a
+    // moment ago likely still does — and under pinning, re-stealing
+    // from the same neighbour keeps the records on adjacent caches).
+    let mut last_victim: Option<usize> = None;
     loop {
         if sh.shutdown.load(Ordering::Acquire) {
             return;
         }
-        let task = find_task(index, &local, stealers, sh);
+        let task = find_task(index, &local, stealers, &mut last_victim, sh);
         match task {
             Some(task) => {
                 // A task can be re-queued while its previous activation
@@ -750,16 +804,16 @@ fn worker_loop(
                             // probe that sees the count also sees the
                             // entry once it takes the heap lock.
                             sh.deferred_count.fetch_add(1, Ordering::Release);
-                            sh.deferred
-                                .lock()
-                                .push(Deferred { due, task: Arc::clone(&task) });
+                            sh.deferred.lock().push(Deferred {
+                                due,
+                                task: Arc::clone(&task),
+                            });
                         }
                     }
                     None => {
                         let ptr = Arc::as_ptr(&task);
                         sh.injector.push(Arc::clone(&task));
-                        if contended.replace(ptr) == Some(ptr)
-                            && park(sh, Duration::from_millis(1))
+                        if contended.replace(ptr) == Some(ptr) && park(sh, Duration::from_millis(1))
                         {
                             return;
                         }
@@ -893,6 +947,7 @@ fn find_task(
     index: usize,
     local: &Worker<Arc<Task>>,
     stealers: &[Stealer<Arc<Task>>],
+    last_victim: &mut Option<usize>,
     sh: &Shared,
 ) -> Option<Arc<Task>> {
     // Expired backoff deferrals first: they are the oldest work and
@@ -906,7 +961,11 @@ fn find_task(
     }
     // The injector and sibling deques can report transient `Retry`
     // (lost CAS or a mid-swap buffer); keep probing until every source
-    // reports a definitive miss.
+    // reports a definitive miss. Sibling steals take *half* the
+    // victim's backlog into the local deque (steal-half): one raid
+    // covers several future activations, so stolen tasks and their
+    // record batches keep running on this worker's core instead of
+    // ping-ponging back.
     loop {
         let mut retry = false;
         match sh.injector.steal() {
@@ -914,11 +973,24 @@ fn find_task(
             Steal::Retry => retry = true,
             Steal::Empty => {}
         }
-        // Steal from siblings, starting after our own slot.
+        // Affinity probe: the last productive victim first.
+        if let Some(v) = *last_victim {
+            match stealers[v].steal_batch_and_pop(local) {
+                Steal::Success(t) => return Some(t),
+                Steal::Retry => retry = true,
+                Steal::Empty => *last_victim = None,
+            }
+        }
+        // Ring scan from our own slot: under pinning, (index + 1) is
+        // the nearest neighbour, so the scan is nearest-first.
         let n = stealers.len();
         for k in 1..n {
-            match stealers[(index + k) % n].steal() {
-                Steal::Success(t) => return Some(t),
+            let v = (index + k) % n;
+            match stealers[v].steal_batch_and_pop(local) {
+                Steal::Success(t) => {
+                    *last_victim = Some(v);
+                    return Some(t);
+                }
                 Steal::Retry => retry = true,
                 Steal::Empty => {}
             }
@@ -993,14 +1065,51 @@ fn run_task(
         if task.ingress_waiters.load(Ordering::Acquire) > 0 {
             task.ingress_cv.notify_all();
         }
-        for rec in inbuf.drain(..) {
-            if let Err(e) = step(&mut state, rec, sh, &task.run, local) {
+        // Fused chains take the whole claimed batch in one stage-major
+        // traversal (identical observable semantics, one panic guard
+        // and one buffer reset per batch instead of per record); every
+        // other state steps record-at-a-time.
+        if let State::Chain {
+            stages,
+            runner,
+            outs,
+            out,
+        } = &mut *state
+        {
+            let n = inbuf.len();
+            let mut tally = ChainTally::default();
+            let run = &task.run;
+            let res = runner.step_batch(
+                stages,
+                sh.config.policy,
+                sh.config.mismatch,
+                &run.seq,
+                inbuf.drain(..),
+                &mut tally,
+                outs,
+                &mut |dl| run.divert(dl),
+            );
+            run.trace.count_chain(&tally);
+            if let Err(e) = res {
                 task.run.fail(e);
                 task.clear_mailbox();
                 finalize(task, &mut state, sh, local);
                 return None;
             }
-            processed += 1;
+            for r in outs.drain(..) {
+                out.send(r, batch, sh, local);
+            }
+            processed += n;
+        } else {
+            for rec in inbuf.drain(..) {
+                if let Err(e) = step(&mut state, rec, sh, &task.run, local) {
+                    task.run.fail(e);
+                    task.clear_mailbox();
+                    finalize(task, &mut state, sh, local);
+                    return None;
+                }
+                processed += 1;
+            }
         }
     }
 
@@ -1083,7 +1192,10 @@ fn run_task(
 /// records, and the sink's buffered outputs into its destination.
 fn flush_outputs(state: &mut State, sh: &Shared, local: Option<&Worker<Arc<Task>>>) {
     match state {
-        State::Box(_, out) | State::Filter(_, out) | State::Sync { out, .. } => {
+        State::Box(_, out)
+        | State::Filter(_, out)
+        | State::Chain { out, .. }
+        | State::Sync { out, .. } => {
             out.flush(sh, local);
         }
         State::Par { branches, out, .. } => {
@@ -1092,9 +1204,7 @@ fn flush_outputs(state: &mut State, sh: &Shared, local: Option<&Worker<Arc<Task>
             }
             out.flush(sh, local);
         }
-        State::Star {
-            into_body, out, ..
-        } => {
+        State::Star { into_body, out, .. } => {
             if let Some(b) = into_body {
                 b.flush(sh, local);
             }
@@ -1123,9 +1233,10 @@ fn flush_outputs(state: &mut State, sh: &Shared, local: Option<&Worker<Arc<Task>
 fn output_backpressured(state: &State, sh: &Shared) -> bool {
     let hw = sh.high_water();
     match state {
-        State::Box(_, out) | State::Filter(_, out) | State::Sync { out, .. } => {
-            out.backlog() >= hw
-        }
+        State::Box(_, out)
+        | State::Filter(_, out)
+        | State::Chain { out, .. }
+        | State::Sync { out, .. } => out.backlog() >= hw,
         State::Sink { buf, dest } => !buf.is_empty() && dest.is_full(),
         _ => false,
     }
@@ -1194,6 +1305,34 @@ fn step(
                 StepVerdict::Fatal(e) => Err(e),
             }
         }
+        State::Chain {
+            stages,
+            runner,
+            outs,
+            out,
+        } => {
+            // The whole chain runs inside this activation; per-stage
+            // policy resolution, retries, panic containment and dead-
+            // letter attribution all happen inside `ChainRunner::step`
+            // (the same `policy_step` calls the unfused tasks make).
+            let mut tally = ChainTally::default();
+            let res = runner.step(
+                stages,
+                sh.config.policy,
+                sh.config.mismatch,
+                &run.seq,
+                rec,
+                &mut tally,
+                outs,
+                &mut |dl| run.divert(dl),
+            );
+            run.trace.count_chain(&tally);
+            res?;
+            for r in outs.drain(..) {
+                out.send(r, batch, sh, local);
+            }
+            Ok(())
+        }
         State::Sync { spec, st, out } => {
             match st.push(spec, rec) {
                 SyncOutcome::Stored => {
@@ -1260,7 +1399,7 @@ fn step(
                     },
                     run,
                 );
-                let body_in = build(body, Port::new(&next_tap), sh, run);
+                let body_in = build(body, Port::new(&next_tap), run);
                 *into_body = Some(body_in);
             }
             into_body
@@ -1282,7 +1421,7 @@ fn step(
             };
             let port = replicas.entry(value).or_insert_with(|| {
                 Trace::add(&run.trace.split_replicas, 1);
-                build(body, out.another(), sh, run)
+                build(body, out.another(), run)
             });
             Trace::add(&run.trace.dispatched, 1);
             port.send(rec, batch, sh, local);
@@ -1309,7 +1448,7 @@ fn finalize(task: &Arc<Task>, state: &mut State, sh: &Shared, local: Option<&Wor
     let old = std::mem::replace(state, State::Done);
     let close = |p: Port| p.close(sh, local);
     match old {
-        State::Box(_, out) | State::Filter(_, out) => close(out),
+        State::Box(_, out) | State::Filter(_, out) | State::Chain { out, .. } => close(out),
         State::Sync { st, out, .. } => {
             let stranded = st.pending().count() as u64;
             if stranded > 0 {
@@ -1323,9 +1462,7 @@ fn finalize(task: &Arc<Task>, state: &mut State, sh: &Shared, local: Option<&Wor
             }
             close(out);
         }
-        State::Star {
-            into_body, out, ..
-        } => {
+        State::Star { into_body, out, .. } => {
             if let Some(b) = into_body {
                 close(b);
             }
@@ -1354,7 +1491,7 @@ fn finalize(task: &Arc<Task>, state: &mut State, sh: &Shared, local: Option<&Wor
 
 /// Recursively instantiates `spec` as a task subgraph of `run` feeding
 /// `output`, returning the subtree's input port.
-fn build(spec: &NetSpec, output: Port, sh: &Shared, run: &Arc<Run>) -> Port {
+fn build(spec: &NetSpec, output: Port, run: &Arc<Run>) -> Port {
     match spec {
         NetSpec::Box(def) => {
             let t = Task::new("box", State::Box(def.clone(), output), run);
@@ -1362,6 +1499,19 @@ fn build(spec: &NetSpec, output: Port, sh: &Shared, run: &Arc<Run>) -> Port {
         }
         NetSpec::Filter(f) => {
             let t = Task::new("filter", State::Filter(f.clone(), output), run);
+            Port::new(&t)
+        }
+        NetSpec::FusedChain { stages } => {
+            let t = Task::new(
+                "fused-chain",
+                State::Chain {
+                    stages: stages.clone(),
+                    runner: ChainRunner::new(),
+                    outs: Vec::new(),
+                    out: output,
+                },
+                run,
+            );
             Port::new(&t)
         }
         NetSpec::Sync(spec) => {
@@ -1377,15 +1527,14 @@ fn build(spec: &NetSpec, output: Port, sh: &Shared, run: &Arc<Run>) -> Port {
             Port::new(&t)
         }
         NetSpec::Serial(a, b) => {
-            let mid = build(b, output, sh, run);
-            build(a, mid, sh, run)
+            let mid = build(b, output, run);
+            build(a, mid, run)
         }
         NetSpec::Parallel { branches, .. } => {
-            let patterns: Vec<Vec<Pattern>> =
-                branches.iter().map(|b| b.input_patterns()).collect();
+            let patterns: Vec<Vec<Pattern>> = branches.iter().map(|b| b.input_patterns()).collect();
             let ports: Vec<Port> = branches
                 .iter()
-                .map(|b| build(b, output.another(), sh, run))
+                .map(|b| build(b, output.another(), run))
                 .collect();
             let t = Task::new(
                 "par-dispatch",
@@ -1426,7 +1575,7 @@ fn build(spec: &NetSpec, output: Port, sh: &Shared, run: &Arc<Run>) -> Port {
             );
             Port::new(&t)
         }
-        NetSpec::At { body, .. } | NetSpec::Named { body, .. } => build(body, output, sh, run),
+        NetSpec::At { body, .. } | NetSpec::Named { body, .. } => build(body, output, run),
     }
 }
 
@@ -1564,6 +1713,7 @@ impl SchedHandle {
     /// Non-blocking send: hands the record back as
     /// [`TrySendError::Full`] instead of blocking when the entry
     /// mailbox is at capacity.
+    #[allow(clippy::result_large_err)] // Full carries the record back by design
     pub fn try_send(&self, rec: Record) -> Result<(), TrySendError> {
         let Some(task) = self.entry_task() else {
             return Err(TrySendError::Closed(SnetError::Engine(
@@ -1593,7 +1743,9 @@ impl SchedHandle {
     /// [`EngineConfig::channel_capacity`] when the handle's own senders
     /// are the only producers — the observable ingress bound.
     pub fn input_backlog(&self) -> usize {
-        self.entry_task().map(|t| t.mailbox.lock().len()).unwrap_or(0)
+        self.entry_task()
+            .map(|t| t.mailbox.lock().len())
+            .unwrap_or(0)
     }
 
     /// Closes the input stream (end-of-stream for the network).
@@ -1672,10 +1824,10 @@ impl SchedHandle {
             Some(state) => {
                 if let Some(due) = execute(&task, state, &self.sh, None) {
                     self.sh.deferred_count.fetch_add(1, Ordering::Release);
-                    self.sh
-                        .deferred
-                        .lock()
-                        .push(Deferred { due, task: Arc::clone(&task) });
+                    self.sh.deferred.lock().push(Deferred {
+                        due,
+                        task: Arc::clone(&task),
+                    });
                 }
                 true
             }
@@ -1790,7 +1942,11 @@ mod tests {
     fn single_box_pipeline() {
         let net = SchedNet::new(int_box("double", "x", "x", |x| 2 * x));
         let outs = net
-            .run_batch((0..10).map(|i| Record::new().with_field("x", Value::Int(i))).collect())
+            .run_batch(
+                (0..10)
+                    .map(|i| Record::new().with_field("x", Value::Int(i)))
+                    .collect(),
+            )
             .unwrap();
         assert_eq!(ints(&outs, "x"), (0..10).map(|i| 2 * i).collect::<Vec<_>>());
     }
@@ -1850,7 +2006,11 @@ mod tests {
     fn split_creates_replica_per_tag_value() {
         let net = SchedNet::new(NetSpec::split(int_box("id", "x", "x", |x| x), "k"));
         let recs: Vec<Record> = (0..12)
-            .map(|i| Record::new().with_field("x", Value::Int(i)).with_tag("k", i % 3))
+            .map(|i| {
+                Record::new()
+                    .with_field("x", Value::Int(i))
+                    .with_tag("k", i % 3)
+            })
             .collect();
         let (outs, trace) = net.run_batch_traced(recs).unwrap();
         assert_eq!(outs.len(), 12);
@@ -1924,7 +2084,11 @@ mod tests {
         ));
         let net = SchedNet::new(bomb);
         let err = net
-            .run_batch((0..5).map(|i| Record::new().with_field("x", Value::Int(i))).collect())
+            .run_batch(
+                (0..5)
+                    .map(|i| Record::new().with_field("x", Value::Int(i)))
+                    .collect(),
+            )
             .unwrap_err();
         match err {
             SnetError::BoxFailure { name, cause } => {
@@ -1971,7 +2135,9 @@ mod tests {
     #[test]
     fn deep_pipeline_with_single_worker() {
         // workers = 1 exercises the no-stealing degenerate case.
-        let stages: Vec<NetSpec> = (0..8).map(|_| int_box("inc", "x", "x", |x| x + 1)).collect();
+        let stages: Vec<NetSpec> = (0..8)
+            .map(|_| int_box("inc", "x", "x", |x| x + 1))
+            .collect();
         let net = SchedNet::with_config(
             NetSpec::pipeline(stages),
             EngineConfig {
@@ -1980,7 +2146,11 @@ mod tests {
             },
         );
         let outs = net
-            .run_batch((0..200).map(|i| Record::new().with_field("x", Value::Int(i))).collect())
+            .run_batch(
+                (0..200)
+                    .map(|i| Record::new().with_field("x", Value::Int(i)))
+                    .collect(),
+            )
             .unwrap();
         assert_eq!(outs.len(), 200);
         assert_eq!(ints(&outs, "x"), (8..208).collect::<Vec<_>>());
@@ -1996,10 +2166,12 @@ mod tests {
     fn streaming_interface_overlaps() {
         let net = SchedNet::new(int_box("inc", "x", "x", |x| x + 1));
         let h = net.start();
-        h.send(Record::new().with_field("x", Value::Int(1))).unwrap();
+        h.send(Record::new().with_field("x", Value::Int(1)))
+            .unwrap();
         let first = h.recv().expect("one output while input still open");
         assert_eq!(first.field("x").unwrap().as_int(), Some(2));
-        h.send(Record::new().with_field("x", Value::Int(5))).unwrap();
+        h.send(Record::new().with_field("x", Value::Int(5)))
+            .unwrap();
         h.close_input();
         let second = h.recv().expect("second output");
         assert_eq!(second.field("x").unwrap().as_int(), Some(6));
@@ -2024,7 +2196,8 @@ mod tests {
     fn batch_and_streaming_runs_interleave_on_one_pool() {
         let net = SchedNet::new(int_box("inc", "x", "x", |x| x + 1));
         let h = net.start();
-        h.send(Record::new().with_field("x", Value::Int(10))).unwrap();
+        h.send(Record::new().with_field("x", Value::Int(10)))
+            .unwrap();
         // A whole batch run completes while the streaming run stays open.
         let outs = net
             .run_batch(vec![Record::new().with_field("x", Value::Int(100))])

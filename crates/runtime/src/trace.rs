@@ -7,7 +7,7 @@
 //! unfired synchrocells at end-of-stream (almost always a coordination
 //! bug — the paper's merger net, for instance, must end with none).
 
-use snet_core::Work;
+use snet_core::{ChainTally, Work};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Shared event counters; all methods are thread-safe and cheap.
@@ -53,6 +53,18 @@ impl Trace {
 
     pub(crate) fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Folds a fused-chain tally into the run counters, so a fused run
+    /// reports exactly the trace its unfused equivalent would.
+    pub(crate) fn count_chain(&self, t: &ChainTally) {
+        self.box_records.fetch_add(t.box_records, Ordering::Relaxed);
+        self.box_ops.fetch_add(t.box_ops, Ordering::Relaxed);
+        self.filter_records
+            .fetch_add(t.filter_records, Ordering::Relaxed);
+        self.passthroughs
+            .fetch_add(t.passthroughs, Ordering::Relaxed);
+        self.retries.fetch_add(t.retries, Ordering::Relaxed);
     }
 
     /// Reads a counter.

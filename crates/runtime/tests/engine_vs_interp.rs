@@ -13,34 +13,38 @@
 use proptest::prelude::*;
 use snet_core::boxdef::{BoxDef, BoxOutput, BoxSig, Work};
 use snet_core::filter::OutputTemplate;
-use snet_core::{
-    BinOp, FilterSpec, NetSpec, Pattern, Record, SyncSpec, TagExpr, Value, Variant,
-};
+use snet_core::{BinOp, FilterSpec, NetSpec, Pattern, Record, SyncSpec, TagExpr, Value, Variant};
 use snet_runtime::{run_stream, EngineConfig, Interp, Net, SchedNet};
 
 /// A box consuming `{a}` and emitting `{a: a + 1}`.
 fn add_box() -> NetSpec {
-    NetSpec::Box(BoxDef::from_fn(BoxSig::parse("add", &["a"], &[&["a"]]), |r| {
-        let a = r.field("a").and_then(|v| v.as_int()).unwrap_or(0);
-        Ok(BoxOutput::one(
-            Record::new().with_field("a", Value::Int(a + 1)),
-            Work::ops(1),
-        ))
-    }))
+    NetSpec::Box(BoxDef::from_fn(
+        BoxSig::parse("add", &["a"], &[&["a"]]),
+        |r| {
+            let a = r.field("a").and_then(|v| v.as_int()).unwrap_or(0);
+            Ok(BoxOutput::one(
+                Record::new().with_field("a", Value::Int(a + 1)),
+                Work::ops(1),
+            ))
+        },
+    ))
 }
 
 /// A box consuming `{a}` and emitting two records, `{a}` and `{b: a}`.
 fn dup_box() -> NetSpec {
-    NetSpec::Box(BoxDef::from_fn(BoxSig::parse("dup", &["a"], &[&["a"], &["b"]]), |r| {
-        let a = r.field("a").and_then(|v| v.as_int()).unwrap_or(0);
-        Ok(BoxOutput::many(
-            vec![
-                Record::new().with_field("a", Value::Int(a)),
-                Record::new().with_field("b", Value::Int(a)),
-            ],
-            Work::ops(2),
-        ))
-    }))
+    NetSpec::Box(BoxDef::from_fn(
+        BoxSig::parse("dup", &["a"], &[&["a"], &["b"]]),
+        |r| {
+            let a = r.field("a").and_then(|v| v.as_int()).unwrap_or(0);
+            Ok(BoxOutput::many(
+                vec![
+                    Record::new().with_field("a", Value::Int(a)),
+                    Record::new().with_field("b", Value::Int(a)),
+                ],
+                Work::ops(2),
+            ))
+        },
+    ))
 }
 
 /// A filter renaming field `b` to `c`.
@@ -55,9 +59,10 @@ fn rename_filter() -> NetSpec {
 fn tag_filter() -> NetSpec {
     NetSpec::Filter(FilterSpec::new(
         Pattern::from_variant(Variant::parse_labels(&[], &["n"])),
-        vec![OutputTemplate::empty()
-            .keep_tag("n")
-            .set_tag("m", TagExpr::bin(BinOp::Mul, TagExpr::tag("n"), TagExpr::Const(2)))],
+        vec![OutputTemplate::empty().keep_tag("n").set_tag(
+            "m",
+            TagExpr::bin(BinOp::Mul, TagExpr::tag("n"), TagExpr::Const(2)),
+        )],
     ))
 }
 
@@ -97,8 +102,7 @@ fn leaf() -> impl Strategy<Value = NetSpec> {
 fn arb_net() -> impl Strategy<Value = NetSpec> {
     leaf().prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| NetSpec::serial(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| NetSpec::serial(a, b)),
             prop::collection::vec(inner.clone(), 2..4).prop_map(NetSpec::parallel),
             inner.prop_map(|body| NetSpec::split(body, "k")),
         ]
@@ -108,8 +112,13 @@ fn arb_net() -> impl Strategy<Value = NetSpec> {
 /// Records always carry `<n>` and `<k>` (so stars terminate and splits
 /// route) plus a random subset of fields.
 fn arb_record() -> impl Strategy<Value = Record> {
-    (0i64..4, 0i64..3, prop::option::of(0i64..100), prop::option::of(0i64..100)).prop_map(
-        |(n, k, a, b)| {
+    (
+        0i64..4,
+        0i64..3,
+        prop::option::of(0i64..100),
+        prop::option::of(0i64..100),
+    )
+        .prop_map(|(n, k, a, b)| {
             let mut r = Record::new().with_tag("n", n).with_tag("k", k);
             if let Some(a) = a {
                 r.set_field("a", Value::Int(a));
@@ -118,8 +127,7 @@ fn arb_record() -> impl Strategy<Value = Record> {
                 r.set_field("b", Value::Int(b));
             }
             r
-        },
-    )
+        })
 }
 
 fn multiset(records: &[Record]) -> Vec<String> {

@@ -10,9 +10,7 @@
 use snet_core::boxdef::{BoxDef, BoxOutput, BoxSig, Work};
 use snet_core::{NetSpec, Record, SnetError, Value};
 use snet_runtime::faultinject::{chaos, chaos_with_stats, FaultSpec};
-use snet_runtime::{
-    Engine, EngineConfig, FailurePolicy, Interp, Net, SchedNet, StreamHandle,
-};
+use snet_runtime::{Engine, EngineConfig, FailurePolicy, Interp, Net, SchedNet, StreamHandle};
 use std::time::Duration;
 
 /// A box consuming `{x}` and emitting `{x: x + 1}`.
@@ -117,9 +115,7 @@ fn retry_counts_surface_in_the_trace() {
     let report = SchedNet::with_config(NetSpec::Box(flaky), cfg)
         .run_batch_report(inputs(40))
         .unwrap();
-    let retries = report
-        .trace
-        .get(&report.trace.retries);
+    let retries = report.trace.get(&report.trace.retries);
     assert_eq!(retries, stats.injected(), "each injection costs one retry");
     assert!(retries > 0);
 }
@@ -135,7 +131,10 @@ fn dead_letter_partitions_the_input_set() {
     let spec = FaultSpec::errors(0x0dead, 3, u32::MAX); // permanent
     let batch = inputs(30);
     let (doomed, healthy) = partition(spec, &batch);
-    assert!(!doomed.is_empty() && !healthy.is_empty(), "degenerate schedule");
+    assert!(
+        !doomed.is_empty() && !healthy.is_empty(),
+        "degenerate schedule"
+    );
     let expected_outputs = Interp::new(&NetSpec::Box(inc_box()))
         .run_batch(healthy.clone())
         .unwrap();
@@ -151,7 +150,11 @@ fn dead_letter_partitions_the_input_set() {
             batch.len(),
             "{engine}: outputs + dead letters must partition the input set"
         );
-        assert_eq!(multiset(&outputs), multiset(&expected_outputs.outputs), "{engine}");
+        assert_eq!(
+            multiset(&outputs),
+            multiset(&expected_outputs.outputs),
+            "{engine}"
+        );
         let dead_recs: Vec<Record> = dead.iter().map(|d| d.record.clone()).collect();
         assert_eq!(multiset(&dead_recs), multiset(&doomed), "{engine}");
         for d in &dead {
@@ -250,9 +253,16 @@ fn engines_agree_on_dead_letter_survivors() {
             multiset(&oracle.outputs),
             "{engine}: surviving outputs diverge from the oracle"
         );
-        let dead: Vec<Record> = report.dead_letters.iter().map(|d| d.record.clone()).collect();
-        let oracle_dead: Vec<Record> =
-            oracle.dead_letters.iter().map(|d| d.record.clone()).collect();
+        let dead: Vec<Record> = report
+            .dead_letters
+            .iter()
+            .map(|d| d.record.clone())
+            .collect();
+        let oracle_dead: Vec<Record> = oracle
+            .dead_letters
+            .iter()
+            .map(|d| d.record.clone())
+            .collect();
         assert_eq!(multiset(&dead), multiset(&oracle_dead), "{engine}");
     }
 }
@@ -264,9 +274,13 @@ fn glue_errors_divert_under_dead_letter() {
     // of the batch flows on. Same on all three engines.
     let net = NetSpec::split(NetSpec::Box(inc_box()), "k");
     let mut batch = vec![
-        Record::new().with_field("x", Value::Int(1)).with_tag("k", 0),
+        Record::new()
+            .with_field("x", Value::Int(1))
+            .with_tag("k", 0),
         Record::new().with_field("x", Value::Int(2)), // no <k>
-        Record::new().with_field("x", Value::Int(3)).with_tag("k", 1),
+        Record::new()
+            .with_field("x", Value::Int(3))
+            .with_tag("k", 1),
     ];
     let cfg = EngineConfig {
         policy: FailurePolicy::DeadLetter,
@@ -286,8 +300,12 @@ fn glue_errors_divert_under_dead_letter() {
     ));
 
     for report in [
-        Net::with_config(net.clone(), cfg).run_batch_report(batch.clone()).unwrap(),
-        SchedNet::with_config(net.clone(), cfg).run_batch_report(batch.clone()).unwrap(),
+        Net::with_config(net.clone(), cfg)
+            .run_batch_report(batch.clone())
+            .unwrap(),
+        SchedNet::with_config(net.clone(), cfg)
+            .run_batch_report(batch.clone())
+            .unwrap(),
     ] {
         assert_eq!(report.outputs.len(), 2);
         assert_eq!(report.dead_letters.len(), 1);
@@ -364,7 +382,9 @@ fn per_box_policy_overrides_the_engine_default() {
     assert!(!doomed.is_empty());
 
     // Engine default FailFast; the override still diverts.
-    let report = SchedNet::new(net.clone()).run_batch_report(batch.clone()).unwrap();
+    let report = SchedNet::new(net.clone())
+        .run_batch_report(batch.clone())
+        .unwrap();
     assert_eq!(report.dead_letters.len(), doomed.len());
     let report = Net::new(net).run_batch_report(batch).unwrap();
     assert_eq!(report.dead_letters.len(), doomed.len());

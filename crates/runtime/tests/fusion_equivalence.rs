@@ -1,0 +1,460 @@
+//! Property tests: operator fusion is semantically invisible.
+//!
+//! A fused run (`fuse: true`, the default), an unfused run
+//! (`fuse: false`, the exact pre-fusion execution), and the reference
+//! interpreter must agree on the output multiset for randomly generated
+//! networks — including nets whose chains are broken by sync, star and
+//! split boundaries, and chains whose boxes carry per-box
+//! [`FailurePolicy`] overrides under seeded [`faultinject::chaos`]
+//! schedules. The fault-attribution guarantee is asserted directly:
+//! a dead letter minted inside a fused chain names the original box,
+//! not the chain.
+
+use proptest::prelude::*;
+use snet_core::boxdef::{BoxDef, BoxOutput, BoxSig, Work};
+use snet_core::filter::OutputTemplate;
+use snet_core::{BinOp, FilterSpec, NetSpec, Pattern, Record, SyncSpec, TagExpr, Value, Variant};
+use snet_runtime::faultinject::{chaos, FaultSpec};
+use snet_runtime::{EngineConfig, FailurePolicy, Interp, Net, SchedNet};
+use std::time::Duration;
+
+/// A box consuming `{a}` and emitting `{a: a + 1}`.
+fn add_box() -> NetSpec {
+    NetSpec::Box(BoxDef::from_fn(
+        BoxSig::parse("add", &["a"], &[&["a"]]),
+        |r| {
+            let a = r.field("a").and_then(|v| v.as_int()).unwrap_or(0);
+            Ok(BoxOutput::one(
+                Record::new().with_field("a", Value::Int(a + 1)),
+                Work::ops(1),
+            ))
+        },
+    ))
+}
+
+/// A box consuming `{a}` and emitting two records, `{a}` and `{b: a}`.
+fn dup_box() -> NetSpec {
+    NetSpec::Box(BoxDef::from_fn(
+        BoxSig::parse("dup", &["a"], &[&["a"], &["b"]]),
+        |r| {
+            let a = r.field("a").and_then(|v| v.as_int()).unwrap_or(0);
+            Ok(BoxOutput::many(
+                vec![
+                    Record::new().with_field("a", Value::Int(a)),
+                    Record::new().with_field("b", Value::Int(a)),
+                ],
+                Work::ops(2),
+            ))
+        },
+    ))
+}
+
+/// A filter renaming field `b` to `c`.
+fn rename_filter() -> NetSpec {
+    NetSpec::Filter(FilterSpec::new(
+        Pattern::from_variant(Variant::parse_labels(&["b"], &[])),
+        vec![OutputTemplate::empty().rename_field("c", "b")],
+    ))
+}
+
+/// A filter computing tag `<m> = <n> * 2` (leaves `<n>` untouched).
+fn tag_filter() -> NetSpec {
+    NetSpec::Filter(FilterSpec::new(
+        Pattern::from_variant(Variant::parse_labels(&[], &["n"])),
+        vec![OutputTemplate::empty().keep_tag("n").set_tag(
+            "m",
+            TagExpr::bin(BinOp::Mul, TagExpr::tag("n"), TagExpr::Const(2)),
+        )],
+    ))
+}
+
+/// `([ {<n>} -> {<n = n - 1>} ]) * {<n> <= 0}` — a chain boundary that
+/// always terminates for finite `<n>`.
+fn countdown_star() -> NetSpec {
+    NetSpec::star(
+        NetSpec::Filter(FilterSpec::new(
+            Pattern::from_variant(Variant::parse_labels(&[], &["n"])),
+            vec![OutputTemplate::empty().set_tag(
+                "n",
+                TagExpr::bin(BinOp::Sub, TagExpr::tag("n"), TagExpr::Const(1)),
+            )],
+        )),
+        Pattern::guarded(
+            Variant::empty(),
+            TagExpr::bin(BinOp::Le, TagExpr::tag("n"), TagExpr::Const(0)),
+        ),
+    )
+}
+
+/// SISO leaves — the raw material chains are made of.
+fn siso_leaf() -> impl Strategy<Value = NetSpec> {
+    prop_oneof![
+        Just(add_box()),
+        Just(dup_box()),
+        Just(rename_filter()),
+        Just(tag_filter()),
+    ]
+}
+
+/// A serial run of 1–5 SISO leaves: length ≥ 2 fuses, length 1 stays a
+/// plain component, so both planner paths appear in every sample set.
+fn arb_chain() -> impl Strategy<Value = NetSpec> {
+    prop::collection::vec(siso_leaf(), 1..6).prop_map(NetSpec::pipeline)
+}
+
+/// Chains glued together by the constructs that *break* fusion: serial
+/// composition over a star boundary, parallel merge, and `!`-split.
+/// The fragment stays confluent, so output multisets are well-defined.
+fn arb_net() -> impl Strategy<Value = NetSpec> {
+    arb_chain().prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| NetSpec::serial(a, b)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| { NetSpec::serial(a, NetSpec::serial(countdown_star(), b)) }),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(NetSpec::parallel),
+            inner.prop_map(|body| NetSpec::split(body, "k")),
+        ]
+    })
+}
+
+/// Records always carry `<n>` and `<k>` (so stars terminate and splits
+/// route) plus a random subset of fields.
+fn arb_record() -> impl Strategy<Value = Record> {
+    (
+        0i64..4,
+        0i64..3,
+        prop::option::of(0i64..100),
+        prop::option::of(0i64..100),
+    )
+        .prop_map(|(n, k, a, b)| {
+            let mut r = Record::new().with_tag("n", n).with_tag("k", k);
+            if let Some(a) = a {
+                r.set_field("a", Value::Int(a));
+            }
+            if let Some(b) = b {
+                r.set_field("b", Value::Int(b));
+            }
+            r
+        })
+}
+
+fn multiset(records: &[Record]) -> Vec<String> {
+    let mut v: Vec<String> = records.iter().map(|r| format!("{r:?}")).collect();
+    v.sort();
+    v
+}
+
+fn fused_cfg() -> EngineConfig {
+    EngineConfig {
+        fuse: true,
+        ..EngineConfig::default()
+    }
+}
+
+fn unfused_cfg() -> EngineConfig {
+    EngineConfig {
+        fuse: false,
+        ..EngineConfig::default()
+    }
+}
+
+/// Whether a compiled plan contains at least one fused chain — used to
+/// keep the equivalence properties honest (a suite whose generator never
+/// produces a fusable run proves nothing about fusion).
+fn contains_chain(net: &NetSpec) -> bool {
+    match net {
+        NetSpec::FusedChain { .. } => true,
+        NetSpec::Box(_) | NetSpec::Filter(_) | NetSpec::Sync(_) => false,
+        NetSpec::Serial(a, b) => contains_chain(a) || contains_chain(b),
+        NetSpec::Parallel { branches, .. } => branches.iter().any(contains_chain),
+        NetSpec::Star { body, .. }
+        | NetSpec::Split { body, .. }
+        | NetSpec::At { body, .. }
+        | NetSpec::Named { body, .. } => contains_chain(body),
+    }
+}
+
+/// A flaky `{x} -> {x+1}` box on a content-keyed schedule.
+fn flaky_inc(spec: FaultSpec) -> BoxDef {
+    let inc = BoxDef::from_fn(BoxSig::parse("inc", &["x"], &[&["x"]]), |r| {
+        let x = r.field("x").and_then(|v| v.as_int()).unwrap_or(0);
+        Ok(BoxOutput::one(
+            Record::new().with_field("x", Value::Int(x + 1)),
+            Work::ops(1),
+        ))
+    });
+    chaos(&inc, spec)
+}
+
+/// `{x} -> {x * 10}` — gives the chain healthy stages around the flaky
+/// one, so fused execution crosses policy domains inside one task.
+fn times_box(name: &str) -> NetSpec {
+    NetSpec::Box(BoxDef::from_fn(
+        BoxSig::parse(name, &["x"], &[&["x"]]),
+        |r| {
+            let x = r.field("x").and_then(|v| v.as_int()).unwrap_or(0);
+            Ok(BoxOutput::one(
+                Record::new().with_field("x", Value::Int(x * 10)),
+                Work::ops(1),
+            ))
+        },
+    ))
+}
+
+fn xs(n: i64) -> Vec<Record> {
+    (0..n)
+        .map(|i| Record::new().with_field("x", Value::Int(i)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fused_equals_unfused_equals_interp(
+        net in arb_net(),
+        batch in prop::collection::vec(arb_record(), 0..16),
+    ) {
+        let expected = Interp::new(&net).run_batch(batch.clone()).unwrap();
+        let fused = SchedNet::with_config(net.clone(), fused_cfg())
+            .run_batch(batch.clone())
+            .unwrap();
+        let unfused = SchedNet::with_config(net.clone(), unfused_cfg())
+            .run_batch(batch.clone())
+            .unwrap();
+        let threaded = Net::with_config(net, fused_cfg()).run_batch(batch).unwrap();
+        prop_assert_eq!(multiset(&fused), multiset(&expected.outputs));
+        prop_assert_eq!(multiset(&unfused), multiset(&expected.outputs));
+        prop_assert_eq!(multiset(&threaded), multiset(&expected.outputs));
+    }
+
+    #[test]
+    fn fusion_preserves_work_accounting(
+        net in arb_net(),
+        batch in prop::collection::vec(arb_record(), 0..12),
+    ) {
+        // ChainTally must fold into the trace exactly what per-component
+        // tasks would have counted: abstract ops drive the cluster
+        // simulator, so fusion must not change them.
+        let expected = Interp::new(&net).run_batch(batch.clone()).unwrap();
+        let (_, trace) = SchedNet::with_config(net, fused_cfg())
+            .run_batch_traced(batch)
+            .unwrap();
+        prop_assert_eq!(
+            trace.box_ops.load(std::sync::atomic::Ordering::Relaxed),
+            expected.work.ops
+        );
+    }
+
+    #[test]
+    fn fused_matches_unfused_with_leading_sync(
+        net in arb_net(),
+        batch in prop::collection::vec(arb_record(), 0..16),
+    ) {
+        // A synchrocell at the stream head is deterministic and is a
+        // fusion boundary: everything downstream still fuses and must
+        // agree with the oracle.
+        let cell = NetSpec::Sync(SyncSpec::new(vec![
+            Pattern::from_variant(Variant::parse_labels(&["a"], &[])),
+            Pattern::from_variant(Variant::parse_labels(&["b"], &[])),
+        ]));
+        let full = NetSpec::serial(cell, net);
+        let expected = Interp::new(&full).run_batch(batch.clone()).unwrap();
+        let fused = SchedNet::with_config(full.clone(), fused_cfg())
+            .run_batch(batch.clone())
+            .unwrap();
+        let unfused = SchedNet::with_config(full, unfused_cfg()).run_batch(batch).unwrap();
+        prop_assert_eq!(multiset(&fused), multiset(&expected.outputs));
+        prop_assert_eq!(multiset(&unfused), multiset(&expected.outputs));
+    }
+
+    #[test]
+    fn chaos_dead_letters_agree_fused_vs_unfused(
+        seed in 0u64..1024,
+        n in 8i64..40,
+    ) {
+        // A chain whose middle box is permanently flaky and opts into
+        // DeadLetter while the engine default stays FailFast. The fused
+        // run must divert exactly the records the schedule selects —
+        // same set as the unfused run and the oracle — and each dead
+        // letter must name the *original* box, not the chain.
+        let spec = FaultSpec::errors(seed, 3, u32::MAX);
+        let chain = |spec| {
+            NetSpec::pipeline([
+                times_box("pre"),
+                NetSpec::Box(flaky_inc(spec).with_policy(FailurePolicy::DeadLetter)),
+                times_box("post"),
+            ])
+        };
+        prop_assert!(contains_chain(&snet_core::fuse(&chain(spec))));
+        let batch = xs(n);
+        let doomed: Vec<Record> = batch
+            .iter()
+            // The flaky stage sees `pre`'s output, so selection is keyed
+            // on the record as it arrives *at that stage*.
+            .filter(|r| {
+                let x = r.field("x").and_then(|v| v.as_int()).unwrap();
+                spec.selects(&Record::new().with_field("x", Value::Int(x * 10)))
+            })
+            .cloned()
+            .collect();
+
+        let oracle = Interp::new(&chain(spec)).run_batch(batch.clone()).unwrap();
+        for (engine, report) in [
+            (
+                "sched-fused",
+                SchedNet::with_config(chain(spec), fused_cfg())
+                    .run_batch_report(batch.clone())
+                    .unwrap(),
+            ),
+            (
+                "sched-unfused",
+                SchedNet::with_config(chain(spec), unfused_cfg())
+                    .run_batch_report(batch.clone())
+                    .unwrap(),
+            ),
+            (
+                "threaded-fused",
+                Net::with_config(chain(spec), fused_cfg())
+                    .run_batch_report(batch.clone())
+                    .unwrap(),
+            ),
+        ] {
+            prop_assert_eq!(
+                multiset(&report.outputs),
+                multiset(&oracle.outputs),
+                "{}: survivors diverge from the oracle", engine
+            );
+            prop_assert_eq!(report.dead_letters.len(), doomed.len(), "{}", engine);
+            for d in &report.dead_letters {
+                prop_assert_eq!(&d.report.component, "inc", "{}", engine);
+            }
+        }
+        prop_assert_eq!(oracle.dead_letters.len(), doomed.len());
+    }
+
+    #[test]
+    fn chaos_retry_converges_inside_fused_chains(
+        seed in 0u64..1024,
+        n in 8i64..32,
+    ) {
+        // Bounded faults + a per-box Retry override: the fused chain
+        // must re-run only the failing stage (on the record as it
+        // arrived there) and converge to the fault-free output.
+        let spec = FaultSpec::errors(seed, 3, 2);
+        let retry = FailurePolicy::Retry {
+            max_attempts: 4,
+            backoff: Duration::from_micros(10),
+        };
+        let chain = |flaky: BoxDef| {
+            NetSpec::pipeline([
+                times_box("pre"),
+                NetSpec::Box(flaky.with_policy(retry)),
+                times_box("post"),
+            ])
+        };
+        let expected = Interp::new(&chain(flaky_inc(FaultSpec::errors(seed, 0, 0))))
+            .run_batch(xs(n))
+            .unwrap();
+        // Fresh chaos wrap per run: the per-record fault budget lives in
+        // the wrapper, and a shared one would let the first run spend it.
+        for fuse in [true, false] {
+            let cfg = EngineConfig { fuse, ..EngineConfig::default() };
+            let outs = SchedNet::with_config(chain(flaky_inc(spec)), cfg)
+                .run_batch(xs(n))
+                .unwrap();
+            prop_assert_eq!(
+                multiset(&outs),
+                multiset(&expected.outputs),
+                "fuse={} diverged from fault-free output", fuse
+            );
+        }
+    }
+}
+
+#[test]
+fn generator_produces_fusable_chains() {
+    // Keep the properties above honest: a depth-4 pipeline of SISO
+    // leaves must actually fuse under the planner.
+    let net = NetSpec::pipeline([add_box(), dup_box(), rename_filter(), tag_filter()]);
+    assert!(contains_chain(&snet_core::fuse(&net)));
+}
+
+#[test]
+fn boundaries_split_chains_into_fused_halves() {
+    // pipeline .. star .. pipeline: the star breaks the chain, both
+    // halves fuse, and all engines agree with the oracle.
+    let half = || NetSpec::pipeline([add_box(), tag_filter()]);
+    let net = NetSpec::serial(half(), NetSpec::serial(countdown_star(), half()));
+    let plan = snet_core::fuse(&net);
+    fn count_chains(net: &NetSpec) -> usize {
+        match net {
+            NetSpec::FusedChain { .. } => 1,
+            NetSpec::Serial(a, b) => count_chains(a) + count_chains(b),
+            NetSpec::Parallel { branches, .. } => branches.iter().map(count_chains).sum(),
+            NetSpec::Star { body, .. }
+            | NetSpec::Split { body, .. }
+            | NetSpec::At { body, .. }
+            | NetSpec::Named { body, .. } => count_chains(body),
+            _ => 0,
+        }
+    }
+    assert_eq!(count_chains(&plan), 2, "both halves must fuse: {plan}");
+
+    let batch: Vec<Record> = (0..12)
+        .map(|i| {
+            Record::new()
+                .with_tag("n", i % 4)
+                .with_field("a", Value::Int(i))
+        })
+        .collect();
+    let expected = Interp::new(&net).run_batch(batch.clone()).unwrap();
+    let fused = SchedNet::with_config(net.clone(), fused_cfg())
+        .run_batch(batch.clone())
+        .unwrap();
+    let unfused = SchedNet::with_config(net.clone(), unfused_cfg())
+        .run_batch(batch.clone())
+        .unwrap();
+    let threaded = Net::with_config(net, fused_cfg()).run_batch(batch).unwrap();
+    assert_eq!(multiset(&fused), multiset(&expected.outputs));
+    assert_eq!(multiset(&unfused), multiset(&expected.outputs));
+    assert_eq!(multiset(&threaded), multiset(&expected.outputs));
+}
+
+#[test]
+fn mid_stream_sync_breaks_the_chain_and_still_agrees() {
+    // A synchrocell *between* two fusable runs, fed in a deterministic
+    // (stream-head-equivalent) position: the upstream chain output order
+    // is FIFO through the fused task, so the cell's merges match the
+    // oracle's.
+    let cell = NetSpec::Sync(SyncSpec::new(vec![
+        Pattern::from_variant(Variant::parse_labels(&["a"], &[])),
+        Pattern::from_variant(Variant::parse_labels(&["b"], &[])),
+    ]));
+    let net = NetSpec::serial(
+        NetSpec::pipeline([tag_filter(), tag_filter()]),
+        NetSpec::serial(cell, NetSpec::pipeline([tag_filter(), tag_filter()])),
+    );
+    let plan = snet_core::fuse(&net);
+    assert!(contains_chain(&plan));
+
+    let batch: Vec<Record> = (0..10)
+        .map(|i| {
+            let r = Record::new().with_tag("n", i);
+            if i % 2 == 0 {
+                r.with_field("a", Value::Int(i))
+            } else {
+                r.with_field("b", Value::Int(i))
+            }
+        })
+        .collect();
+    let expected = Interp::new(&net).run_batch(batch.clone()).unwrap();
+    let fused = SchedNet::with_config(net.clone(), fused_cfg())
+        .run_batch(batch.clone())
+        .unwrap();
+    let unfused = SchedNet::with_config(net, unfused_cfg())
+        .run_batch(batch)
+        .unwrap();
+    assert_eq!(multiset(&fused), multiset(&expected.outputs));
+    assert_eq!(multiset(&unfused), multiset(&expected.outputs));
+}

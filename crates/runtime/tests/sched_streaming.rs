@@ -23,20 +23,25 @@ use std::thread::ThreadId;
 use std::time::{Duration, Instant};
 
 fn int_box(name: &str, f: fn(i64) -> i64) -> NetSpec {
-    NetSpec::Box(BoxDef::from_fn(BoxSig::parse(name, &["x"], &[&["x"]]), move |r| {
-        let x = r
-            .field("x")
-            .and_then(|v| v.as_int())
-            .ok_or_else(|| SnetError::Engine("expected int field x".into()))?;
-        Ok(BoxOutput::one(
-            Record::new().with_field("x", Value::Int(f(x))),
-            Work::ops(1),
-        ))
-    }))
+    NetSpec::Box(BoxDef::from_fn(
+        BoxSig::parse(name, &["x"], &[&["x"]]),
+        move |r| {
+            let x = r
+                .field("x")
+                .and_then(|v| v.as_int())
+                .ok_or_else(|| SnetError::Engine("expected int field x".into()))?;
+            Ok(BoxOutput::one(
+                Record::new().with_field("x", Value::Int(f(x))),
+                Work::ops(1),
+            ))
+        },
+    ))
 }
 
 fn recs(n: i64) -> Vec<Record> {
-    (0..n).map(|i| Record::new().with_field("x", Value::Int(i))).collect()
+    (0..n)
+        .map(|i| Record::new().with_field("x", Value::Int(i)))
+        .collect()
 }
 
 fn xs(records: &[Record]) -> Vec<i64> {
@@ -146,7 +151,8 @@ fn try_send_reports_full_at_configured_capacity() {
         },
     );
     let h = net.start();
-    h.send(Record::new().with_field("x", Value::Int(0))).unwrap();
+    h.send(Record::new().with_field("x", Value::Int(0)))
+        .unwrap();
     {
         // Wait until the worker has claimed that record and is wedged
         // inside the box; from here on nothing drains the entry mailbox.
@@ -245,7 +251,8 @@ fn dropping_handle_without_finish_is_safe() {
     {
         let h = net.start();
         for i in 0..20 {
-            h.send(Record::new().with_field("x", Value::Int(i))).unwrap();
+            h.send(Record::new().with_field("x", Value::Int(i)))
+                .unwrap();
         }
         // No recv, no close, no finish.
     }
@@ -254,7 +261,11 @@ fn dropping_handle_without_finish_is_safe() {
         let outs = net.run_batch(recs(50)).unwrap();
         assert_eq!(xs(&outs), (1..=50).collect::<Vec<_>>());
     }
-    assert_eq!(net.workers_spawned(), 2, "abandoned run must not respawn the pool");
+    assert_eq!(
+        net.workers_spawned(),
+        2,
+        "abandoned run must not respawn the pool"
+    );
     // `net` drops here; a deadlocked worker would hang the join and
     // thus the test.
 }

@@ -13,9 +13,7 @@
 
 use snet_core::boxdef::{BoxDef, BoxOutput, BoxSig, Work};
 use snet_core::filter::OutputTemplate;
-use snet_core::{
-    BinOp, FilterSpec, NetSpec, Pattern, Record, TagExpr, Value, Variant,
-};
+use snet_core::{BinOp, FilterSpec, NetSpec, Pattern, Record, TagExpr, Value, Variant};
 use snet_runtime::{EngineConfig, Interp, SchedNet};
 
 const WIDTH: usize = 16; // parallel branches
@@ -24,13 +22,16 @@ const ROUNDS: i64 = 6; // star unfoldings per record
 
 /// A box consuming `{x}` and emitting `{x: x + 1}`.
 fn inc_box() -> NetSpec {
-    NetSpec::Box(BoxDef::from_fn(BoxSig::parse("inc", &["x"], &[&["x"]]), |r| {
-        let x = r.field("x").and_then(|v| v.as_int()).unwrap_or(0);
-        Ok(BoxOutput::one(
-            Record::new().with_field("x", Value::Int(x + 1)),
-            Work::ops(1),
-        ))
-    }))
+    NetSpec::Box(BoxDef::from_fn(
+        BoxSig::parse("inc", &["x"], &[&["x"]]),
+        |r| {
+            let x = r.field("x").and_then(|v| v.as_int()).unwrap_or(0);
+            Ok(BoxOutput::one(
+                Record::new().with_field("x", Value::Int(x + 1)),
+                Work::ops(1),
+            ))
+        },
+    ))
 }
 
 /// `[ {<n>} -> {<n = n - 1>} ]`.
@@ -80,11 +81,7 @@ fn deep_wide_star_topology_runs_on_a_small_worker_pool() {
         .run_batch(inputs.clone())
         .expect("oracle completes");
     // Every record makes ROUNDS passes, each adding DEPTH increments.
-    assert!(expected
-        .outputs
-        .iter()
-        .enumerate()
-        .all(|(_, r)| r.tag("n") == Some(0)));
+    assert!(expected.outputs.iter().all(|r| r.tag("n") == Some(0)));
 
     let net = SchedNet::with_config(
         stress_net(),
@@ -93,7 +90,9 @@ fn deep_wide_star_topology_runs_on_a_small_worker_pool() {
             ..EngineConfig::default()
         },
     );
-    let (outs, trace) = net.run_batch_traced(inputs).expect("sched engine completes");
+    let (outs, trace) = net
+        .run_batch_traced(inputs)
+        .expect("sched engine completes");
     assert_eq!(multiset(&outs), multiset(&expected.outputs));
 
     // The topology really did reach stress scale: ROUNDS unfoldings,
@@ -109,7 +108,9 @@ fn deep_wide_star_topology_runs_on_a_small_worker_pool() {
 #[test]
 fn stress_topology_is_repeatable_across_pool_sizes() {
     let inputs = batch(16);
-    let expected = Interp::new(&stress_net()).run_batch(inputs.clone()).unwrap();
+    let expected = Interp::new(&stress_net())
+        .run_batch(inputs.clone())
+        .unwrap();
     for workers in [1usize, 2, 8] {
         let net = SchedNet::with_config(
             stress_net(),

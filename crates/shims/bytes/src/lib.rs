@@ -34,9 +34,10 @@ impl Bytes {
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
     }
+}
 
-    /// Borrow as a slice.
-    pub fn as_ref(&self) -> &[u8] {
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
         &self.0
     }
 }

@@ -111,9 +111,12 @@ impl BenchmarkGroup<'_> {
     {
         let full = format!("{}/{}", self.name, id.id);
         if self.criterion.matches(&full) {
-            run_one(&full, self.sample_size, self.criterion.test_mode, &mut |b| {
-                f(b, input)
-            });
+            run_one(
+                &full,
+                self.sample_size,
+                self.criterion.test_mode,
+                &mut |b| f(b, input),
+            );
         }
         self
     }

@@ -317,7 +317,7 @@ impl<T> Sender<T> {
             if st.receivers == 0 {
                 return Err(SendTimeoutError::Disconnected(value));
             }
-            if !st.cap.is_some_and(|c| st.queue.len() >= c) {
+            if st.cap.is_none_or(|c| st.queue.len() < c) {
                 st.queue.push_back(value);
                 let wake = st.recv_waiting > 0;
                 drop(st);

@@ -81,9 +81,13 @@ struct Buffer<T> {
 impl<T> Buffer<T> {
     fn alloc(cap: usize) -> *mut Buffer<T> {
         debug_assert!(cap.is_power_of_two());
-        let slots: Box<[UnsafeCell<MaybeUninit<T>>]> =
-            (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
-        Box::into_raw(Box::new(Buffer { mask: cap - 1, slots }))
+        let slots: Box<[UnsafeCell<MaybeUninit<T>>]> = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        Box::into_raw(Box::new(Buffer {
+            mask: cap - 1,
+            slots,
+        }))
     }
 
     fn cap(&self) -> usize {
@@ -363,6 +367,27 @@ impl<T> Stealer<T> {
     /// Is the observed deque (approximately) empty?
     pub fn is_empty(&self) -> bool {
         self.inner.len() == 0
+    }
+
+    /// Steals a batch — up to half the victim's observed backlog,
+    /// capped — pushing all but the first task into `dest` and
+    /// returning the first. Matches the real crate's batch-steal API;
+    /// implemented as a CAS-per-element loop over the same lock-free
+    /// steal path, so a lost race mid-batch just ends the batch early.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        const MAX_BATCH: usize = 32;
+        let want = (self.inner.len() / 2).clamp(1, MAX_BATCH);
+        let first = match self.inner.steal() {
+            Steal::Success(t) => t,
+            other => return other,
+        };
+        for _ in 1..want {
+            match self.inner.steal() {
+                Steal::Success(t) => dest.push(t),
+                _ => break,
+            }
+        }
+        Steal::Success(first)
     }
 }
 

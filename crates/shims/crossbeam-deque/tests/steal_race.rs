@@ -21,7 +21,11 @@ use std::thread;
 fn two_thread_last_element_race_is_exactly_once() {
     for lifo in [false, true] {
         const ROUNDS: usize = 4_000;
-        let w = if lifo { Worker::new_lifo() } else { Worker::new_fifo() };
+        let w = if lifo {
+            Worker::new_lifo()
+        } else {
+            Worker::new_fifo()
+        };
         let s = w.stealer();
         let barrier = Arc::new(Barrier::new(2));
         let stolen = Arc::new(AtomicUsize::new(0));
@@ -67,7 +71,11 @@ fn two_thread_last_element_race_is_exactly_once() {
             barrier.wait();
             // Between rounds the deque must be empty: the round's single
             // element went to exactly one side.
-            assert_eq!(w.pop(), None, "round {round} left a duplicate (lifo={lifo})");
+            assert_eq!(
+                w.pop(),
+                None,
+                "round {round} left a duplicate (lifo={lifo})"
+            );
         }
         thief.join().unwrap();
         assert_eq!(
@@ -79,7 +87,10 @@ fn two_thread_last_element_race_is_exactly_once() {
         // (Statistically impossible over 4k barrier-released rounds
         // unless one path is broken and always loses.)
         assert!(popped > 0, "owner never won the race (lifo={lifo})");
-        assert!(stolen.load(Ordering::SeqCst) > 0, "thief never won the race (lifo={lifo})");
+        assert!(
+            stolen.load(Ordering::SeqCst) > 0,
+            "thief never won the race (lifo={lifo})"
+        );
     }
 }
 

@@ -583,7 +583,7 @@ pub mod prop {
         impl<S: Strategy> Strategy for OptionStrategy<S> {
             type Value = Option<S::Value>;
             fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
-                if rng.next_u64() % 4 == 0 {
+                if rng.next_u64().is_multiple_of(4) {
                     None
                 } else {
                     Some(self.inner.generate(rng))
@@ -745,9 +745,11 @@ mod tests {
                 Tree::Node(ts) => 1 + ts.iter().map(depth).max().unwrap_or(0),
             }
         }
-        let strat = (0i64..10).prop_map(Tree::Leaf).prop_recursive(3, 16, 2, |inner| {
-            prop::collection::vec(inner, 1..3).prop_map(Tree::Node)
-        });
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                prop::collection::vec(inner, 1..3).prop_map(Tree::Node)
+            });
         let mut rng = crate::TestRng::deterministic("rec");
         for _ in 0..100 {
             let t = strat.generate(&mut rng);

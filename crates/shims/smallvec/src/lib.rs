@@ -37,10 +37,7 @@ impl<T, const N: usize> Array for [T; N] {
 /// array type itself as the buffer sidesteps the unstable
 /// `[MaybeUninit<T>; A::CAP]` const-generic form.
 enum Store<A: Array> {
-    Inline {
-        len: usize,
-        buf: MaybeUninit<A>,
-    },
+    Inline { len: usize, buf: MaybeUninit<A> },
     Heap(Vec<A::Item>),
 }
 
@@ -162,10 +159,7 @@ impl<A: Array> SmallVec<A> {
             Store::Inline { len, buf } => {
                 let n = std::mem::replace(len, 0);
                 unsafe {
-                    ptr::drop_in_place(ptr::slice_from_raw_parts_mut(
-                        Self::inline_ptr_mut(buf),
-                        n,
-                    ));
+                    ptr::drop_in_place(ptr::slice_from_raw_parts_mut(Self::inline_ptr_mut(buf), n));
                 }
             }
             Store::Heap(v) => v.clear(),
@@ -207,6 +201,47 @@ impl<A: Array> SmallVec<A> {
     /// Borrows the backing slice.
     pub fn as_slice(&self) -> &[A::Item] {
         self
+    }
+
+    /// Constructs from a full inline array without allocating.
+    pub fn from_buf(buf: A) -> SmallVec<A> {
+        SmallVec {
+            store: Store::Inline {
+                len: A::CAP,
+                buf: MaybeUninit::new(buf),
+            },
+        }
+    }
+
+    /// Constructs from a `Vec`, moving short contents inline and
+    /// adopting the heap buffer otherwise.
+    pub fn from_vec(vec: Vec<A::Item>) -> SmallVec<A> {
+        if vec.len() <= A::CAP {
+            let mut out = SmallVec::new();
+            out.extend(vec);
+            out
+        } else {
+            SmallVec {
+                store: Store::Heap(vec),
+            }
+        }
+    }
+
+    /// Converts into a `Vec`, handing over the heap buffer when already
+    /// spilled (inline contents are moved out, which allocates).
+    pub fn into_vec(self) -> Vec<A::Item> {
+        let this = std::mem::ManuallyDrop::new(self);
+        match unsafe { ptr::read(&this.store) } {
+            Store::Inline { len, buf } => {
+                let mut vec = Vec::with_capacity(len);
+                unsafe {
+                    ptr::copy_nonoverlapping(Self::inline_ptr(&buf), vec.as_mut_ptr(), len);
+                    vec.set_len(len);
+                }
+                vec
+            }
+            Store::Heap(v) => v,
+        }
     }
 }
 
@@ -499,9 +534,13 @@ mod tests {
             }
             let mut it = v.into_iter();
             drop(it.next()); // consume one
-            // Drop the iterator with three elements unconsumed.
+                             // Drop the iterator with three elements unconsumed.
         }
-        assert_eq!(drops.load(Ordering::SeqCst), 4, "partially consumed IntoIter");
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            4,
+            "partially consumed IntoIter"
+        );
 
         let drops = AtomicUsize::new(0);
         {
@@ -530,6 +569,42 @@ mod tests {
         let big: SmallVec<[u8; 8]> = SmallVec::with_capacity(64);
         assert!(matches!(small.store, Store::Inline { .. }));
         assert!(matches!(big.store, Store::Heap(_)));
+    }
+
+    #[test]
+    fn vec_conversions_round_trip_in_both_modes() {
+        let inline: SmallVec<[String; 4]> =
+            SmallVec::from_buf(["a".into(), "b".into(), "c".into(), "d".into()]);
+        assert_eq!(inline.len(), 4);
+        assert_eq!(inline.into_vec(), vec!["a", "b", "c", "d"]);
+
+        let short: SmallVec<[u32; 4]> = SmallVec::from_vec(vec![1, 2]);
+        assert!(matches!(short.store, Store::Inline { .. }));
+        assert_eq!(short.into_vec(), vec![1, 2]);
+
+        let long: SmallVec<[u32; 2]> = SmallVec::from_vec(vec![1, 2, 3, 4]);
+        assert!(matches!(long.store, Store::Heap(_)));
+        assert_eq!(long.into_vec(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn conversions_drop_exactly_once() {
+        let drops = AtomicUsize::new(0);
+        {
+            let v: SmallVec<[Counted<'_>; 2]> =
+                SmallVec::from_buf([Counted(&drops), Counted(&drops)]);
+            let back = v.into_vec();
+            assert_eq!(back.len(), 2);
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 2, "from_buf → into_vec");
+
+        let drops = AtomicUsize::new(0);
+        {
+            let v: SmallVec<[Counted<'_>; 2]> =
+                SmallVec::from_vec(vec![Counted(&drops), Counted(&drops), Counted(&drops)]);
+            drop(v);
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 3, "from_vec heap mode");
     }
 
     #[test]

@@ -204,7 +204,12 @@ impl<M: Clone + Send + 'static> MpiRank<M> {
                 let m = self.recv_any(ctx);
                 slots[m.src] = Some(m.payload);
             }
-            Some(slots.into_iter().map(|s| s.expect("all ranks sent")).collect())
+            Some(
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("all ranks sent"))
+                    .collect(),
+            )
         } else {
             self.send(ctx, root, bytes, payload);
             None

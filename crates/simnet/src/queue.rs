@@ -123,7 +123,11 @@ impl<T: Send + 'static> SimQueue<T> {
     pub fn try_recv(&self) -> Option<T> {
         let now = self.handle.now();
         let mut st = self.state.lock();
-        if st.items.peek().is_some_and(|Reverse(item)| item.ready <= now) {
+        if st
+            .items
+            .peek()
+            .is_some_and(|Reverse(item)| item.ready <= now)
+        {
             return st.items.pop().map(|Reverse(item)| item.value);
         }
         None

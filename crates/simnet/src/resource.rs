@@ -101,8 +101,10 @@ impl Resource {
     pub fn execute(&self, ctx: &SimCtx, d: Duration) {
         self.acquire(ctx);
         ctx.advance(d);
-        self.busy_nanos
-            .fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, std::sync::atomic::Ordering::Relaxed);
+        self.busy_nanos.fetch_add(
+            d.as_nanos().min(u64::MAX as u128) as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
         self.release();
     }
 

@@ -305,7 +305,6 @@ impl SimCtx {
         }
         self.handle.kernel.lock().procs[self.pid.0 as usize].blocked_on = None;
     }
-
 }
 
 /// A simulation: create it, spawn root processes, run to completion.

@@ -49,7 +49,10 @@ impl SimTime {
 impl Add<Duration> for SimTime {
     type Output = SimTime;
     fn add(self, d: Duration) -> SimTime {
-        SimTime(self.0.saturating_add(d.as_nanos().min(u64::MAX as u128) as u64))
+        SimTime(
+            self.0
+                .saturating_add(d.as_nanos().min(u64::MAX as u128) as u64),
+        )
     }
 }
 

@@ -16,8 +16,8 @@
 //! ```
 
 use snet_apps::{
-    image_slot, input_record, raytracing_net, run_snet_cluster, NetVariant, Schedule,
-    SnetConfig, Workload,
+    image_slot, input_record, raytracing_net, run_snet_cluster, NetVariant, Schedule, SnetConfig,
+    Workload,
 };
 use snet_dist::OverheadModel;
 use snet_raytracer::ScenePreset;
@@ -61,14 +61,20 @@ fn main() {
         schedule: Schedule::Block,
     };
     let reference_small = local_wl.reference_image();
-    println!("dynamic net streamed locally ({}x{} probe render, 8 tasks / 4 tokens):", 96, 96);
+    println!(
+        "dynamic net streamed locally ({}x{} probe render, 8 tasks / 4 tokens):",
+        96, 96
+    );
     {
         let slot = image_slot();
         let threaded = Net::new(raytracing_net(NetVariant::Dynamic, slot.clone(), None));
         let took = stream_locally(&threaded, &local_wl, &local_cfg);
         let img = slot.lock().take().expect("picture produced");
         assert_eq!(img, reference_small, "threaded engine must render exactly");
-        println!("  {:>8}: {took:>10.3?} (thread per component)", threaded.name());
+        println!(
+            "  {:>8}: {took:>10.3?} (thread per component)",
+            threaded.name()
+        );
     }
     {
         let slot = image_slot();
@@ -76,7 +82,10 @@ fn main() {
         let took = stream_locally(&sched, &local_wl, &local_cfg);
         let img = slot.lock().take().expect("picture produced");
         assert_eq!(img, reference_small, "scheduled engine must render exactly");
-        println!("  {:>8}: {took:>10.3?} (persistent worker pool)", sched.name());
+        println!(
+            "  {:>8}: {took:>10.3?} (persistent worker pool)",
+            sched.name()
+        );
     }
     println!();
 
@@ -88,9 +97,7 @@ fn main() {
         height: size,
     };
     let reference = wl.reference_image();
-    println!(
-        "dynamic scheduling on {NODES} dual-CPU nodes, {tasks} tasks, {size}x{size} image"
-    );
+    println!("dynamic scheduling on {NODES} dual-CPU nodes, {tasks} tasks, {size}x{size} image");
     println!(
         "{:>7} {:>12} {:>12} {:>14} {:>15}",
         "tokens", "runtime (s)", "sync fires", "tokens stranded", "star unfoldings"

@@ -71,7 +71,11 @@ fn main() {
     println!("network: {net}");
 
     let inputs: Vec<Record> = (1..=5)
-        .map(|i| Record::new().with_field("x", Value::Int(i)).with_tag("n", i))
+        .map(|i| {
+            Record::new()
+                .with_field("x", Value::Int(i))
+                .with_tag("n", i)
+        })
         .collect();
     // i doubled i times = i * 2^i.
     let expected: Vec<(i64, i64)> = (1..=5).map(|i| (i << i, 0)).collect();

@@ -48,7 +48,10 @@ fn main() {
     let reference = wl.reference_image();
     let sequential_time = t1.elapsed();
 
-    assert_eq!(image, reference, "coordinated render must be byte-identical");
+    assert_eq!(
+        image, reference,
+        "coordinated render must be byte-identical"
+    );
     let out = std::path::Path::new("target").join("raytrace_local.ppm");
     image.write_ppm(&out).expect("write ppm");
     println!(

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Enforce the declarative bench gates in bench_gates.toml.
+
+Usage:
+    python3 scripts/check_bench.py [--config bench_gates.toml]
+                                   [--file NAME=PATH ...]
+
+The config's ``[files]`` table maps logical names to default JSON
+paths; ``--file NAME=PATH`` overrides one mapping (repeatable), so the
+same gates run against CI's freshly generated files or the committed
+``BENCH_*.json`` snapshots.
+
+Each ``[[gate]]`` entry:
+
+* ``file``    — logical name from ``[files]``;
+* ``where``   — optional row selector: the gate reads the single row of
+  the document's ``results`` array matching every key/value pair. A
+  value of the form ``"$key"`` resolves to the document's top-level
+  ``key`` first (e.g. the hand-off sweep's ``default_batch``). Without
+  ``where`` the metric is read from the document's top level;
+* ``metric``  — the numeric field to bound;
+* ``min`` / ``max`` — inclusive bounds (at least one required);
+* ``allow_missing`` — skip (do not fail) when the metric is null or
+  absent, e.g. a backstop that only applies when a committed baseline
+  was available to the bench run.
+
+Exits non-zero if any gate fails; prints one line per gate either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tomllib
+from pathlib import Path
+
+
+def resolve(value, doc):
+    """Resolves "$key" selector values against the document top level."""
+    if isinstance(value, str) and value.startswith("$"):
+        return doc[value[1:]]
+    return value
+
+
+def select_row(doc, where):
+    """The unique row of doc["results"] matching every pair in `where`."""
+    want = {k: resolve(v, doc) for k, v in where.items()}
+    rows = [r for r in doc["results"] if all(r.get(k) == v for k, v in want.items())]
+    if len(rows) != 1:
+        raise LookupError(
+            f"selector {want!r} matched {len(rows)} rows (need exactly 1)"
+        )
+    return rows[0]
+
+
+def check_gate(gate, docs):
+    """Returns (ok, line) for one gate against the loaded documents."""
+    name = gate["name"]
+    doc = docs[gate["file"]]
+    source = gate.get("where")
+    row = select_row(doc, source) if source else doc
+    value = row.get(gate["metric"])
+
+    if value is None:
+        if gate.get("allow_missing"):
+            return True, f"SKIP {name}: {gate['metric']} not recorded"
+        return False, f"FAIL {name}: {gate['metric']} missing from {gate['file']}"
+
+    bounds = []
+    ok = True
+    if "min" in gate:
+        bounds.append(f">= {gate['min']}")
+        ok = ok and value >= gate["min"]
+    if "max" in gate:
+        bounds.append(f"<= {gate['max']}")
+        ok = ok and value <= gate["max"]
+    if not bounds:
+        raise ValueError(f"gate {name} has neither min nor max")
+
+    verdict = "ok  " if ok else "FAIL"
+    return ok, f"{verdict} {name}: {gate['metric']} = {value:.3f} (gate: {' and '.join(bounds)})"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--config", default="bench_gates.toml", help="gate definitions")
+    ap.add_argument(
+        "--file",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="override a [files] mapping (repeatable)",
+    )
+    args = ap.parse_args()
+
+    config = tomllib.loads(Path(args.config).read_text())
+    files = dict(config.get("files", {}))
+    for override in args.file:
+        name, _, path = override.partition("=")
+        if not path or name not in files:
+            known = ", ".join(sorted(files))
+            ap.error(f"--file needs NAME=PATH with NAME one of: {known}")
+        files[name] = path
+
+    gates = config.get("gate", [])
+    needed = {g["file"] for g in gates}
+    docs = {name: json.loads(Path(files[name]).read_text()) for name in needed}
+
+    failures = 0
+    for gate in gates:
+        ok, line = check_gate(gate, docs)
+        print(line)
+        failures += 0 if ok else 1
+
+    if failures:
+        print(f"\n{failures} of {len(gates)} bench gates failed", file=sys.stderr)
+        return 1
+    print(f"\nall {len(gates)} bench gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,9 +3,7 @@
 //! configuration, scheduling behaviour, and the balanced-scene
 //! ablation.
 
-use snet_apps::{
-    run_mpi_raytrace, run_snet_cluster, NetVariant, Schedule, SnetConfig, Workload,
-};
+use snet_apps::{run_mpi_raytrace, run_snet_cluster, NetVariant, Schedule, SnetConfig, Workload};
 use snet_dist::OverheadModel;
 use snet_raytracer::ScenePreset;
 use snet_simnet::ClusterSpec;
@@ -66,11 +64,21 @@ fn overhead_orderings_hold_on_the_imbalanced_scene() {
     let stat2 = run_snet_cluster(&wl, &SnetConfig::fig6_static_2cpu(nodes), cluster, overhead)
         .unwrap()
         .makespan_secs;
-    let mpi1 = run_mpi_raytrace(&wl, nodes, 1, cluster).unwrap().makespan_secs;
-    let mpi2 = run_mpi_raytrace(&wl, nodes, 2, cluster).unwrap().makespan_secs;
+    let mpi1 = run_mpi_raytrace(&wl, nodes, 1, cluster)
+        .unwrap()
+        .makespan_secs;
+    let mpi2 = run_mpi_raytrace(&wl, nodes, 2, cluster)
+        .unwrap()
+        .makespan_secs;
 
-    assert!(stat > mpi1, "S-Net static ({stat:.3}) must pay overhead vs MPI ({mpi1:.3})");
-    assert!(stat < mpi1 * 1.25, "overhead must stay bounded: {stat:.3} vs {mpi1:.3}");
+    assert!(
+        stat > mpi1,
+        "S-Net static ({stat:.3}) must pay overhead vs MPI ({mpi1:.3})"
+    );
+    assert!(
+        stat < mpi1 * 1.25,
+        "overhead must stay bounded: {stat:.3} vs {mpi1:.3}"
+    );
     // Two processes per node beat one.
     assert!(mpi2 < mpi1, "mpi2 {mpi2:.3} vs mpi1 {mpi1:.3}");
     assert!(stat2 < stat, "2-CPU static {stat2:.3} vs {stat:.3}");
@@ -98,7 +106,9 @@ fn dynamic_beats_static_variants_on_the_imbalanced_scene() {
     let dynamic = run_snet_cluster(&wl, &SnetConfig::fig6_dynamic(nodes), cluster, overhead)
         .unwrap()
         .makespan_secs;
-    let mpi2 = run_mpi_raytrace(&wl, nodes, 2, cluster).unwrap().makespan_secs;
+    let mpi2 = run_mpi_raytrace(&wl, nodes, 2, cluster)
+        .unwrap()
+        .makespan_secs;
 
     for (name, v) in [("static", stat), ("static2", stat2), ("mpi2", mpi2)] {
         assert!(dynamic < v, "dynamic {dynamic:.3} must beat {name} {v:.3}");
@@ -113,9 +123,14 @@ fn static_speedup_saturates_but_dynamic_keeps_scaling() {
     let wl = workload(ScenePreset::Clustered);
     let overhead = OverheadModel::zero();
     let run_static = |nodes| {
-        run_snet_cluster(&wl, &SnetConfig::fig6_static(nodes), testbed(nodes), overhead)
-            .unwrap()
-            .makespan_secs
+        run_snet_cluster(
+            &wl,
+            &SnetConfig::fig6_static(nodes),
+            testbed(nodes),
+            overhead,
+        )
+        .unwrap()
+        .makespan_secs
     };
     // Fixed task/token counts across node counts so the (constant-size)
     // scene-shipping cost does not grow with the grid — at test
@@ -169,11 +184,21 @@ fn balanced_scene_ablation_static_is_competitive() {
     let nodes = 4;
     let overhead = OverheadModel::default();
     let reference = wl.reference_image();
-    let stat = run_snet_cluster(&wl, &SnetConfig::fig6_static_2cpu(nodes), testbed(nodes), overhead)
-        .unwrap();
+    let stat = run_snet_cluster(
+        &wl,
+        &SnetConfig::fig6_static_2cpu(nodes),
+        testbed(nodes),
+        overhead,
+    )
+    .unwrap();
     assert_eq!(stat.image, reference);
-    let dynamic = run_snet_cluster(&wl, &SnetConfig::fig6_dynamic(nodes), testbed(nodes), overhead)
-        .unwrap();
+    let dynamic = run_snet_cluster(
+        &wl,
+        &SnetConfig::fig6_dynamic(nodes),
+        testbed(nodes),
+        overhead,
+    )
+    .unwrap();
     assert_eq!(dynamic.image, reference);
     assert!(
         stat.makespan_secs < dynamic.makespan_secs * 1.25,
@@ -253,10 +278,20 @@ fn imbalance_shows_up_as_idle_cpus() {
     let wl = workload(ScenePreset::Clustered);
     let nodes = 4;
     let overhead = OverheadModel::zero();
-    let stat =
-        run_snet_cluster(&wl, &SnetConfig::fig6_static(nodes), testbed(nodes), overhead).unwrap();
-    let dynamic =
-        run_snet_cluster(&wl, &SnetConfig::fig6_dynamic(nodes), testbed(nodes), overhead).unwrap();
+    let stat = run_snet_cluster(
+        &wl,
+        &SnetConfig::fig6_static(nodes),
+        testbed(nodes),
+        overhead,
+    )
+    .unwrap();
+    let dynamic = run_snet_cluster(
+        &wl,
+        &SnetConfig::fig6_dynamic(nodes),
+        testbed(nodes),
+        overhead,
+    )
+    .unwrap();
 
     let spread = |busy: &[f64]| {
         let max = busy.iter().cloned().fold(0.0f64, f64::max);
@@ -293,11 +328,16 @@ fn solver_failures_surface_as_errors_not_hangs() {
             }
         },
     ));
-    let inputs: Vec<Record> = (0..6).map(|i| Record::new().with_field("x", Value::Int(i))).collect();
+    let inputs: Vec<Record> = (0..6)
+        .map(|i| Record::new().with_field("x", Value::Int(i)))
+        .collect();
     let err = snet_dist::run_on_cluster(&bad, inputs, testbed(2), OverheadModel::zero())
         .expect_err("fault must abort the run");
     let msg = err.to_string();
-    assert!(msg.contains("fragile") && msg.contains("injected fault"), "{msg}");
+    assert!(
+        msg.contains("fragile") && msg.contains("injected fault"),
+        "{msg}"
+    );
 }
 
 #[test]
@@ -307,18 +347,30 @@ fn mpi_baseline_charges_no_snet_overhead() {
     // but not MPI.
     let wl = workload(ScenePreset::Balanced);
     let nodes = 2;
-    let heavy = OverheadModel {
-        hop_ops: 60_000,
-        ..OverheadModel::default()
-    };
-    let light = run_snet_cluster(&wl, &SnetConfig::fig6_static(nodes), testbed(nodes), OverheadModel::default())
-        .unwrap()
-        .makespan_secs;
+    let heavy = OverheadModel { hop_ops: 60_000 };
+    let light = run_snet_cluster(
+        &wl,
+        &SnetConfig::fig6_static(nodes),
+        testbed(nodes),
+        OverheadModel::default(),
+    )
+    .unwrap()
+    .makespan_secs;
     let weighed = run_snet_cluster(&wl, &SnetConfig::fig6_static(nodes), testbed(nodes), heavy)
         .unwrap()
         .makespan_secs;
-    assert!(weighed > light, "more overhead, more runtime: {weighed:.3} vs {light:.3}");
-    let mpi_a = run_mpi_raytrace(&wl, nodes, 1, testbed(nodes)).unwrap().makespan_secs;
-    let mpi_b = run_mpi_raytrace(&wl, nodes, 1, testbed(nodes)).unwrap().makespan_secs;
-    assert_eq!(mpi_a, mpi_b, "the baseline does not depend on the overhead model at all");
+    assert!(
+        weighed > light,
+        "more overhead, more runtime: {weighed:.3} vs {light:.3}"
+    );
+    let mpi_a = run_mpi_raytrace(&wl, nodes, 1, testbed(nodes))
+        .unwrap()
+        .makespan_secs;
+    let mpi_b = run_mpi_raytrace(&wl, nodes, 1, testbed(nodes))
+        .unwrap()
+        .makespan_secs;
+    assert_eq!(
+        mpi_a, mpi_b,
+        "the baseline does not depend on the overhead model at all"
+    );
 }

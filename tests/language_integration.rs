@@ -38,7 +38,9 @@ fn fig2_source_compiles_and_renders() {
         tokens: 4,
         schedule: Schedule::Block,
     };
-    let outs = Net::new(net).run_batch(vec![input_record(&wl, &cfg)]).unwrap();
+    let outs = Net::new(net)
+        .run_batch(vec![input_record(&wl, &cfg)])
+        .unwrap();
     assert!(outs.is_empty(), "genImg terminates the stream");
     let img = slot.lock().take().expect("picture produced");
     assert_eq!(img, reference);
@@ -93,10 +95,16 @@ fn subtyping_routes_records_in_compiled_parallel() {
     // specific branch wins.
     let mut reg = BoxRegistry::new();
     reg.register("narrow", |_r: &Record| {
-        Ok(BoxOutput::one(Record::new().with_field("via", Value::from("narrow")), Work::ZERO))
+        Ok(BoxOutput::one(
+            Record::new().with_field("via", Value::from("narrow")),
+            Work::ZERO,
+        ))
     });
     reg.register("wide", |_r: &Record| {
-        Ok(BoxOutput::one(Record::new().with_field("via", Value::from("wide")), Work::ZERO))
+        Ok(BoxOutput::one(
+            Record::new().with_field("via", Value::from("wide")),
+            Work::ZERO,
+        ))
     });
     let src = r#"
         box narrow ((a) -> (via));
@@ -127,11 +135,17 @@ fn flow_inheritance_survives_compiled_pipelines() {
     let mut reg = BoxRegistry::new();
     reg.register("stage_a", |r: &Record| {
         let x = r.field("a").and_then(|v| v.as_int()).unwrap_or(0);
-        Ok(BoxOutput::one(Record::new().with_field("b", Value::Int(x * 10)), Work::ZERO))
+        Ok(BoxOutput::one(
+            Record::new().with_field("b", Value::Int(x * 10)),
+            Work::ZERO,
+        ))
     });
     reg.register("stage_b", |r: &Record| {
         let x = r.field("b").and_then(|v| v.as_int()).unwrap_or(0);
-        Ok(BoxOutput::one(Record::new().with_field("c", Value::Int(x + 1)), Work::ZERO))
+        Ok(BoxOutput::one(
+            Record::new().with_field("c", Value::Int(x + 1)),
+            Work::ZERO,
+        ))
     });
     let src = r#"
         box stage_a ((a) -> (b));
@@ -148,9 +162,15 @@ fn flow_inheritance_survives_compiled_pipelines() {
     let out = &outs[0];
     assert_eq!(out.field("c").unwrap().as_int(), Some(41));
     // Labels neither stage mentioned travelled through both.
-    assert_eq!(out.field("payload").and_then(|v| v.as_str()), Some("untouched"));
+    assert_eq!(
+        out.field("payload").and_then(|v| v.as_str()),
+        Some("untouched")
+    );
     assert_eq!(out.tag("session"), Some(9));
-    assert!(!out.has_field("a") && !out.has_field("b"), "consumed along the way");
+    assert!(
+        !out.has_field("a") && !out.has_field("b"),
+        "consumed along the way"
+    );
 }
 
 #[test]

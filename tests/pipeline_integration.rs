@@ -4,8 +4,8 @@
 //! every variant and under adversarial arrival orders in the merger.
 
 use snet_apps::{
-    image_slot, input_record, merger_net, raytracing_net, run_snet_local,
-    run_snet_local_sched, ChunkData, NetVariant, PicData, Schedule, SnetConfig, Workload,
+    image_slot, input_record, merger_net, raytracing_net, run_snet_local, run_snet_local_sched,
+    ChunkData, NetVariant, PicData, Schedule, SnetConfig, Workload,
 };
 use snet_core::{Record, SnetError, Value};
 use snet_raytracer::{split_rows, Chunk, Image, ScenePreset};
@@ -21,11 +21,14 @@ fn workload() -> Workload {
     }
 }
 
+/// One engine entry point under test.
+type EngineFn = fn(&Workload, &SnetConfig) -> Result<Image, SnetError>;
+
 /// The local engines under test, behind one function shape.
-fn engines() -> [(&'static str, fn(&Workload, &SnetConfig) -> Result<Image, SnetError>); 2] {
+fn engines() -> [(&'static str, EngineFn); 2] {
     [
-        ("threaded", run_snet_local as fn(&Workload, &SnetConfig) -> _),
-        ("sched", run_snet_local_sched as fn(&Workload, &SnetConfig) -> _),
+        ("threaded", run_snet_local as EngineFn),
+        ("sched", run_snet_local_sched as EngineFn),
     ]
 }
 
@@ -62,7 +65,10 @@ fn dynamic_pipeline_on_both_engines_is_exact() {
                 schedule: Schedule::Block,
             };
             let img = run(&wl, &cfg).expect("pipeline completes");
-            assert_eq!(img, reference, "{engine}, tasks = {tasks}, tokens = {tokens}");
+            assert_eq!(
+                img, reference,
+                "{engine}, tasks = {tasks}, tokens = {tokens}"
+            );
         }
     }
 }
@@ -174,9 +180,16 @@ fn merger_tolerates_adversarial_arrival_order() {
         .enumerate()
         .map(|(i, s)| {
             let mut c = snet_raytracer::Counters::default();
-            let chunk = snet_raytracer::render_section(&scene, &bvh, wl.width, wl.height, s, &mut c);
+            let chunk =
+                snet_raytracer::render_section(&scene, &bvh, wl.width, wl.height, s, &mut c);
             let mut rec = Record::new()
-                .with_field("chunk", Value::data(ChunkData { chunk, img_height: wl.height }))
+                .with_field(
+                    "chunk",
+                    Value::data(ChunkData {
+                        chunk,
+                        img_height: wl.height,
+                    }),
+                )
                 .with_tag("tasks", tasks as i64);
             if i == 0 {
                 rec.set_tag("fst", 1);
@@ -185,7 +198,9 @@ fn merger_tolerates_adversarial_arrival_order() {
         })
         .collect();
     records.reverse(); // <fst> arrives last
-    let outs = Net::new(merger_net()).run_batch(records).expect("merger completes");
+    let outs = Net::new(merger_net())
+        .run_batch(records)
+        .expect("merger completes");
     assert_eq!(outs.len(), 1, "exactly one assembled picture");
     let pic: &PicData = outs[0]
         .field("pic")
@@ -205,10 +220,18 @@ fn merger_single_chunk_degenerate_case() {
         pixels: img.pixels.clone(),
     };
     let rec = Record::new()
-        .with_field("chunk", Value::data(ChunkData { chunk, img_height: 16 }))
+        .with_field(
+            "chunk",
+            Value::data(ChunkData {
+                chunk,
+                img_height: 16,
+            }),
+        )
         .with_tag("tasks", 1)
         .with_tag("fst", 1);
-    let outs = Net::new(merger_net()).run_batch(vec![rec]).expect("merger completes");
+    let outs = Net::new(merger_net())
+        .run_batch(vec![rec])
+        .expect("merger completes");
     assert_eq!(outs.len(), 1);
     let pic: &PicData = outs[0].field("pic").and_then(|v| v.downcast_ref()).unwrap();
     assert_eq!(pic.0, img);
@@ -227,9 +250,16 @@ fn concurrent_engines_match_interpreter_on_the_real_merger() {
         .enumerate()
         .map(|(i, s)| {
             let mut c = snet_raytracer::Counters::default();
-            let chunk = snet_raytracer::render_section(&scene, &bvh, wl.width, wl.height, s, &mut c);
+            let chunk =
+                snet_raytracer::render_section(&scene, &bvh, wl.width, wl.height, s, &mut c);
             let mut rec = Record::new()
-                .with_field("chunk", Value::data(ChunkData { chunk, img_height: wl.height }))
+                .with_field(
+                    "chunk",
+                    Value::data(ChunkData {
+                        chunk,
+                        img_height: wl.height,
+                    }),
+                )
                 .with_tag("tasks", tasks as i64);
             if i == 0 {
                 rec.set_tag("fst", 1);
@@ -249,15 +279,27 @@ fn concurrent_engines_match_interpreter_on_the_real_merger() {
         .run_batch(records.clone())
         .expect("threaded engine completes");
     assert_eq!(from_threaded.len(), from_interp.outputs.len());
-    let pic_t: &PicData = from_threaded[0].field("pic").and_then(|v| v.downcast_ref()).unwrap();
-    assert_eq!(pic_t.0, pic_oracle.0, "threaded engine agrees with the oracle");
+    let pic_t: &PicData = from_threaded[0]
+        .field("pic")
+        .and_then(|v| v.downcast_ref())
+        .unwrap();
+    assert_eq!(
+        pic_t.0, pic_oracle.0,
+        "threaded engine agrees with the oracle"
+    );
 
     let from_sched = SchedNet::new(merger_net())
         .run_batch(records)
         .expect("scheduled engine completes");
     assert_eq!(from_sched.len(), from_interp.outputs.len());
-    let pic_s: &PicData = from_sched[0].field("pic").and_then(|v| v.downcast_ref()).unwrap();
-    assert_eq!(pic_s.0, pic_oracle.0, "scheduled engine agrees with the oracle");
+    let pic_s: &PicData = from_sched[0]
+        .field("pic")
+        .and_then(|v| v.downcast_ref())
+        .unwrap();
+    assert_eq!(
+        pic_s.0, pic_oracle.0,
+        "scheduled engine agrees with the oracle"
+    );
 }
 
 #[test]
