@@ -1,0 +1,10 @@
+//! `std::hint` stand-ins with scheduling semantics.
+
+/// Under the model a spin-wait hint is a *voluntary yield*: the
+/// scheduler prefers to run another thread, so `while cas_fails {
+/// spin_loop() }` loops make progress on the default schedule instead
+/// of spinning to the op cap.
+pub fn spin_loop() {
+    let (ctx, tid) = crate::exec::current();
+    ctx.op(tid, "hint::spin_loop", true);
+}

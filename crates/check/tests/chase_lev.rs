@@ -1,0 +1,209 @@
+//! Model-checks the *real* Chase–Lev deque shim
+//! (`crates/shims/crossbeam-deque`) — only meaningful when the shim is
+//! compiled against the snet-check façade:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg snet_check" cargo test -p snet-check --test chase_lev
+//! ```
+//!
+//! These are the interleavings `steal_race.rs` samples by brute force;
+//! here the DFS driver enumerates them. The pinned protocol facts:
+//! last-element pop/steal races resolve exactly-once, concurrent
+//! thieves never duplicate or drop an element, and the versioned-
+//! seqlock buffer growth never lets a thief read through a retired
+//! buffer.
+
+#![cfg(snet_check)]
+
+use crossbeam_deque::{Steal, Worker};
+use snet_check::sync::atomic::{AtomicUsize, Ordering};
+use snet_check::sync::Arc;
+use snet_check::{model, thread, Config, Report};
+
+/// `check` that panics (printing the schedule) on failure — like
+/// [`model`] but with a custom [`Config`].
+fn check_ok(cfg: Config, f: impl Fn() + Send + Sync + 'static) -> Report {
+    snet_check::check(cfg, f).unwrap_or_else(|f| panic!("{f}"))
+}
+
+/// Bounded thief: tries to steal up to `attempts` times, returning the
+/// number of elements it got. Bounded (rather than steal-until-empty)
+/// so the model's schedule space stays finite without relying on the
+/// op cap.
+fn thief(stealer: crossbeam_deque::Stealer<usize>, attempts: usize, got: Arc<AtomicUsize>) {
+    for _ in 0..attempts {
+        match stealer.steal() {
+            Steal::Success(_) => {
+                got.fetch_add(1, Ordering::SeqCst);
+            }
+            Steal::Empty => return,
+            Steal::Retry => {}
+        }
+    }
+}
+
+/// The classic window: one element, the owner pops LIFO while a thief
+/// steals. Exactly one of them must get it, on every schedule. The
+/// 2-thread space is small, so the preemption bound is lifted entirely:
+/// this is the *complete* SC interleaving space of the race.
+#[test]
+fn last_element_owner_vs_thief_exactly_once() {
+    let cfg = Config {
+        preemption_bound: None,
+        ..Config::default()
+    };
+    let report = check_ok(cfg, || {
+        let worker = Worker::new_lifo();
+        worker.push(7usize);
+        let stealer = worker.stealer();
+        let stolen = Arc::new(AtomicUsize::new(0));
+        let stolen2 = Arc::clone(&stolen);
+        let t = thread::spawn(move || thief(stealer, 3, stolen2));
+        let popped = usize::from(worker.pop().is_some());
+        t.join().unwrap();
+        let total = popped + stolen.load(Ordering::SeqCst);
+        assert_eq!(total, 1, "last element must go to exactly one side");
+    });
+    assert!(
+        report.schedules >= 1000,
+        "expected >= 1000 schedules, got {report:?}"
+    );
+}
+
+/// Two concurrent thieves racing the owner's pop over two elements:
+/// every element leaves exactly once, none duplicated, none lost.
+#[test]
+fn two_thieves_no_duplication_no_loss() {
+    let report = model(|| {
+        let worker = Worker::new_lifo();
+        worker.push(1usize);
+        worker.push(2usize);
+        let stolen = Arc::new(AtomicUsize::new(0));
+        let ts: Vec<_> = (0..2)
+            .map(|_| {
+                let s = worker.stealer();
+                let stolen = Arc::clone(&stolen);
+                thread::spawn(move || thief(s, 2, stolen))
+            })
+            .collect();
+        let mut popped = 0;
+        for _ in 0..2 {
+            if worker.pop().is_some() {
+                popped += 1;
+            }
+        }
+        for t in ts {
+            t.join().unwrap();
+        }
+        let total = popped + stolen.load(Ordering::SeqCst);
+        assert_eq!(total, 2, "each element must leave exactly once");
+    });
+    assert!(
+        report.schedules >= 1000,
+        "expected >= 1000 schedules, got {report:?}"
+    );
+}
+
+/// The seqlock buffer-growth window: the owner pushes past `MIN_CAP`
+/// (16), forcing `grow` to swap buffers while a thief steals through
+/// the swap. The version check must make the thief retry rather than
+/// read a retired buffer; no element may be lost or duplicated.
+///
+/// The owner pre-fills to capacity *before* the thief starts (those
+/// pushes are not contended) so the modeled window is exactly the
+/// grow-vs-steal race, keeping the schedule space tractable.
+#[test]
+fn buffer_growth_vs_steal() {
+    const FILL: usize = 16; // == MIN_CAP: the next push grows
+    let cfg = Config {
+        preemption_bound: Some(5),
+        ..Config::default()
+    };
+    let report = check_ok(cfg, || {
+        let worker = Worker::new_lifo();
+        for i in 0..FILL {
+            worker.push(i);
+        }
+        let stealer = worker.stealer();
+        let stolen = Arc::new(AtomicUsize::new(0));
+        let stolen2 = Arc::clone(&stolen);
+        let t = thread::spawn(move || thief(stealer, 2, stolen2));
+        worker.push(FILL); // triggers grow() concurrently with the thief
+        t.join().unwrap();
+        // Drain everything still in the deque from the owner side.
+        let mut remaining = 0;
+        while worker.pop().is_some() {
+            remaining += 1;
+        }
+        let total = remaining + stolen.load(Ordering::SeqCst);
+        assert_eq!(
+            total,
+            FILL + 1,
+            "growth must preserve every element exactly once"
+        );
+    });
+    assert!(
+        report.schedules >= 1000,
+        "expected >= 1000 schedules, got {report:?}"
+    );
+}
+
+/// `steal_batch_and_pop` (the locality-aware steal the sched workers
+/// use) racing the owner: the batch CAS loop must hand over each
+/// element at most once even when the owner pops concurrently.
+#[test]
+fn steal_batch_and_pop_vs_owner() {
+    let report = model(|| {
+        let victim = Worker::new_lifo();
+        victim.push(10usize);
+        victim.push(11usize);
+        let stealer = victim.stealer();
+        let got = Arc::new(AtomicUsize::new(0));
+        let got2 = Arc::clone(&got);
+        let t = thread::spawn(move || {
+            let dest = Worker::new_lifo();
+            if stealer.steal_batch_and_pop(&dest).success().is_some() {
+                got2.fetch_add(1, Ordering::SeqCst);
+            }
+            while dest.pop().is_some() {
+                got2.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        let mut popped = 0;
+        while victim.pop().is_some() {
+            popped += 1;
+        }
+        t.join().unwrap();
+        let total = popped + got.load(Ordering::SeqCst);
+        assert_eq!(total, 2, "batch steal must not duplicate or lose");
+    });
+    assert!(
+        report.schedules >= 1000,
+        "expected >= 1000 schedules, got {report:?}"
+    );
+}
+
+/// Raising the preemption bound on the single-element race still finds
+/// nothing — a deeper sweep of the same window, run with a trimmed
+/// schedule budget.
+#[test]
+fn last_element_race_deep_sweep() {
+    let cfg = Config {
+        preemption_bound: Some(5),
+        max_schedules: 150_000,
+        ..Config::default()
+    };
+    let report = snet_check::check(cfg, || {
+        let worker = Worker::new_lifo();
+        worker.push(7usize);
+        let stealer = worker.stealer();
+        let stolen = Arc::new(AtomicUsize::new(0));
+        let stolen2 = Arc::clone(&stolen);
+        let t = thread::spawn(move || thief(stealer, 3, stolen2));
+        let popped = usize::from(worker.pop().is_some());
+        t.join().unwrap();
+        assert_eq!(popped + stolen.load(Ordering::SeqCst), 1);
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+    assert!(report.schedules >= 1000, "{report:?}");
+}

@@ -1,0 +1,170 @@
+//! The PR-4 eaten-wakeup bug, reintroduced on purpose.
+//!
+//! PR 4's `send_iter` originally waited for queue space *before*
+//! checking whether the iterator had a next element. On a full cap=1
+//! queue, a sender holding an exhausted iterator parked alongside a
+//! real sender; the receiver's drain issued exactly one waiter-gated
+//! `writable` notify, the empty sender could consume it, discover it
+//! had nothing to push, and return — leaving the real sender parked
+//! forever. Stress tests missed it (it hung `pipeline_integration`
+//! only at cap=1 under rare timing); the model checker finds it in
+//! milliseconds.
+//!
+//! These models reimplement that protocol against the snet-check
+//! façade, so they run in **every** build (`cargo test -p snet-check`,
+//! no special RUSTFLAGS): `buggy` pins that the checker *catches* the
+//! bug, `fixed` pins that the shipped check-before-wait order is sound.
+//! The real shim's `send_iter` is additionally model-checked end to
+//! end in `channel.rs` (under `--cfg snet_check`).
+
+use snet_check::sync::{Arc, Condvar, Mutex};
+use snet_check::{check, thread, Config};
+
+/// The shared channel state the protocol manipulates: a cap=1 queue
+/// with waiter-gated notify counters, exactly as in the shim.
+struct Chan {
+    state: Mutex<State>,
+    readable: Condvar,
+    writable: Condvar,
+}
+
+struct State {
+    queued: usize,
+    cap: usize,
+    recv_waiting: usize,
+    send_waiting: usize,
+}
+
+impl Chan {
+    fn new(prefill: usize) -> Chan {
+        Chan {
+            state: Mutex::new(State {
+                queued: prefill,
+                cap: 1,
+                recv_waiting: 0,
+                send_waiting: 0,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+        }
+    }
+
+    /// Pop one message, parking while empty; wake one parked sender
+    /// after freeing the slot (gated on `send_waiting`, one token per
+    /// slot — the protocol under test).
+    fn recv(&self) {
+        let mut st = self.state.lock().unwrap();
+        while st.queued == 0 {
+            st.recv_waiting += 1;
+            st = self.readable.wait(st).unwrap();
+            st.recv_waiting -= 1;
+        }
+        st.queued -= 1;
+        let wake = st.send_waiting > 0;
+        drop(st);
+        if wake {
+            self.writable.notify_one();
+        }
+    }
+
+    /// The **buggy** pre-PR-4 `send_iter`: wait for space, *then* ask
+    /// the iterator for the next element. An exhausted iterator parks
+    /// on a full queue and can eat a real sender's wake token.
+    fn send_iter_buggy(&self, mut iter: impl Iterator<Item = usize>) {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            while st.queued >= st.cap {
+                st.send_waiting += 1;
+                st = self.writable.wait(st).unwrap();
+                st.send_waiting -= 1;
+            }
+            match iter.next() {
+                Some(_) => {
+                    st.queued += 1;
+                    let wake = st.recv_waiting > 0;
+                    drop(st);
+                    if wake {
+                        self.readable.notify_one();
+                    }
+                    st = self.state.lock().unwrap();
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// The **fixed** order (what the shim ships): pull the next element
+    /// first and only wait for space with a message in hand, so an
+    /// exhausted iterator returns without ever parking.
+    fn send_iter_fixed(&self, iter: impl Iterator<Item = usize>) {
+        let mut st = self.state.lock().unwrap();
+        for _v in iter {
+            while st.queued >= st.cap {
+                st.send_waiting += 1;
+                st = self.writable.wait(st).unwrap();
+                st.send_waiting -= 1;
+            }
+            st.queued += 1;
+            let wake = st.recv_waiting > 0;
+            drop(st);
+            if wake {
+                self.readable.notify_one();
+            }
+            st = self.state.lock().unwrap();
+        }
+    }
+}
+
+/// The triggering topology: full queue, one empty-iterator sender, one
+/// real sender, one receiver draining everything.
+fn scenario(buggy: bool) {
+    let chan = Arc::new(Chan::new(1)); // prefilled: the slot is full
+    let c_empty = Arc::clone(&chan);
+    let t_empty = thread::spawn(move || {
+        if buggy {
+            c_empty.send_iter_buggy(std::iter::empty());
+        } else {
+            c_empty.send_iter_fixed(std::iter::empty());
+        }
+    });
+    let c_send = Arc::clone(&chan);
+    let t_send = thread::spawn(move || {
+        if buggy {
+            c_send.send_iter_buggy([1, 2].into_iter());
+        } else {
+            c_send.send_iter_fixed([1, 2].into_iter());
+        }
+    });
+    for _ in 0..3 {
+        chan.recv();
+    }
+    t_empty.join().unwrap();
+    t_send.join().unwrap();
+}
+
+/// The checker must find the eaten wakeup: some schedule deadlocks
+/// with the real sender (or the receiver) parked forever.
+#[test]
+fn checker_catches_the_eaten_wakeup() {
+    let failure = check(Config::default(), || scenario(true))
+        .expect_err("the pre-PR-4 protocol must deadlock under some schedule");
+    assert!(
+        failure.message.contains("deadlock"),
+        "expected a deadlock report, got: {failure}"
+    );
+    // The failing schedule replays deterministically to the same hang.
+    let schedule = failure.schedule.clone();
+    let replayed = std::panic::catch_unwind(|| snet_check::replay(&schedule, || scenario(true)));
+    assert!(replayed.is_err(), "replay must reproduce the deadlock");
+}
+
+/// The shipped order survives every schedule the buggy one dies under.
+#[test]
+fn fixed_protocol_is_sound() {
+    let report = check(Config::default(), || scenario(false)).unwrap_or_else(|f| panic!("{f}"));
+    assert!(report.complete, "search should exhaust: {report:?}");
+    assert!(
+        report.schedules >= 1000,
+        "expected >= 1000 schedules, got {report:?}"
+    );
+}

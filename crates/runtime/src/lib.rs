@@ -144,6 +144,44 @@
 //! The [`faultinject`] module provides the deterministic, content-keyed
 //! chaos harness the robustness property tests drive these paths with.
 //!
+//! ## Concurrency correctness
+//!
+//! The scheduled engine's hot paths are lock-free or condvar-gated, and
+//! "it passed the stress tests" is not an argument there. Four layers
+//! back up the concurrent internals:
+//!
+//! 1. **Model checking** (`crates/check`, the `snet-check` crate): a
+//!    loom-style deterministic scheduler explores thread interleavings
+//!    exhaustively (sequentially consistent schedules, preemption-
+//!    bounded DFS, deterministic replay of any failing schedule). The
+//!    shims' concurrency façade and this crate's mailbox path compile
+//!    against `snet_check::sync` under `RUSTFLAGS="--cfg snet_check"`,
+//!    so the *real* Chase–Lev deque and channel implementations are
+//!    model-checked, not simplified copies
+//!    (`cargo test -p snet-check` runs the façade models in every
+//!    build; the CI `model-check` lane adds the cfg'd suite). The
+//!    checker has already earned its keep: it found a missed-wake
+//!    window in `sched.rs::notify` — a producer's push + sleeper-gate
+//!    check + notify could land entirely between a parking worker's
+//!    injector re-probe and its condvar wait, burning the 1ms timed
+//!    backstop. The fix (lock-then-notify) and the failing protocol are
+//!    both pinned in `crates/check/tests/mailbox.rs`.
+//! 2. **Weak-memory coverage**: the model runs SeqCst-only, so the CI
+//!    `tsan` lane races the deque and the scheduler's streaming suite
+//!    under ThreadSanitizer, and the `miri` lane runs the value/record
+//!    and smallvec layers under Miri for UB beyond data races.
+//! 3. **Unsafe audit**: the only crates allowed to contain `unsafe`
+//!    are the two shims with lock-free/inline-buffer internals, the
+//!    model checker, and this crate (one `libc::sched_setaffinity`
+//!    call). All of them `#![deny(unsafe_op_in_unsafe_fn)]`, every
+//!    unsafe block carries a `SAFETY:` comment, and
+//!    `scripts/check_unsafe.py` fails CI on any unsafe block without
+//!    one — or any unsafe in a crate outside that allowlist.
+//! 4. **Interleaving stress**: the deque's `steal_race.rs` drives the
+//!    2- and 3-thread last-element races and growth/steal overlap with
+//!    barrier-released replays; the fault-injection harness churns the
+//!    failure paths.
+//!
 //! * [`interp::Interp`] — the **deterministic reference interpreter**:
 //!   single-threaded, FIFO scheduling, first-declared tie-breaks. It is
 //!   the executable semantics used as an oracle in property tests (both
@@ -177,6 +215,8 @@
 //! assert_eq!(stream_one(&Net::new(double.clone()), 21), 42);   // thread per component
 //! assert_eq!(stream_one(&SchedNet::new(double), 21), 42);      // persistent worker pool
 //! ```
+
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod engine;
 pub mod faultinject;

@@ -62,8 +62,27 @@ use snet_core::{
 };
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar};
+// Under `--cfg snet_check` the atomics and condvars of the mailbox
+// hand-off path come from the snet-check model scheduler, which makes
+// `RUSTFLAGS="--cfg snet_check" cargo check -p snet-runtime` prove the
+// whole scheduler compiles against the façade (the protocol models in
+// crates/check/tests mirror this file's notify/park/latch logic; see
+// the "Concurrency correctness" section in lib.rs). The snet-check
+// Condvar's timed waits have stuck-state semantics, matching how this
+// file uses timeouts: pure lost-wakeup backstops, never deadlines.
+#[cfg(snet_check)]
+use snet_check::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+#[cfg(snet_check)]
+use snet_check::sync::Condvar;
+#[cfg(not(snet_check))]
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+#[cfg(not(snet_check))]
+use std::sync::Condvar;
+// The dead-letter sequence counter is handed to snet-core's fault API
+// and is not part of the hand-off protocol, so it stays a std atomic
+// in both builds.
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -706,10 +725,21 @@ fn notify(task: &Arc<Task>, sh: &Shared, local: Option<&Worker<Arc<Task>>>) {
         }
         // Skipping the syscall when every worker is busy is a large win
         // on the hot path. The push above is SeqCst-ordered against a
-        // parking worker's sleeper registration (see `park`), and
-        // parked workers re-probe at least every millisecond, so a
-        // missed notify costs bounded latency.
+        // parking worker's sleeper registration (see `park`), so a
+        // registered sleeper is always observed here.
+        //
+        // Lock-then-notify (as in `Drop for SchedNet`): a parking
+        // worker holds the sleep lock from sleeper registration until
+        // its condvar wait releases it, so acquiring it here squeezes
+        // out the window where the push lands after the worker's
+        // injector re-probe but the notify fires before the worker is
+        // actually waiting — a lost wake that previously cost the 1ms
+        // timed-wait backstop in latency. Found by the snet-check
+        // mailbox model (`crates/check/tests/mailbox.rs`, which pins
+        // `timeouts_fired() == 0`); only taken when a worker is
+        // actually asleep, so the busy hot path is unchanged.
         if sh.sleepers.load(Ordering::SeqCst) > 0 {
+            drop(sh.sleep.lock());
             sh.cv.notify_one();
         }
     }
@@ -757,8 +787,12 @@ fn pin_to_core(core: usize) {
     // `cpu_set_t` is 1024 bits (16 × u64) on every mainstream Linux ABI.
     let mut set = [0u64; 16];
     set[core / 64] |= 1 << (core % 64);
+    // SAFETY: FFI call with no preconditions beyond a valid buffer:
+    // `set` is a live, initialized stack array and `cpusetsize` is its
+    // exact byte length, matching the glibc signature. pid 0 means the
+    // calling thread, and the result is deliberately ignored (failure
+    // leaves the default affinity — pinning is best-effort).
     unsafe {
-        // pid 0 = the calling thread.
         let _ = sched_setaffinity(0, std::mem::size_of_val(&set), set.as_ptr());
     }
 }

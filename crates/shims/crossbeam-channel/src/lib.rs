@@ -15,7 +15,19 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, PoisonError};
+
+// Under `--cfg snet_check` the lock and the condvars come from the
+// snet-check model scheduler, so `cargo test -p snet-check` explores
+// interleavings of this *exact* implementation — notably the
+// waiter-gated notify protocol (`recv_waiting`/`send_waiting`) whose
+// PR-4 eaten-wakeup bug stress tests missed. Note the timed entry
+// points (`send_timeout`/`recv_timeout`) branch on `Instant::now` and
+// cannot be modeled; models use the untimed `send`/`recv`.
+#[cfg(snet_check)]
+use snet_check::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(not(snet_check))]
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 struct State<T> {
     queue: VecDeque<T>,
@@ -41,7 +53,7 @@ struct Shared<T> {
 }
 
 impl<T> Shared<T> {
-    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }

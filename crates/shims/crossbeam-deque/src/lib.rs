@@ -28,13 +28,32 @@
 //! The [`Injector`] stays a mutex-backed FIFO: in the scheduler it is
 //! the cold path (initial feed and contended-task requeues), while
 //! every hot hand-off goes through the lock-free worker deques.
+//!
+//! Every `unsafe` block below carries a `SAFETY:` comment tying it to
+//! the deque invariants (enforced by `scripts/check_unsafe.py`); the
+//! cross-thread protocol itself is model-checked in
+//! `crates/check/tests/chase_lev.rs` and raced under TSan in CI.
+
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::cell::{Cell, UnsafeCell};
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
+
+// Under `--cfg snet_check` every atomic access goes through the
+// snet-check model scheduler, so its DFS driver explores the
+// push/steal/grow interleavings of this exact implementation —
+// including the versioned-seqlock buffer-swap window. (The retired-
+// buffer `Mutex` above stays `std`: it is touched only by the owner
+// thread, so it is not part of the cross-thread protocol.) Orderings
+// are preserved in the source but the model runs everything SeqCst;
+// weak-memory coverage comes from the TSan CI lane instead.
+#[cfg(snet_check)]
+use snet_check::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+#[cfg(not(snet_check))]
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
@@ -105,13 +124,21 @@ impl<T> Buffer<T> {
     /// owner-exclusive access to the bottom slot) before materializing
     /// the value, or `mem::forget` it.
     unsafe fn read(&self, index: isize) -> T {
-        (*self.slot(index)).assume_init_read()
+        // SAFETY: `slot` is inbounds by the `& mask` wrap; the caller
+        // contract guarantees the slot is initialized (index is inside
+        // `top..bottom`, published by the owner's release store) and
+        // that a duplicated value is forgotten on a lost race.
+        unsafe { (*self.slot(index)).assume_init_read() }
     }
 
     /// # Safety
     /// Only the owner writes, and only to slots outside `top..bottom`.
     unsafe fn write(&self, index: isize, value: T) {
-        (*self.slot(index)).write(value);
+        // SAFETY: `slot` is inbounds by the `& mask` wrap; the caller
+        // contract (owner-only, slot outside the live window) means no
+        // other thread reads this slot until `bottom` publishes it, and
+        // the overwritten bytes are uninitialized or already consumed.
+        unsafe { (*self.slot(index)).write(value) };
     }
 }
 
@@ -131,7 +158,13 @@ struct Inner<T> {
     retired: Mutex<Vec<*mut Buffer<T>>>,
 }
 
+// SAFETY: `Inner` is shared across threads by design; every cross-
+// thread access to the slots goes through the atomic top/bottom/version
+// protocol above (raw pointers and `UnsafeCell` merely suppress the
+// auto-traits). Element values move between threads, hence `T: Send`;
+// no `&T` is ever handed out, so `T: Sync` is not required.
 unsafe impl<T: Send> Send for Inner<T> {}
+// SAFETY: as above — `&Inner` methods synchronize via atomics/seqlock.
 unsafe impl<T: Send> Sync for Inner<T> {}
 
 impl<T> Inner<T> {
@@ -150,9 +183,13 @@ impl<T> Inner<T> {
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Acquire);
         let mut buf = self.buffer.load(Ordering::Relaxed);
+        // SAFETY: only the owner swaps `buffer`, so the pointer it just
+        // loaded is the live ring, not a retired one.
         if b.wrapping_sub(t) as usize >= unsafe { (*buf).cap() } {
             buf = self.grow(t, b, buf);
         }
+        // SAFETY: owner-only call; slot `b` is outside the live window
+        // `top..bottom` until the release store below publishes it.
         unsafe { (*buf).write(b, value) };
         // Publish: the slot write happens-before any thief that
         // observes the new bottom.
@@ -163,6 +200,13 @@ impl<T> Inner<T> {
     /// old ring is retired, not freed — thieves mid-read keep valid
     /// memory, and the seqlock retries any read that spans the swap.
     fn grow(&self, t: isize, b: isize, old: *mut Buffer<T>) -> *mut Buffer<T> {
+        // SAFETY: `old` is the live ring (owner-only swaps); it stays
+        // allocated until the deque drops (retired list), so reading
+        // its header and raw-copying the live window `t..b` into the
+        // fresh ring is inbounds. The copy duplicates bits, not values:
+        // exactly one ring is ever `read` for a given index, so no
+        // element is materialized twice (retired rings are deallocated
+        // without dropping slots — see `Drop for Inner`).
         let new = Buffer::alloc(unsafe { (*old).cap() } * 2);
         unsafe {
             for i in t..b {
@@ -191,6 +235,13 @@ impl<T> Inner<T> {
             return Steal::Retry; // buffer swap in flight
         }
         let buf = self.buffer.load(Ordering::Acquire);
+        // SAFETY: speculative read. `buf` stays allocated (retired, not
+        // freed, until the deque drops) even if a swap lands mid-read;
+        // the slot was initialized because `t < b` was published by the
+        // owner's release store and the even-version check above orders
+        // the load after the copy. The value is forgotten — never
+        // dropped or returned — unless the version recheck and the
+        // `top` CAS below both certify exclusive ownership.
         let value = unsafe { (*buf).read(t) };
         if self.version.load(Ordering::Acquire) != v {
             std::mem::forget(value);
@@ -221,6 +272,11 @@ impl<T> Inner<T> {
             self.bottom.store(b + 1, Ordering::SeqCst);
             return None;
         }
+        // SAFETY: owner-only path, so `buf` is the live ring and slot
+        // `b` is the initialized bottom element (`t <= b` checked
+        // above). Thieves cannot pass the reserved `bottom`; the only
+        // contended case is `t == b`, where the CAS below decides the
+        // unique owner and the loser forgets the duplicate.
         let value = unsafe { (*buf).read(b) };
         if t == b {
             // Last element: exactly one of {owner, some thief} wins the
@@ -245,6 +301,11 @@ impl<T> Inner<T> {
             match self.steal() {
                 Steal::Success(v) => return Some(v),
                 Steal::Empty => return None,
+                // Under the model a spin hint is a voluntary yield, so
+                // this retry loop cannot livelock the DFS driver.
+                #[cfg(snet_check)]
+                Steal::Retry => snet_check::hint::spin_loop(),
+                #[cfg(not(snet_check))]
                 Steal::Retry => std::hint::spin_loop(),
             }
         }
@@ -262,6 +323,13 @@ impl<T> Drop for Inner<T> {
         let t = *self.top.get_mut();
         let b = *self.bottom.get_mut();
         let buf = *self.buffer.get_mut();
+        // SAFETY: `&mut self` means no other handle exists — no thief
+        // is mid-read. Unconsumed elements (`t..b`) live only in the
+        // current ring, so dropping them there and then deallocating
+        // every ring drops each element exactly once; retired rings
+        // hold consumed-or-duplicated bits and are freed without
+        // touching their slots. All pointers came from `Box::into_raw`
+        // in `Buffer::alloc`.
         unsafe {
             // Unconsumed elements live in the current ring only.
             for i in t..b {

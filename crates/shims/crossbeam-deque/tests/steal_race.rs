@@ -94,6 +94,86 @@ fn two_thread_last_element_race_is_exactly_once() {
     }
 }
 
+/// The 3-thread last-element race: the owner pops while TWO thieves
+/// steal a deque holding exactly one element, so the `top` CAS has
+/// three contenders (and thief-vs-thief losers must also forget their
+/// speculative copy). Exactly one of the three sides must win each
+/// round, in both flavors.
+#[test]
+fn three_thread_last_element_race_is_exactly_once() {
+    for lifo in [false, true] {
+        const ROUNDS: usize = 2_000;
+        const THIEVES: usize = 2;
+        let w = if lifo {
+            Worker::new_lifo()
+        } else {
+            Worker::new_fifo()
+        };
+        let barrier = Arc::new(Barrier::new(1 + THIEVES));
+        let stolen = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new(AtomicBool::new(false));
+
+        let thieves: Vec<_> = (0..THIEVES)
+            .map(|_| {
+                let s = w.stealer();
+                let barrier = Arc::clone(&barrier);
+                let stolen = Arc::clone(&stolen);
+                let done = Arc::clone(&done);
+                thread::spawn(move || {
+                    for _ in 0..ROUNDS {
+                        barrier.wait();
+                        loop {
+                            match s.steal() {
+                                Steal::Success(_) => {
+                                    stolen.fetch_add(1, Ordering::SeqCst);
+                                    break;
+                                }
+                                Steal::Retry => continue,
+                                Steal::Empty => {
+                                    if done.load(Ordering::SeqCst) {
+                                        break; // someone else won this round
+                                    }
+                                }
+                            }
+                        }
+                        barrier.wait();
+                    }
+                })
+            })
+            .collect();
+
+        let mut popped = 0usize;
+        for round in 0..ROUNDS {
+            w.push(round);
+            done.store(false, Ordering::SeqCst);
+            barrier.wait();
+            if w.pop().is_some() {
+                popped += 1;
+            }
+            done.store(true, Ordering::SeqCst);
+            barrier.wait();
+            assert_eq!(
+                w.pop(),
+                None,
+                "round {round} left a duplicate (lifo={lifo})"
+            );
+        }
+        for t in thieves {
+            t.join().unwrap();
+        }
+        assert_eq!(
+            popped + stolen.load(Ordering::SeqCst),
+            ROUNDS,
+            "lost or duplicated elements (lifo={lifo})"
+        );
+        assert!(popped > 0, "owner never won the race (lifo={lifo})");
+        assert!(
+            stolen.load(Ordering::SeqCst) > 0,
+            "thieves never won the race (lifo={lifo})"
+        );
+    }
+}
+
 /// Concurrent stealers against an owner that pushes bursts (forcing
 /// repeated buffer growth from the tiny initial capacity) and pops in
 /// between. Every element must be consumed exactly once.

@@ -5,20 +5,30 @@
 //! guards directly. Poisoned locks are recovered transparently (the
 //! workspace treats a panicked critical section as survivable, exactly
 //! like the real parking_lot).
+//!
+//! Under `--cfg snet_check` the mutex core is swapped for the
+//! `snet-check` model mutex, so code locking through this shim (the
+//! sched mailbox path) runs under the deterministic model scheduler.
+//! `RwLock` stays `std` in both builds — nothing model-checked uses it.
 
 use std::sync::{self, PoisonError};
 
+#[cfg(snet_check)]
+use snet_check::sync as imp;
+#[cfg(not(snet_check))]
+use std::sync as imp;
+
 /// A mutual-exclusion lock whose `lock` never returns a `Result`.
 #[derive(Default, Debug)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+pub struct Mutex<T: ?Sized>(imp::Mutex<T>);
 
 /// Guard type returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+pub type MutexGuard<'a, T> = imp::MutexGuard<'a, T>;
 
 impl<T> Mutex<T> {
     /// Creates a new mutex.
     pub const fn new(value: T) -> Mutex<T> {
-        Mutex(sync::Mutex::new(value))
+        Mutex(imp::Mutex::new(value))
     }
 
     /// Consumes the mutex, returning the inner value.
@@ -37,8 +47,8 @@ impl<T: ?Sized> Mutex<T> {
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.0.try_lock() {
             Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
+            Err(imp::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(imp::TryLockError::WouldBlock) => None,
         }
     }
 

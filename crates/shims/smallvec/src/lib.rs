@@ -10,6 +10,15 @@
 //! Records carry at most a handful of fields and tags, so inline
 //! storage turns the per-record allocation pair (fields + tags) into
 //! zero heap traffic on the engines' hot hand-off path.
+//!
+//! The load-bearing invariant for every `unsafe` block below: in
+//! `Store::Inline { len, buf }`, exactly the first `len` slots of
+//! `buf` hold initialized `A::Item`s, and `len <= A::CAP`. Each block
+//! carries a `SAFETY:` comment tying it back to this invariant
+//! (enforced by `scripts/check_unsafe.py`); the drop-safety unit tests
+//! below run under Miri in CI.
+
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::fmt;
 use std::mem::MaybeUninit;
@@ -84,11 +93,14 @@ impl<A: Array> SmallVec<A> {
         if let Store::Inline { len, buf } = &mut self.store {
             let n = *len;
             let mut vec = Vec::with_capacity((A::CAP * 2).max(n + extra).max(4));
+            // SAFETY: the inline invariant says the first `n` slots of
+            // `buf` are initialized, and the Vec was allocated with
+            // capacity >= n, so the copy reads and writes in bounds and
+            // `set_len(n)` covers exactly the moved prefix. `*len = 0`
+            // below marks the moved-from slots as logically dead so the
+            // replacement of `self.store` cannot double-drop them (the
+            // old Inline variant's buffer is plain bytes once len is 0).
             unsafe {
-                // Move the initialized prefix; zero `len` first so the
-                // moved-from slots can never be touched again (the
-                // replacement of `self.store` below drops the old
-                // Inline variant, whose buffer is plain bytes).
                 ptr::copy_nonoverlapping(Self::inline_ptr(buf), vec.as_mut_ptr(), n);
                 vec.set_len(n);
             }
@@ -100,6 +112,10 @@ impl<A: Array> SmallVec<A> {
     /// Appends an element.
     pub fn push(&mut self, value: A::Item) {
         match &mut self.store {
+            // SAFETY: the guard gives `*len < A::CAP`, so slot `*len`
+            // is in bounds and (by the inline invariant) uninitialized;
+            // `ptr::write` claims it without dropping stale bytes, and
+            // the increment extends the initialized prefix over it.
             Store::Inline { len, buf } if *len < A::CAP => unsafe {
                 ptr::write(Self::inline_ptr_mut(buf).add(*len), value);
                 *len += 1;
@@ -120,6 +136,12 @@ impl<A: Array> SmallVec<A> {
         match &mut self.store {
             Store::Inline { len, buf } if *len < A::CAP => {
                 assert!(index <= *len, "insert index {index} out of bounds");
+                // SAFETY: `index <= len < CAP` (assert + match guard),
+                // so the shift's source `index..len` and destination
+                // `index+1..len+1` are both within the CAP-slot buffer;
+                // `ptr::copy` handles the overlap. Slot `index` then
+                // holds a duplicate (moved-from) element, immediately
+                // overwritten by `ptr::write` without dropping it.
                 unsafe {
                     let p = Self::inline_ptr_mut(buf);
                     ptr::copy(p.add(index), p.add(index + 1), *len - index);
@@ -141,6 +163,11 @@ impl<A: Array> SmallVec<A> {
         match &mut self.store {
             Store::Inline { len, buf } => {
                 assert!(index < *len, "remove index {index} out of bounds");
+                // SAFETY: `index < len`, so slot `index` is initialized
+                // and `ptr::read` moves it out; the overlapping shift
+                // of `index+1..len` left by one re-covers the hole, and
+                // the decrement un-claims the now-duplicated last slot
+                // so it is never read or dropped again.
                 unsafe {
                     let p = Self::inline_ptr_mut(buf);
                     let value = ptr::read(p.add(index));
@@ -158,6 +185,10 @@ impl<A: Array> SmallVec<A> {
         match &mut self.store {
             Store::Inline { len, buf } => {
                 let n = std::mem::replace(len, 0);
+                // SAFETY: the first `n` slots were initialized, and
+                // `len` was zeroed *before* dropping so a panicking
+                // element Drop cannot lead to a second drop of the
+                // prefix (the vector is already observably empty).
                 unsafe {
                     ptr::drop_in_place(ptr::slice_from_raw_parts_mut(Self::inline_ptr_mut(buf), n));
                 }
@@ -174,6 +205,10 @@ impl<A: Array> SmallVec<A> {
                     return None;
                 }
                 *len -= 1;
+                // SAFETY: pre-decrement `len >= 1`, so the slot at the
+                // new `*len` is the initialized last element; the
+                // decrement already un-claimed it, making this read the
+                // unique move-out.
                 Some(unsafe { ptr::read(Self::inline_ptr(buf).add(*len)) })
             }
             Store::Heap(v) => v.pop(),
@@ -231,9 +266,16 @@ impl<A: Array> SmallVec<A> {
     /// spilled (inline contents are moved out, which allocates).
     pub fn into_vec(self) -> Vec<A::Item> {
         let this = std::mem::ManuallyDrop::new(self);
+        // SAFETY: `this` is ManuallyDrop, so our own Drop (which would
+        // drop the prefix a second time) never runs; this read is the
+        // unique transfer of the store's ownership.
         match unsafe { ptr::read(&this.store) } {
             Store::Inline { len, buf } => {
                 let mut vec = Vec::with_capacity(len);
+                // SAFETY: first `len` slots of `buf` are initialized
+                // and the Vec has capacity >= len; after the copy,
+                // `buf` is dead bytes (local, plain `MaybeUninit`, no
+                // Drop), so the elements are moved exactly once.
                 unsafe {
                     ptr::copy_nonoverlapping(Self::inline_ptr(&buf), vec.as_mut_ptr(), len);
                     vec.set_len(len);
@@ -263,6 +305,10 @@ impl<A: Array> Deref for SmallVec<A> {
     type Target = [A::Item];
     fn deref(&self) -> &[A::Item] {
         match &self.store {
+            // SAFETY: the inline invariant — first `len` slots
+            // initialized — is exactly the validity requirement of
+            // `from_raw_parts`; the borrow of `self` keeps the buffer
+            // alive and un-mutated for the slice's lifetime.
             Store::Inline { len, buf } => unsafe {
                 std::slice::from_raw_parts(Self::inline_ptr(buf), *len)
             },
@@ -274,6 +320,8 @@ impl<A: Array> Deref for SmallVec<A> {
 impl<A: Array> DerefMut for SmallVec<A> {
     fn deref_mut(&mut self) -> &mut [A::Item] {
         match &mut self.store {
+            // SAFETY: as in `deref`, plus the `&mut self` borrow makes
+            // this the unique reference into the buffer.
             Store::Inline { len, buf } => unsafe {
                 std::slice::from_raw_parts_mut(Self::inline_ptr_mut(buf), *len)
             },
@@ -359,6 +407,11 @@ impl<A: Array> Iterator for IntoIter<A> {
             IntoIterInner::Inline { buf, next, len } => {
                 if next < len {
                     let p = buf.as_ptr() as *const A::Item;
+                    // SAFETY: the iterator invariant is that slots
+                    // `next..len` are initialized and owned by the
+                    // iterator; `next < len` puts this slot in that
+                    // window, and the increment removes it from the
+                    // window before anything can read it again.
                     let value = unsafe { ptr::read(p.add(*next)) };
                     *next += 1;
                     Some(value)
@@ -384,6 +437,10 @@ impl<A: Array> Iterator for IntoIter<A> {
 impl<A: Array> Drop for IntoIter<A> {
     fn drop(&mut self) {
         if let IntoIterInner::Inline { buf, next, len } = &mut self.inner {
+            // SAFETY: the un-consumed window `next..len` is exactly the
+            // initialized, iterator-owned slots (see `next`); dropping
+            // it in place drops each remaining element exactly once.
+            // `next()` can never run again after Drop.
             unsafe {
                 ptr::drop_in_place(ptr::slice_from_raw_parts_mut(
                     (buf.as_mut_ptr() as *mut A::Item).add(*next),
@@ -401,6 +458,10 @@ impl<A: Array> IntoIterator for SmallVec<A> {
         // Disassemble without running our Drop (the iterator takes over
         // ownership of the initialized prefix).
         let this = std::mem::ManuallyDrop::new(self);
+        // SAFETY: `this` is ManuallyDrop so SmallVec's Drop never runs;
+        // this read is the unique ownership transfer of the store into
+        // the iterator, which assumes the drop obligation for the
+        // `next..len` window (see `Drop for IntoIter`).
         let inner = match unsafe { ptr::read(&this.store) } {
             Store::Inline { len, buf } => IntoIterInner::Inline { buf, next: 0, len },
             Store::Heap(v) => IntoIterInner::Heap(v.into_iter()),
