@@ -10,7 +10,7 @@
 use crate::data::{copy_ops, expect, field, ChunkData, PicData, SceneData, SectData};
 use crate::schedule::Schedule;
 use parking_lot::Mutex;
-use snet_core::boxdef::{BoxDef, BoxOutput, BoxSig, Work};
+use snet_core::boxdef::{BoxDef, BoxOutput, BoxSig, RecordVec, Work};
 use snet_core::{Record, SnetError};
 use snet_raytracer::{render_section, Counters, Image};
 use std::path::PathBuf;
@@ -65,7 +65,7 @@ pub fn splitter_box() -> BoxDef {
             let cpus = input.tag("cpus").unwrap_or(1).max(1);
 
             let sections = sched.sections(sd.height, tasks);
-            let mut records = Vec::with_capacity(sections.len());
+            let mut records = RecordVec::with_capacity(sections.len());
             for (i, sect) in sections.into_iter().enumerate() {
                 let mut rec = Record::new()
                     .with_field("scene", scene_val.clone())
@@ -85,7 +85,7 @@ pub fn splitter_box() -> BoxDef {
             // BVH construction (shipped with the scene) plus per-section
             // bookkeeping.
             let bvh_ops = sd.scene.shapes.len() as u64 * sd.bvh.depth().max(1) as u64 * 40;
-            Ok(BoxOutput::many(
+            Ok(BoxOutput::many_into(
                 records,
                 Work::ops(bvh_ops + 200 * tasks as u64),
             ))
@@ -183,7 +183,7 @@ pub fn gen_img_box(slot: ImageSlot, path: Option<PathBuf>) -> BoxDef {
             }
             let work = copy_ops(pd.0.wire_bytes());
             *slot.lock() = Some(pd.0.clone());
-            Ok(BoxOutput::many(Vec::new(), Work::ops(work)))
+            Ok(BoxOutput::none(Work::ops(work)))
         },
     )
 }

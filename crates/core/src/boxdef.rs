@@ -195,12 +195,36 @@ impl BoxOutput {
         }
     }
 
-    /// Multi-record output with work.
-    pub fn many(records: Vec<Record>, work: Work) -> BoxOutput {
+    /// Multi-record output from an already-built [`RecordVec`] — the
+    /// allocation-free way to emit several records: build the
+    /// `RecordVec` in place (inline for short outputs) and hand it
+    /// over, no intermediate heap `Vec` round-trip.
+    pub fn many_into(records: RecordVec, work: Work) -> BoxOutput {
+        BoxOutput { records, work }
+    }
+
+    /// Multi-record output collected from an iterator.
+    pub fn from_iter(records: impl IntoIterator<Item = Record>, work: Work) -> BoxOutput {
         BoxOutput {
-            records: SmallVec::from_vec(records),
+            records: records.into_iter().collect(),
             work,
         }
+    }
+
+    /// No output records, only work (consuming boxes, dead ends).
+    pub fn none(work: Work) -> BoxOutput {
+        BoxOutput {
+            records: RecordVec::new(),
+            work,
+        }
+    }
+
+    /// Multi-record output with work. Compat wrapper over
+    /// [`BoxOutput::many_into`]: it adopts the `Vec`'s heap buffer, but
+    /// forces callers to have built one — prefer `many_into` (or
+    /// [`BoxOutput::from_iter`]) in new code.
+    pub fn many(records: Vec<Record>, work: Work) -> BoxOutput {
+        BoxOutput::many_into(SmallVec::from_vec(records), work)
     }
 }
 
@@ -315,6 +339,28 @@ mod tests {
             .unwrap();
         assert_eq!(out.records[0].field("y").unwrap().as_int(), Some(42));
         assert_eq!(out.work, Work::ops(1));
+    }
+
+    #[test]
+    fn output_constructors_avoid_the_heap_when_short() {
+        // `one` and a single-record `many_into` stay inline.
+        let a = BoxOutput::one(Record::new().with_tag("t", 1), Work::ZERO);
+        assert!(!a.records.spilled());
+        let mut rv = RecordVec::new();
+        rv.push(Record::new().with_tag("t", 2));
+        let b = BoxOutput::many_into(rv, Work::ops(3));
+        assert!(!b.records.spilled());
+        assert_eq!(b.work, Work::ops(3));
+        assert!(BoxOutput::none(Work::ZERO).records.is_empty());
+        // The compat wrapper and the iterator form agree on contents.
+        let recs = vec![
+            Record::new().with_tag("t", 3),
+            Record::new().with_tag("t", 4),
+        ];
+        let c = BoxOutput::many(recs.clone(), Work::ZERO);
+        let d = BoxOutput::from_iter(recs, Work::ZERO);
+        assert_eq!(c.records.len(), 2);
+        assert_eq!(c.records.as_slice(), d.records.as_slice());
     }
 
     #[test]

@@ -196,7 +196,12 @@ pub struct ChainTally {
 ///
 /// The two ping-pong buffers are the chain's only allocation and are
 /// reused across records, so the steady-state hot path allocates
-/// nothing beyond what the stages themselves produce.
+/// nothing beyond what the stages themselves produce. [`new`] draws
+/// the buffers from [`crate::pool`] and `Drop` returns them, so even
+/// runner churn (one per chain task, per threaded-engine stage thread)
+/// recycles warmed capacity instead of mallocing.
+///
+/// [`new`]: ChainRunner::new
 #[derive(Debug, Default)]
 pub struct ChainRunner {
     cur: Vec<Record>,
@@ -204,9 +209,12 @@ pub struct ChainRunner {
 }
 
 impl ChainRunner {
-    /// Fresh runner with empty scratch buffers.
+    /// Fresh runner; scratch buffers come from the buffer pool.
     pub fn new() -> ChainRunner {
-        ChainRunner::default()
+        ChainRunner {
+            cur: crate::pool::take_vec(),
+            next: crate::pool::take_vec(),
+        }
     }
 
     /// Drives one record through `stages`, appending the chain's final
@@ -395,6 +403,13 @@ impl ChainRunner {
         }
         out.append(&mut self.cur);
         Ok(())
+    }
+}
+
+impl Drop for ChainRunner {
+    fn drop(&mut self) {
+        crate::pool::give_vec(std::mem::take(&mut self.cur));
+        crate::pool::give_vec(std::mem::take(&mut self.next));
     }
 }
 

@@ -70,6 +70,14 @@ thread_local! {
         RefCell::new(HashMap::default());
 }
 
+/// Cap on the per-thread mirror. Real topologies use a few dozen
+/// spellings, but a soak run interning a million *distinct* labels
+/// (e.g. synthesized per-record names) must not grow every worker's
+/// mirror without bound. At the cap the mirror is reset — correctness
+/// is unaffected (misses fall through to the global table), the next
+/// few lookups just pay the lock again.
+const LOCAL_CACHE_CAP: usize = 4096;
+
 impl Label {
     /// Interns `name` and returns its label.
     pub fn new(name: &str) -> Label {
@@ -81,8 +89,21 @@ impl Label {
         // Key the local mirror by the interner's leaked spelling so the
         // miss path stays allocation-free too.
         let spelling = label.as_str();
-        LOCAL.with(|m| m.borrow_mut().insert(spelling, label.0));
+        LOCAL.with(|m| {
+            let mut m = m.borrow_mut();
+            if m.len() >= LOCAL_CACHE_CAP {
+                m.clear();
+            }
+            m.insert(spelling, label.0);
+        });
         label
+    }
+
+    /// Entries in this thread's intern mirror (test/diagnostic hook for
+    /// the cache bound).
+    #[doc(hidden)]
+    pub fn local_cache_len() -> usize {
+        LOCAL.with(|m| m.borrow().len())
     }
 
     /// The global, cross-thread interning slow path.
@@ -216,6 +237,30 @@ mod tests {
         let from_other_thread = std::thread::spawn(move || Label::new(long)).join().unwrap();
         assert_eq!(from_other_thread, first);
         assert_eq!(first.as_str(), long);
+    }
+
+    #[test]
+    fn local_cache_is_bounded_and_stays_correct_after_reset() {
+        // Interning far more distinct spellings than the cap from one
+        // thread must leave the per-thread mirror bounded...
+        std::thread::spawn(|| {
+            let mut firsts = Vec::new();
+            for i in 0..(LOCAL_CACHE_CAP + 100) {
+                firsts.push(Label::new(&format!("bound-label-{i}")));
+            }
+            assert!(
+                Label::local_cache_len() <= LOCAL_CACHE_CAP,
+                "mirror grew past the cap: {}",
+                Label::local_cache_len()
+            );
+            // ...and evicted spellings must still resolve to the id the
+            // global table assigned (the reset is invisible to callers).
+            for (i, first) in firsts.iter().enumerate() {
+                assert_eq!(Label::new(&format!("bound-label-{i}")), *first);
+            }
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod flow;
 pub mod fusion;
 pub mod label;
 pub mod pattern;
+pub mod pool;
 pub mod record;
 pub mod rtype;
 pub mod semantics;
@@ -54,6 +55,7 @@ pub use filter::{FilterSpec, OutItem, OutputTemplate};
 pub use fusion::{fuse, ChainRunner, ChainStage, ChainTally};
 pub use label::Label;
 pub use pattern::Pattern;
+pub use pool::PoolStats;
 pub use record::Record;
 pub use rtype::{RType, Variant};
 pub use sync::{SyncOutcome, SyncSpec, SyncState};

@@ -55,6 +55,7 @@ use crossbeam_deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::Mutex;
 use snet_core::fault::{self, DeadLetter, StepVerdict};
 use snet_core::panic_cause;
+use snet_core::pool;
 use snet_core::semantics::{self, MismatchPolicy};
 use snet_core::{
     ChainRunner, ChainStage, ChainTally, Label, NetSpec, Pattern, Record, SnetError, SyncOutcome,
@@ -245,7 +246,7 @@ impl SchedNet {
         let sink = Task::new(
             "sink",
             State::Sink {
-                buf: Vec::new(),
+                buf: pool::take_vec(),
                 dest: SinkDest::Stream(out_tx),
             },
             &run,
@@ -299,7 +300,7 @@ impl SchedNet {
         let sink = Task::new(
             "sink",
             State::Sink {
-                buf: Vec::new(),
+                buf: pool::take_vec(),
                 dest: SinkDest::Collect(Arc::clone(&outputs)),
             },
             &run,
@@ -605,7 +606,7 @@ impl Task {
         Arc::new(Task {
             label,
             run: Arc::clone(run),
-            mailbox: Mutex::new(VecDeque::new()),
+            mailbox: Mutex::new(pool::take_deque()),
             ingress_cv: Condvar::new(),
             ingress_waiters: AtomicUsize::new(0),
             open_senders: AtomicUsize::new(0),
@@ -648,7 +649,7 @@ impl Port {
         task.open_senders.fetch_add(1, Ordering::AcqRel);
         Port {
             task: Arc::clone(task),
-            buf: Vec::new(),
+            buf: pool::take_vec(),
         }
     }
 
@@ -704,6 +705,7 @@ impl Port {
     fn close(mut self, sh: &Shared, local: Option<&Worker<Arc<Task>>>) {
         // Sends happen-before close: drain the coalescing buffer first.
         self.flush(sh, local);
+        pool::give_vec(std::mem::take(&mut self.buf));
         if self.task.open_senders.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last sender gone: the task must run once more to observe
             // end-of-stream and finalize.
@@ -1070,7 +1072,10 @@ fn run_task(
     let mut next_bp_check = 0usize;
     let mut processed = 0usize;
     // Records claimed from the mailbox for the current hand-off batch.
-    let mut inbuf: Vec<Record> = Vec::new();
+    // Pooled (with drop-reclaim, for the failure exits): one activation
+    // per batch used to mean one short-lived Vec per batch — in steady
+    // state that is the hottest allocation in the engine.
+    let mut inbuf = pool::PooledVec::take();
     while processed < budget {
         if processed >= next_bp_check {
             // Mid-drain preemption point, amortized on the same stride
@@ -1479,10 +1484,22 @@ fn step(
 /// driver's completion latch.
 fn finalize(task: &Arc<Task>, state: &mut State, sh: &Shared, local: Option<&Worker<Arc<Task>>>) {
     let _ = task.label;
+    // Retire the mailbox's backing storage (it is empty on every orderly
+    // end-of-stream; abort paths cleared it). Stragglers that land after
+    // teardown go into the fresh empty deque and are dropped with it.
+    pool::give_deque(std::mem::take(&mut *task.mailbox.lock()));
+    if task.ingress_waiters.load(Ordering::Acquire) > 0 {
+        task.ingress_cv.notify_all();
+    }
     let old = std::mem::replace(state, State::Done);
     let close = |p: Port| p.close(sh, local);
     match old {
-        State::Box(_, out) | State::Filter(_, out) | State::Chain { out, .. } => close(out),
+        State::Box(_, out) | State::Filter(_, out) => close(out),
+        State::Chain { out, outs, .. } => {
+            // `runner` drops here and returns its ping-pong buffers.
+            pool::give_vec(outs);
+            close(out);
+        }
         State::Sync { st, out, .. } => {
             let stranded = st.pending().count() as u64;
             if stranded > 0 {
@@ -1514,6 +1531,7 @@ fn finalize(task: &Arc<Task>, state: &mut State, sh: &Shared, local: Option<&Wor
             // abort or a hung-up consumer, where dropping leftovers is
             // the contract.
             dest.flush(&mut buf);
+            pool::give_vec(buf);
             // Streaming mode: dropping `dest` here disconnects the
             // output channel — the consumer's end-of-stream.
             drop(dest);
@@ -1541,7 +1559,7 @@ fn build(spec: &NetSpec, output: Port, run: &Arc<Run>) -> Port {
                 State::Chain {
                     stages: stages.clone(),
                     runner: ChainRunner::new(),
-                    outs: Vec::new(),
+                    outs: pool::take_vec(),
                     out: output,
                 },
                 run,

@@ -1,0 +1,191 @@
+//! Steady-state allocation accounting for the scheduled engine.
+//!
+//! The buffer pool (`snet_core::pool`) exists so that streaming's hot
+//! loop — mailbox drain, fused-chain traversal, producer-side
+//! coalescing, sink delivery — reuses warmed buffers instead of
+//! mallocing per activation. This test proves the claim with a counting
+//! global allocator: after a warm-up phase (pools filled, worker pool
+//! spawned, every mailbox/channel grown to its plateau), streaming tens
+//! of thousands more records through a depth-16 **fused** pipeline must
+//! perform ~zero further allocations — the budget is a small constant
+//! for the whole window, not per record. The **unfused** path keeps
+//! per-hop hand-off machinery and is pinned at a small per-record
+//! constant instead.
+//!
+//! Both measurements run inside one `#[test]` so no sibling test thread
+//! can allocate into the window.
+
+use snet_core::boxdef::{BoxDef, BoxOutput, BoxSig, Work};
+use snet_core::{NetSpec, Record, Value};
+use snet_runtime::sched::TrySendError;
+use snet_runtime::{EngineConfig, SchedNet};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every heap acquisition (alloc, zeroed alloc, and realloc)
+/// process-wide — worker threads included, which is the point.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to the System allocator; the only addition
+// is a relaxed counter bump, which allocates nothing and touches no
+// allocator state.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout contract as our own caller's.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: forwards verbatim; caller upholds the GlobalAlloc contract.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was produced by `System` in `alloc`/`realloc`
+        // with this layout.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: forwards verbatim; caller upholds the GlobalAlloc contract.
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout contract as our own caller's.
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    // SAFETY: forwards verbatim; caller upholds the GlobalAlloc contract.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr` stems from this allocator with `layout`, and
+        // the caller guarantees `new_size` is valid.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn inc_box() -> NetSpec {
+    NetSpec::Box(BoxDef::from_fn(
+        BoxSig::parse("inc", &["x"], &[&["x"]]),
+        |r| {
+            let x = r.field("x").and_then(|v| v.as_int()).unwrap_or(0);
+            Ok(BoxOutput::one(
+                Record::new().with_field("x", Value::Int(x + 1)),
+                Work::ops(1),
+            ))
+        },
+    ))
+}
+
+/// Streams `count` single-field records through `net` with the
+/// interleaved driver loop, returning how many came back. The loop body
+/// itself is allocation-free in steady state: records are built inline
+/// (one field fits the record's inline storage) and the handle's
+/// try_send/try_recv/drive path reuses pooled/amortized buffers.
+fn stream(net: &SchedNet, count: usize) -> usize {
+    let handle = net.start();
+    let mut sent = 0usize;
+    let mut received = 0usize;
+    let mut closed = false;
+    let mut pending: Option<Record> = None;
+    while received < count {
+        while sent < count {
+            let rec = pending
+                .take()
+                .unwrap_or_else(|| Record::new().with_field("x", Value::Int(sent as i64)));
+            match handle.try_send(rec) {
+                Ok(()) => sent += 1,
+                Err(TrySendError::Full(r)) => {
+                    pending = Some(r);
+                    break;
+                }
+                Err(TrySendError::Closed(e)) => panic!("ingress closed mid-run: {e}"),
+            }
+        }
+        if sent == count && !closed {
+            handle.close_input();
+            closed = true;
+        }
+        let mut drained = false;
+        while handle.try_recv().is_some() {
+            received += 1;
+            drained = true;
+        }
+        if !drained && received < count && !handle.drive() {
+            std::thread::yield_now();
+        }
+    }
+    handle.finish().expect("run failed");
+    received
+}
+
+const WARMUP: usize = 20_000;
+const MEASURE: usize = 50_000;
+
+#[test]
+fn steady_state_allocations_are_pooled_away() {
+    // ---- Fused depth-16 chain: the zero-allocs-per-record claim. ----
+    let fused = SchedNet::with_config(
+        NetSpec::pipeline((0..16).map(|_| inc_box())),
+        EngineConfig::default(),
+    );
+    // Warm-up: spawn workers, fill the buffer pools, and grow every
+    // mailbox, channel, and deque to its steady-state capacity.
+    assert_eq!(stream(&fused, WARMUP), WARMUP);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(stream(&fused, MEASURE), MEASURE);
+    let fused_delta = ALLOCS.load(Ordering::Relaxed) - before;
+    eprintln!(
+        "fused depth-16: {fused_delta} allocs / {MEASURE} records \
+         ({:.5} per record)",
+        fused_delta as f64 / MEASURE as f64
+    );
+
+    // The budget is a *flat* constant for the whole window — one
+    // `start()` (task graph + channels), plus a handful of stragglers
+    // (a rare deque doubling past the warm-up plateau, a deferred-heap
+    // regrowth). 50k records through 16 stages is 800k box invocations;
+    // without the pool this window costs >100k allocations (one inbuf
+    // per activation, one port buffer per graph edge per run, two chain
+    // buffers per runner, ...). 2000 total = 0.04 per record, i.e. 0
+    // per record in steady state.
+    assert!(
+        fused_delta < 2_000,
+        "fused depth-16 steady state allocated {fused_delta} times over {MEASURE} records \
+         ({:.4}/record) — the pooled hot path must be allocation-free",
+        fused_delta as f64 / MEASURE as f64
+    );
+
+    // ---- Unfused path: pinned small per-record constant. ----
+    let unfused = SchedNet::with_config(
+        NetSpec::pipeline((0..8).map(|_| inc_box())),
+        EngineConfig {
+            fuse: false,
+            ..EngineConfig::default()
+        },
+    );
+    assert_eq!(stream(&unfused, WARMUP), WARMUP);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(stream(&unfused, MEASURE), MEASURE);
+    let unfused_delta = ALLOCS.load(Ordering::Relaxed) - before;
+    eprintln!(
+        "unfused depth-8: {unfused_delta} allocs / {MEASURE} records \
+         ({:.5} per record)",
+        unfused_delta as f64 / MEASURE as f64
+    );
+
+    // Eight mailbox hops per record keep per-hop machinery alive, but
+    // pooling pins the unfused path to a flat window constant as well:
+    // ~140 allocations measured for the 50k-record window (one start()
+    // builds 10 tasks + ports, plus stragglers). The looser budget
+    // absorbs scheduling jitter; a regression to per-activation buffer
+    // allocation costs tens of thousands and blows well past it.
+    assert!(
+        unfused_delta < 5_000,
+        "unfused depth-8 steady state allocated {unfused_delta} times over {MEASURE} \
+         records ({:.3}/record) — expected a pinned small constant",
+        unfused_delta as f64 / MEASURE as f64
+    );
+}

@@ -11,7 +11,7 @@
 //! deterministic (stream-head) position.
 
 use proptest::prelude::*;
-use snet_core::boxdef::{BoxDef, BoxOutput, BoxSig, Work};
+use snet_core::boxdef::{BoxDef, BoxOutput, BoxSig, RecordVec, Work};
 use snet_core::filter::OutputTemplate;
 use snet_core::{BinOp, FilterSpec, NetSpec, Pattern, Record, SyncSpec, TagExpr, Value, Variant};
 use snet_runtime::{run_stream, EngineConfig, Interp, Net, SchedNet};
@@ -36,13 +36,10 @@ fn dup_box() -> NetSpec {
         BoxSig::parse("dup", &["a"], &[&["a"], &["b"]]),
         |r| {
             let a = r.field("a").and_then(|v| v.as_int()).unwrap_or(0);
-            Ok(BoxOutput::many(
-                vec![
-                    Record::new().with_field("a", Value::Int(a)),
-                    Record::new().with_field("b", Value::Int(a)),
-                ],
-                Work::ops(2),
-            ))
+            let mut out = RecordVec::new();
+            out.push(Record::new().with_field("a", Value::Int(a)));
+            out.push(Record::new().with_field("b", Value::Int(a)));
+            Ok(BoxOutput::many_into(out, Work::ops(2)))
         },
     ))
 }

@@ -238,6 +238,13 @@ impl<A: Array> SmallVec<A> {
         self
     }
 
+    /// `true` once the contents have spilled to the heap. Lets callers
+    /// (and allocation tests) observe whether a short vector is still
+    /// in its no-allocation inline mode.
+    pub fn spilled(&self) -> bool {
+        matches!(self.store, Store::Heap(_))
+    }
+
     /// Constructs from a full inline array without allocating.
     pub fn from_buf(buf: A) -> SmallVec<A> {
         SmallVec {

@@ -54,6 +54,17 @@ def select_row(doc, where):
     return rows[0]
 
 
+def fmt(value) -> str:
+    """Renders a metric or bound readably across magnitudes: ratios keep
+    three decimals, large counts (rec/s, bytes) get thousands separators
+    and no fractional noise."""
+    if isinstance(value, (int, float)) and abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
 def check_gate(gate, docs):
     """Returns (ok, line) for one gate against the loaded documents."""
     name = gate["name"]
@@ -70,16 +81,19 @@ def check_gate(gate, docs):
     bounds = []
     ok = True
     if "min" in gate:
-        bounds.append(f">= {gate['min']}")
+        bounds.append(f">= {fmt(gate['min'])}")
         ok = ok and value >= gate["min"]
     if "max" in gate:
-        bounds.append(f"<= {gate['max']}")
+        bounds.append(f"<= {fmt(gate['max'])}")
         ok = ok and value <= gate["max"]
     if not bounds:
         raise ValueError(f"gate {name} has neither min nor max")
 
     verdict = "ok  " if ok else "FAIL"
-    return ok, f"{verdict} {name}: {gate['metric']} = {value:.3f} (gate: {' and '.join(bounds)})"
+    return (
+        ok,
+        f"{verdict} {name}: {gate['metric']} = {fmt(value)} (gate: {' and '.join(bounds)})",
+    )
 
 
 def main() -> int:
