@@ -1,0 +1,141 @@
+//! Known-bad fixtures, one per diagnostic code.
+//!
+//! Each fixture is a minimal network with exactly one defect; the test
+//! asserts the analyzer reports *that* code (and the expected
+//! severity), pinning the code assignments as a stable contract. These
+//! complement the soundness property suite in `snet-runtime` (which
+//! proves the analyzer never flags behaviour the interpreter permits):
+//! here we prove it does flag behaviour the paper's type system
+//! forbids.
+
+use snet_analyze::{analyze, AnalyzeConfig};
+use snet_core::boxdef::{BoxDef, BoxOutput, BoxSig, Work};
+use snet_core::filter::OutputTemplate;
+use snet_core::{
+    DiagCode, DiagSeverity, FilterSpec, NetSpec, Pattern, RType, Record, SyncSpec, TagExpr, Variant,
+};
+
+fn consume_a() -> NetSpec {
+    NetSpec::Box(BoxDef::from_fn(
+        BoxSig::parse("consume_a", &["a"], &[&["out"]]),
+        |_| Ok(BoxOutput::one(Record::new(), Work::ZERO)),
+    ))
+}
+
+fn entry(fields: &[&str], tags: &[&str]) -> RType {
+    RType::single(Variant::parse_labels(fields, tags))
+}
+
+/// Run the analyzer and return its single expected diagnostic.
+fn sole_diagnostic(net: &NetSpec, input: &RType) -> snet_core::Diagnostic {
+    let analysis = analyze(net, input, &AnalyzeConfig::default());
+    assert_eq!(
+        analysis.diagnostics.len(),
+        1,
+        "expected exactly one diagnostic, got {:?}",
+        analysis.diagnostics
+    );
+    analysis.diagnostics.into_iter().next().unwrap()
+}
+
+#[test]
+fn sna001_unroutable_at_parallel() {
+    // Both branches demand {a}; the entry record only carries {b}.
+    // (The starved branches additionally earn SNA002 warnings.)
+    let net = NetSpec::parallel(vec![consume_a(), consume_a()]);
+    let analysis = analyze(&net, &entry(&["b"], &[]), &AnalyzeConfig::default());
+    let errors: Vec<_> = analysis.errors().collect();
+    assert_eq!(errors.len(), 1, "{:?}", analysis.diagnostics);
+    assert_eq!(errors[0].code, DiagCode::UnroutableAtParallel);
+    assert_eq!(errors[0].path, "net");
+}
+
+#[test]
+fn sna002_dead_branch() {
+    // Branch 0 accepts {a} (which the entry provides); branch 1 demands
+    // {zzz}, which nothing upstream can ever produce.
+    let dead = NetSpec::Box(BoxDef::from_fn(
+        BoxSig::parse("wants_zzz", &["zzz"], &[&["out"]]),
+        |_| Ok(BoxOutput::one(Record::new(), Work::ZERO)),
+    ));
+    let net = NetSpec::parallel(vec![consume_a(), dead]);
+    let d = sole_diagnostic(&net, &entry(&["a"], &[]));
+    assert_eq!(d.code, DiagCode::DeadBranch);
+    assert_eq!(d.severity, DiagSeverity::Warning);
+    assert_eq!(d.path, "net/par[1]");
+}
+
+#[test]
+fn sna003_sync_never_fires() {
+    // The {a} pattern can match the entry; the {never} pattern cannot,
+    // so the cell's stored {a} records are stranded forever.
+    let net = NetSpec::Sync(SyncSpec::new(vec![
+        Pattern::from_variant(Variant::parse_labels(&["a"], &[])),
+        Pattern::from_variant(Variant::parse_labels(&["never"], &[])),
+    ]));
+    let d = sole_diagnostic(&net, &entry(&["a"], &[]));
+    assert_eq!(d.code, DiagCode::SyncNeverFires);
+    assert_eq!(d.severity, DiagSeverity::Error);
+    assert_eq!(d.path, "net/sync");
+}
+
+#[test]
+fn sna004_split_missing_tag() {
+    // The entry type is exact and lacks <k>: every record is guaranteed
+    // to hit the split without its index tag.
+    let net = NetSpec::split(NetSpec::identity(), "k");
+    let d = sole_diagnostic(&net, &entry(&["a"], &[]));
+    assert_eq!(d.code, DiagCode::SplitMissingTag);
+    assert_eq!(d.severity, DiagSeverity::Error);
+    assert_eq!(d.path, "net/split<k>");
+}
+
+#[test]
+fn sna005_unbound_label() {
+    // The filter matches {a} unconditionally but its template copies
+    // field `b`, which the exact input type does not carry.
+    let net = NetSpec::Filter(FilterSpec::new(
+        Pattern::from_variant(Variant::parse_labels(&["a"], &[])),
+        vec![OutputTemplate::empty()
+            .keep_field("a")
+            .rename_field("c", "b")],
+    ));
+    let d = sole_diagnostic(&net, &entry(&["a"], &[]));
+    assert_eq!(d.code, DiagCode::UnboundLabel);
+    assert_eq!(d.severity, DiagSeverity::Error);
+    assert_eq!(d.path, "net/filter");
+}
+
+#[test]
+fn sna005_unbound_tag_in_expression() {
+    // Same defect via a tag expression: <m> = <missing> + 1 where the
+    // input type has no <missing>.
+    let net = NetSpec::Filter(FilterSpec::new(
+        Pattern::from_variant(Variant::parse_labels(&["a"], &[])),
+        vec![OutputTemplate::empty().keep_field("a").set_tag(
+            "m",
+            TagExpr::bin(
+                snet_core::BinOp::Add,
+                TagExpr::tag("missing"),
+                TagExpr::Const(1),
+            ),
+        )],
+    ));
+    let d = sole_diagnostic(&net, &entry(&["a"], &[]));
+    assert_eq!(d.code, DiagCode::UnboundLabel);
+    assert_eq!(d.severity, DiagSeverity::Error);
+}
+
+#[test]
+fn sna006_placement_out_of_range() {
+    let net = NetSpec::at(NetSpec::identity(), 7);
+    let cfg = AnalyzeConfig {
+        nodes: Some(4),
+        ..AnalyzeConfig::default()
+    };
+    let analysis = analyze(&net, &entry(&["a"], &[]), &cfg);
+    let d = &analysis.diagnostics[0];
+    assert_eq!(d.code, DiagCode::PlacementOutOfRange);
+    assert_eq!(d.severity, DiagSeverity::Error);
+    assert_eq!(d.path, "net/@7");
+}

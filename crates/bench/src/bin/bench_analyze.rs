@@ -1,0 +1,202 @@
+//! Micro-bench for the analyzer-driven `exact_input` fast path.
+//!
+//! When `snet-analyze` proves every record reaching a box
+//! exact-matches its input variant, the planner annotates the box and
+//! `box_step` skips the per-record `accepts` check. This bench pins
+//! that annotation at "no regression": the annotated pipeline must be
+//! at least as fast as the identical un-annotated one (gated at the
+//! 0.95 cross-machine backstop in `bench_gates.toml`; >= 1.0x is the
+//! locally-verified figure).
+//!
+//! Two measurement layers, both on deep serial box chains fed records
+//! that exact-match (`{x}` only — the proof obligation):
+//!
+//! * the deterministic interpreter, which isolates `box_step` itself
+//!   from engine scheduling noise;
+//! * the scheduled engine via `SchedNet::with_entry_type` (the
+//!   user-facing path that actually runs the analyzer), against
+//!   `SchedNet::with_config` on the raw spec.
+//!
+//! Usage: `bench_analyze [--out PATH] [--samples N]`
+//! (default out: `BENCH_analyze.json`).
+
+use snet_analyze::{analyze_and_annotate, AnalyzeConfig};
+use snet_core::boxdef::{BoxDef, BoxOutput, BoxSig, Work};
+use snet_core::{NetSpec, RType, Record, Value, Variant};
+use snet_runtime::{EngineConfig, Interp, SchedNet};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+const RECORDS: i64 = 256;
+
+fn inc_box() -> NetSpec {
+    NetSpec::Box(BoxDef::from_fn(
+        BoxSig::parse("inc", &["x"], &[&["x"]]),
+        |r| {
+            let x = r.field("x").and_then(|v| v.as_int()).unwrap_or(0);
+            Ok(BoxOutput::one(
+                Record::new().with_field("x", Value::Int(x + 1)),
+                Work::ops(1),
+            ))
+        },
+    ))
+}
+
+/// Records that exact-match the boxes' `{x}` input variant — the shape
+/// for which the analyzer can prove the `accepts` check redundant.
+fn records() -> Vec<Record> {
+    (0..RECORDS)
+        .map(|i| Record::new().with_field("x", Value::Int(i)))
+        .collect()
+}
+
+fn entry() -> RType {
+    RType::single(Variant::parse_labels(&["x"], &[]))
+}
+
+/// (min, min) wall-clock over interleaved samples of two measurees
+/// (A, B, A, B, …) so machine drift hits both sides equally. One
+/// warm-up run each.
+fn min_paired(samples: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (Duration, Duration) {
+    a();
+    b();
+    let mut ta = Duration::MAX;
+    let mut tb = Duration::MAX;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        a();
+        ta = ta.min(t0.elapsed());
+        let t0 = Instant::now();
+        b();
+        tb = tb.min(t0.elapsed());
+    }
+    (ta, tb)
+}
+
+struct Row {
+    layer: &'static str,
+    topology: String,
+    annotated_min: Duration,
+    plain_min: Duration,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.plain_min.as_secs_f64() / self.annotated_min.as_secs_f64()
+    }
+}
+
+fn main() {
+    let mut out_path = "BENCH_analyze.json".to_owned();
+    let mut samples = 30usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--samples" => {
+                samples = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--samples needs a number");
+            }
+            other => panic!("unknown flag `{other}` (--out PATH, --samples N)"),
+        }
+    }
+
+    let config = EngineConfig::default();
+    let mut rows: Vec<Row> = Vec::new();
+
+    for depth in [4usize, 16] {
+        let topology = format!("serial_depth={depth}");
+        let plain_spec = NetSpec::pipeline((0..depth).map(|_| inc_box()));
+
+        // The annotated spec: same pipeline, run through the analyzer
+        // with the exact entry type. Every box must earn the proof.
+        let mut annotated_spec = plain_spec.clone();
+        let (analysis, annotated) =
+            analyze_and_annotate(&mut annotated_spec, &entry(), &AnalyzeConfig::default());
+        assert!(!analysis.has_errors(), "{:?}", analysis.diagnostics);
+        assert_eq!(annotated, depth, "every box should be proven exact");
+
+        // Layer 1: the deterministic interpreter (pure box_step cost).
+        let (annotated_min, plain_min) = min_paired(
+            samples,
+            || {
+                let r = Interp::new(&annotated_spec).run_batch(records()).unwrap();
+                assert_eq!(r.outputs.len(), RECORDS as usize);
+            },
+            || {
+                let r = Interp::new(&plain_spec).run_batch(records()).unwrap();
+                assert_eq!(r.outputs.len(), RECORDS as usize);
+            },
+        );
+        rows.push(Row {
+            layer: "interp",
+            topology: topology.clone(),
+            annotated_min,
+            plain_min,
+        });
+
+        // Layer 2: the scheduled engine, annotation via the public
+        // entry-typed constructor.
+        let annotated_net = SchedNet::with_entry_type(plain_spec.clone(), &entry(), config)
+            .expect("pipeline analyzes clean");
+        let plain_net = SchedNet::with_config(plain_spec, config);
+        let (annotated_min, plain_min) = min_paired(
+            samples,
+            || {
+                let outs = annotated_net.run_batch(records()).unwrap();
+                assert_eq!(outs.len(), RECORDS as usize);
+            },
+            || {
+                let outs = plain_net.run_batch(records()).unwrap();
+                assert_eq!(outs.len(), RECORDS as usize);
+            },
+        );
+        rows.push(Row {
+            layer: "sched",
+            topology,
+            annotated_min,
+            plain_min,
+        });
+    }
+
+    for row in &rows {
+        eprintln!(
+            "{:>7} {:>16}: annotated min {:>10.3?}  plain min {:>10.3?}  speedup {:.3}x",
+            row.layer,
+            row.topology,
+            row.annotated_min,
+            row.plain_min,
+            row.speedup(),
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"benchmark\": \"analyzer exact_input annotation on vs off, interpreter + scheduled engine, serial box chains, {RECORDS}-record batches of exact-matching records\",",
+    );
+    let _ = writeln!(json, "  \"samples_per_point\": {samples},");
+    let _ = writeln!(
+        json,
+        "  \"gate\": \"speedup_annotated_over_plain on every row must be >= 1.0 locally (the annotation skips work, it must never add any); CI gates the cross-machine backstop >= 0.95 on interp serial_depth=16 (min-of-samples)\",",
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"layer\": \"{}\", \"topology\": \"{}\", \"annotated_min_ns\": {}, \"plain_min_ns\": {}, \"speedup_annotated_over_plain\": {:.3}}}{}",
+            row.layer,
+            row.topology,
+            row.annotated_min.as_nanos(),
+            row.plain_min.as_nanos(),
+            row.speedup(),
+            if i + 1 < rows.len() { "," } else { "" },
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write analyze bench json");
+    println!("wrote {out_path}");
+}

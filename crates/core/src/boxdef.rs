@@ -256,6 +256,12 @@ pub struct BoxDef {
     /// Per-box failure-policy override; `None` follows the engine's
     /// configured policy.
     pub policy: Option<FailurePolicy>,
+    /// Static proof that every record reaching this box exact-matches
+    /// `input_variant()` (same label set, nothing extra). Set by the
+    /// `snet-analyze` annotation pass; `semantics::box_step` then skips
+    /// the per-record accepts/arity check and the flow split entirely.
+    /// Defaults to `false` — plain construction never claims the proof.
+    pub exact_input: bool,
     /// `sig.input_variant()` cached at construction. Rebuilding the
     /// variant allocates label sets, and every engine consults it once
     /// per record per box — the single hottest line in the workspace.
@@ -271,6 +277,7 @@ impl BoxDef {
             sig,
             func,
             policy: None,
+            exact_input: false,
             iv,
         }
     }

@@ -1,5 +1,6 @@
 //! Error type shared across the workspace.
 
+use crate::diag::{DiagCode, Diagnostic};
 use crate::label::Label;
 use std::fmt;
 
@@ -46,12 +47,36 @@ pub enum SnetError {
     },
     /// Static network checking error.
     Check(String),
+    /// The static analyzer rejected the network before it ran: each
+    /// diagnostic carries a stable `SNAxxx` code (see
+    /// [`crate::diag::DiagCode`]).
+    Analysis(Vec<Diagnostic>),
     /// Engine-level failure (channel teardown, poisoned state, …).
     Engine(String),
     /// The run was cancelled cooperatively before completing.
     Cancelled,
     /// The run's deadline expired before completing.
     DeadlineExceeded,
+}
+
+impl SnetError {
+    /// The stable diagnostic code this runtime error corresponds to, if
+    /// any — the same `SNAxxx` codes the static analyzer emits, so a
+    /// runtime failure and a lint report cross-reference. Routing-shaped
+    /// errors map as:
+    ///
+    /// * no parallel branch accepted a record → [`DiagCode::UnroutableAtParallel`]
+    /// * a split dispatch found no index tag → [`DiagCode::SplitMissingTag`]
+    /// * a filter/tag expression hit a missing label → [`DiagCode::UnboundLabel`]
+    pub fn diag_code(&self) -> Option<DiagCode> {
+        match self {
+            SnetError::TypeMismatch { .. } => Some(DiagCode::UnroutableAtParallel),
+            SnetError::MissingTag(_) => Some(DiagCode::SplitMissingTag),
+            SnetError::MissingField(_) => Some(DiagCode::UnboundLabel),
+            SnetError::Analysis(diags) => diags.first().map(|d| d.code),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SnetError {
@@ -74,6 +99,13 @@ impl fmt::Display for SnetError {
                 write!(f, "parse error at {line}:{col}: {msg}")
             }
             SnetError::Check(msg) => write!(f, "network check error: {msg}"),
+            SnetError::Analysis(diags) => {
+                write!(f, "static analysis rejected the network:")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
             SnetError::Engine(msg) => write!(f, "engine error: {msg}"),
             SnetError::Cancelled => write!(f, "run cancelled"),
             SnetError::DeadlineExceeded => write!(f, "run deadline exceeded"),

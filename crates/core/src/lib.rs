@@ -31,6 +31,7 @@
 //! what each component does to a record.
 
 pub mod boxdef;
+pub mod diag;
 pub mod error;
 pub mod expr;
 pub mod fault;
@@ -48,6 +49,7 @@ pub mod topology;
 pub mod value;
 
 pub use boxdef::{BoxFn, BoxOutput, BoxSig, RecordVec, SigItem, Work};
+pub use diag::{DiagCode, DiagSeverity, Diagnostic};
 pub use error::{panic_cause, SnetError};
 pub use expr::{BinOp, TagExpr, UnOp};
 pub use fault::{DeadLetter, FailurePolicy, FailureReport, StepVerdict};

@@ -111,6 +111,26 @@ impl Variant {
             tags: self.tags.union(&other.tags).copied().collect(),
         }
     }
+
+    /// Set intersection of two variants: the labels both demand.
+    ///
+    /// `a.intersection(&b)` is the most specific variant that both `a`
+    /// and `b` are subtypes of (their join in the subtype lattice, where
+    /// "more labels" means "more specific").
+    pub fn intersection(&self, other: &Variant) -> Variant {
+        Variant {
+            fields: self.fields.intersection(&other.fields).copied().collect(),
+            tags: self.tags.intersection(&other.tags).copied().collect(),
+        }
+    }
+
+    /// Set difference: the labels `self` demands that `other` does not.
+    pub fn difference(&self, other: &Variant) -> Variant {
+        Variant {
+            fields: self.fields.difference(&other.fields).copied().collect(),
+            tags: self.tags.difference(&other.tags).copied().collect(),
+        }
+    }
 }
 
 impl fmt::Debug for Variant {
@@ -203,6 +223,68 @@ impl RType {
         }
         RType { variants: out }
     }
+
+    /// Pairwise-union of the variants of two types: every record shape
+    /// obtained by merging one variant of `self` with one of `other`
+    /// (the synchrocell output shapes when both sides join).
+    pub fn merge(&self, other: &RType) -> RType {
+        let mut out = RType::default();
+        for a in &self.variants {
+            for b in &other.variants {
+                let u = a.union(b);
+                if !out.variants.contains(&u) {
+                    out.variants.push(u);
+                }
+            }
+        }
+        out
+    }
+
+    /// Intersection as a multivariant type: the pairwise intersections
+    /// of the two types' variants, deduplicated.
+    pub fn intersection(&self, other: &RType) -> RType {
+        let mut out = RType::default();
+        for a in &self.variants {
+            for b in &other.variants {
+                let i = a.intersection(b);
+                if !out.variants.contains(&i) {
+                    out.variants.push(i);
+                }
+            }
+        }
+        out
+    }
+
+    /// Drops variants subsumed by another variant of the same type: a
+    /// variant `v` is redundant when some *other* variant `w` satisfies
+    /// `v <: w` (anything matching `v` also matches `w`). Keeps the
+    /// first of exact duplicates; the result accepts exactly the same
+    /// records.
+    pub fn normalize(&self) -> RType {
+        let mut kept: Vec<Variant> = Vec::new();
+        for v in &self.variants {
+            if kept.contains(v) {
+                continue;
+            }
+            kept.push(v.clone());
+        }
+        let redundant: Vec<bool> = kept
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                kept.iter()
+                    .enumerate()
+                    .any(|(j, w)| i != j && v != w && v.is_subtype_of(w))
+            })
+            .collect();
+        RType {
+            variants: kept
+                .into_iter()
+                .zip(redundant)
+                .filter_map(|(v, r)| (!r).then_some(v))
+                .collect(),
+        }
+    }
 }
 
 impl fmt::Debug for RType {
@@ -293,6 +375,101 @@ mod tests {
         let b = RType::new([v(&["c"], &[]), v(&["d"], &[])]);
         let j = a.join(&b);
         assert_eq!(j.variants().len(), 2);
+    }
+
+    #[test]
+    fn subtyping_laws_reflexivity() {
+        for variant in [v(&[], &[]), v(&["a"], &[]), v(&["a", "b"], &["t", "u"])] {
+            assert!(variant.is_subtype_of(&variant));
+        }
+        let t = RType::new([v(&["a"], &[]), v(&["b"], &["t"])]);
+        assert!(t.is_subtype_of(&t));
+    }
+
+    #[test]
+    fn subtyping_laws_transitivity() {
+        // Exhaustive check over all variants drawn from a 2-field,
+        // 1-tag label universe: a <: b and b <: c imply a <: c.
+        let labels: Vec<Variant> = (0u8..8)
+            .map(|bits| {
+                let mut out = Variant::empty();
+                if bits & 1 != 0 {
+                    out.add_field(Label::new("a"));
+                }
+                if bits & 2 != 0 {
+                    out.add_field(Label::new("b"));
+                }
+                if bits & 4 != 0 {
+                    out.add_tag(Label::new("t"));
+                }
+                out
+            })
+            .collect();
+        for a in &labels {
+            for b in &labels {
+                for c in &labels {
+                    if a.is_subtype_of(b) && b.is_subtype_of(c) {
+                        assert!(a.is_subtype_of(c), "{a} <: {b} <: {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_variant_matches_all() {
+        // {} is the top of the subtype lattice: every variant is a
+        // subtype of it, and it accepts every record.
+        let top = Variant::empty();
+        for variant in [v(&["a"], &[]), v(&[], &["t"]), v(&["a", "b"], &["t"])] {
+            assert!(variant.is_subtype_of(&top));
+            assert!(!top.is_subtype_of(&variant));
+        }
+        let rec = Record::new().with_field("x", Value::Unit).with_tag("y", 0);
+        assert!(top.accepts(&rec));
+        assert!(top.accepts(&Record::new()));
+    }
+
+    #[test]
+    fn multivariant_subsumption_normalize() {
+        // {a,b} is subsumed by {a}: any record matching the former
+        // matches the latter, so normalize drops it.
+        let t = RType::new([v(&["a", "b"], &[]), v(&["a"], &[]), v(&["a", "b"], &[])]);
+        let n = t.normalize();
+        assert_eq!(n.variants(), &[v(&["a"], &[])]);
+        // Normalisation preserves acceptance.
+        let rec = Record::new()
+            .with_field("a", Value::Unit)
+            .with_field("b", Value::Unit);
+        assert_eq!(t.accepts(&rec), n.accepts(&rec));
+        // Incomparable variants are both kept.
+        let t = RType::new([v(&["a"], &[]), v(&["b"], &[])]);
+        assert_eq!(t.normalize().variants().len(), 2);
+    }
+
+    #[test]
+    fn intersection_and_union_bounds() {
+        let a = v(&["a", "b"], &["t"]);
+        let b = v(&["b", "c"], &["t", "u"]);
+        let i = a.intersection(&b);
+        let u = a.union(&b);
+        assert_eq!(i, v(&["b"], &["t"]));
+        assert_eq!(u, v(&["a", "b", "c"], &["t", "u"]));
+        // Union is the meet (more specific than both), intersection the
+        // join (more general than both), under inverse-inclusion order.
+        assert!(u.is_subtype_of(&a) && u.is_subtype_of(&b));
+        assert!(a.is_subtype_of(&i) && b.is_subtype_of(&i));
+    }
+
+    #[test]
+    fn rtype_merge_is_pairwise_union() {
+        let a = RType::new([v(&["pic"], &[]), v(&["chunk"], &[])]);
+        let b = RType::single(v(&[], &["cnt"]));
+        let m = a.merge(&b);
+        assert_eq!(
+            m.variants(),
+            &[v(&["pic"], &["cnt"]), v(&["chunk"], &["cnt"])]
+        );
     }
 
     #[test]

@@ -93,6 +93,21 @@ pub struct EngineConfig {
     /// there; opt in for dedicated hardware. The threaded engine
     /// ignores it.
     pub pin_workers: bool,
+    /// Run the static analyzer (`snet-analyze`) over the topology at
+    /// construction time as a pre-flight check. The check is sound for
+    /// *any* input stream (the entry type is unknown), so it only
+    /// rejects structural defects — today that is placement targets out
+    /// of range (`SNA006`, needs [`EngineConfig::nodes`]). A rejected
+    /// net reports [`SnetError::Analysis`] from `run_batch*` and fails
+    /// `start()`ed runs immediately. Default `true`; set `false` to
+    /// opt out. For the full shape-aware analysis, declare the entry
+    /// type via `with_entry_type`.
+    pub analyze: bool,
+    /// Number of compute nodes available to the placement combinators
+    /// (`@ node`, `!@ tag`), used only by the pre-flight analyzer's
+    /// range check. `None` (default) disables the check — the local
+    /// engines ignore placement, so any node index runs fine here.
+    pub nodes: Option<u32>,
 }
 
 impl Default for EngineConfig {
@@ -106,8 +121,31 @@ impl Default for EngineConfig {
             deadline: None,
             fuse: true,
             pin_workers: false,
+            analyze: true,
+            nodes: None,
         }
     }
+}
+
+/// The analyzer configuration induced by an engine configuration.
+pub(crate) fn analyze_cfg(config: &EngineConfig) -> snet_analyze::AnalyzeConfig {
+    snet_analyze::AnalyzeConfig {
+        nodes: config.nodes,
+        ..snet_analyze::AnalyzeConfig::default()
+    }
+}
+
+/// Pre-flight diagnostics for `spec` under `config`: the error-severity
+/// findings of the open-entry analysis, or nothing when the check is
+/// opted out.
+pub(crate) fn preflight(spec: &NetSpec, config: &EngineConfig) -> Vec<snet_core::Diagnostic> {
+    if !config.analyze {
+        return Vec::new();
+    }
+    snet_analyze::analyze_open(spec, &analyze_cfg(config))
+        .errors()
+        .cloned()
+        .collect()
 }
 
 /// Default scheduled-engine pool size: the `SNET_WORKERS` environment
@@ -136,6 +174,11 @@ pub struct Net {
     /// `spec` when [`EngineConfig::fuse`] is off).
     plan: NetSpec,
     config: EngineConfig,
+    /// Error-severity findings of the construction-time pre-flight
+    /// analysis (empty when clean or when [`EngineConfig::analyze`] is
+    /// off). A non-empty list fails every run with
+    /// [`SnetError::Analysis`].
+    preflight: Vec<snet_core::Diagnostic>,
 }
 
 impl Net {
@@ -151,12 +194,49 @@ impl Net {
         } else {
             spec.clone()
         };
-        Net { spec, plan, config }
+        let preflight = preflight(&spec, &config);
+        Net {
+            spec,
+            plan,
+            config,
+            preflight,
+        }
+    }
+
+    /// Wraps a topology with a declared (closed) entry type: every
+    /// record fed to the net is promised to carry exactly the labels of
+    /// one of `entry`'s variants. This unlocks the full shape-aware
+    /// analysis — the net is rejected up front ([`SnetError::Analysis`])
+    /// on any error-severity finding (unroutable records, splits missing
+    /// their index tag, stranded synchrocells, unbound filter labels,
+    /// placement out of range) — and the analyzer's exact-match proofs
+    /// annotate the execution plan so fused boxes skip their per-record
+    /// type checks ([`snet_core::boxdef::BoxDef::exact_input`]).
+    pub fn with_entry_type(
+        spec: NetSpec,
+        entry: &snet_core::RType,
+        config: EngineConfig,
+    ) -> Result<Net, SnetError> {
+        let mut net = Net::with_config(spec, config);
+        let (analysis, _annotated) =
+            snet_analyze::analyze_and_annotate(&mut net.plan, entry, &analyze_cfg(&config));
+        let errors: Vec<_> = analysis.errors().cloned().collect();
+        if !errors.is_empty() {
+            return Err(SnetError::Analysis(errors));
+        }
+        net.preflight.clear();
+        Ok(net)
     }
 
     /// The underlying topology.
     pub fn spec(&self) -> &NetSpec {
         &self.spec
+    }
+
+    /// The pre-flight diagnostics this net was constructed with (empty
+    /// when the analysis passed or was opted out).
+    pub fn preflight_diagnostics(&self) -> &[snet_core::Diagnostic] {
+        &self.preflight
     }
 
     /// Instantiates the network and returns a handle for streaming
@@ -183,6 +263,12 @@ impl Net {
         });
         let (in_tx, in_rx) = bounded(cap);
         let (out_tx, out_rx) = bounded(cap);
+        if !self.preflight.is_empty() {
+            // Pre-flight rejected the net: the run starts already
+            // failed, components stop at their first preemption check,
+            // and `finish()` reports the analysis error.
+            shared.fail(SnetError::Analysis(self.preflight.clone()));
+        }
         build(&self.plan, in_rx, out_tx, &shared);
         NetHandle {
             input: Mutex::new(Some(in_tx)),
@@ -216,6 +302,9 @@ impl Net {
     /// the driver to use with [`FailurePolicy::DeadLetter`], where
     /// dropped records are data, not errors.
     pub fn run_batch_report(&self, records: Vec<Record>) -> Result<crate::RunReport, SnetError> {
+        if !self.preflight.is_empty() {
+            return Err(SnetError::Analysis(self.preflight.clone()));
+        }
         let handle = self.start();
         let feeder_tx = handle
             .input

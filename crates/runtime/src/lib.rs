@@ -144,6 +144,45 @@
 //! The [`faultinject`] module provides the deterministic, content-keyed
 //! chaos harness the robustness property tests drive these paths with.
 //!
+//! ## Static analysis
+//!
+//! Both concurrent engines run the `snet-analyze` abstract interpreter
+//! over the topology before executing it, at two levels of precision:
+//!
+//! * **Open pre-flight** (on by default, [`EngineConfig::analyze`]):
+//!   `Net::with_config` / `SchedNet::with_config` analyze the spec with
+//!   an *open* entry type — no assumption about the input stream — so
+//!   only input-independent structural defects can fire. Today that is
+//!   SNA006 (`@node` placement outside [`EngineConfig::nodes`]). A
+//!   finding is reported as [`SnetError::Analysis`] from the first run
+//!   (`run_batch*`, or `finish()` on a started stream) rather than
+//!   panicking in the middle of one. `analyze: false` opts out.
+//! * **Entry-typed analysis** ([`Net::with_entry_type`] /
+//!   [`SchedNet::with_entry_type`]): given the input stream's record
+//!   type, construction runs the full shape analysis and *refuses to
+//!   build* a network with an error-severity finding — unroutable
+//!   records at a parallel (SNA001), synchrocells that can never fire
+//!   (SNA003), splits not guaranteed their index tag (SNA004), filters
+//!   reading labels the input cannot carry (SNA005). Diagnostics carry
+//!   stable `SNA...` codes and component paths; the same codes are
+//!   exposed by [`SnetError::diag_code`](snet_core::SnetError::diag_code)
+//!   when the equivalent defect is hit *dynamically*, so a runtime
+//!   routing failure and its static prediction read as one vocabulary.
+//!
+//! Acceptance is not just a veto — it is a proof the engines exploit.
+//! When the analysis shows that every record reaching a box
+//! exact-matches the box's input variant, the box is annotated
+//! (`BoxDef::exact_input`) and the shared `box_step` skips its
+//! per-record `accepts` check. The soundness contract — anything the
+//! reference interpreter routes, the analyzer must not flag, and
+//! annotated runs produce bit-identical output multisets — is pinned
+//! by the property suite in `tests/analyze_soundness.rs` (256+ random
+//! topologies per property) and gated in CI's `analyze` lane; the
+//! no-regression guarantee of the fast path is gated through
+//! `BENCH_analyze.json` / `bench_gates.toml`. The `snet-lint` binary
+//! (crates/apps) runs the same analysis over the paper's application
+//! networks.
+//!
 //! ## Concurrency correctness
 //!
 //! The scheduled engine's hot paths are lock-free or condvar-gated, and

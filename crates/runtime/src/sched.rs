@@ -135,6 +135,11 @@ pub struct SchedNet {
     /// its allocation cost on the streaming hot path) when diversion
     /// is provably impossible.
     diverts: bool,
+    /// Error-severity findings of the construction-time pre-flight
+    /// analysis (empty when clean or when [`EngineConfig::analyze`] is
+    /// off). A non-empty list fails every run with
+    /// [`SnetError::Analysis`].
+    preflight: Vec<snet_core::Diagnostic>,
     shared: Arc<Shared>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     spawned: AtomicUsize,
@@ -155,11 +160,13 @@ impl SchedNet {
         } else {
             spec.clone()
         };
+        let preflight = crate::engine::preflight(&spec, &config);
         SchedNet {
             spec,
             plan,
             config,
             diverts,
+            preflight,
             shared: Arc::new(Shared {
                 injector: Injector::new(),
                 deferred: Mutex::new(BinaryHeap::new()),
@@ -175,9 +182,40 @@ impl SchedNet {
         }
     }
 
+    /// Wraps a topology with a declared (closed) entry type: the full
+    /// shape-aware analysis rejects the net up front
+    /// ([`SnetError::Analysis`]) on any error-severity finding, and its
+    /// exact-match proofs annotate the execution plan so fused boxes
+    /// skip their per-record type checks (see
+    /// [`crate::Net::with_entry_type`]).
+    pub fn with_entry_type(
+        spec: NetSpec,
+        entry: &snet_core::RType,
+        config: EngineConfig,
+    ) -> Result<SchedNet, SnetError> {
+        let mut net = SchedNet::with_config(spec, config);
+        let (analysis, _annotated) = snet_analyze::analyze_and_annotate(
+            &mut net.plan,
+            entry,
+            &crate::engine::analyze_cfg(&config),
+        );
+        let errors: Vec<_> = analysis.errors().cloned().collect();
+        if !errors.is_empty() {
+            return Err(SnetError::Analysis(errors));
+        }
+        net.preflight.clear();
+        Ok(net)
+    }
+
     /// The underlying topology.
     pub fn spec(&self) -> &NetSpec {
         &self.spec
+    }
+
+    /// The pre-flight diagnostics this net was constructed with (empty
+    /// when the analysis passed or was opted out).
+    pub fn preflight_diagnostics(&self) -> &[snet_core::Diagnostic] {
+        &self.preflight
     }
 
     /// Worker threads spawned by this net over its whole lifetime.
@@ -251,6 +289,11 @@ impl SchedNet {
             },
             &run,
         );
+        if !self.preflight.is_empty() {
+            // Pre-flight rejected the net: the run starts already
+            // failed and `finish()` reports the analysis error.
+            run.fail(SnetError::Analysis(self.preflight.clone()));
+        }
         let entry = build(&self.plan, Port::new(&sink), &run);
         SchedHandle {
             input: Mutex::new(Some(entry)),
@@ -290,6 +333,9 @@ impl SchedNet {
     /// [`snet_core::fault::FailurePolicy::DeadLetter`], where dropped
     /// records are data, not errors.
     pub fn run_batch_report(&self, records: Vec<Record>) -> Result<crate::RunReport, SnetError> {
+        if !self.preflight.is_empty() {
+            return Err(SnetError::Analysis(self.preflight.clone()));
+        }
         self.ensure_workers();
         let dead = Arc::new(Mutex::new(Vec::new()));
         let run = Run::new(

@@ -119,7 +119,24 @@ def main() -> int:
 
     gates = config.get("gate", [])
     needed = {g["file"] for g in gates}
-    docs = {name: json.loads(Path(files[name]).read_text()) for name in needed}
+
+    unknown = sorted(needed - files.keys())
+    if unknown:
+        known = ", ".join(sorted(files)) or "(none)"
+        sys.exit(
+            f"error: gate(s) reference file name(s) not in [files]: "
+            f"{', '.join(unknown)} (known: {known})"
+        )
+
+    docs = {}
+    for name in needed:
+        path = Path(files[name])
+        try:
+            docs[name] = json.loads(path.read_text())
+        except OSError as e:
+            sys.exit(f"error: cannot read bench file {name!r} at {path}: {e}")
+        except json.JSONDecodeError as e:
+            sys.exit(f"error: bench file {name!r} at {path} is not valid JSON: {e}")
 
     failures = 0
     for gate in gates:

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/check_bench.py.
+
+Exercises the checker end to end as a subprocess, pinning in particular
+the error paths: a gate referencing a ``[files]`` name that does not
+exist, and a mapping pointing at a missing/corrupt JSON file, must both
+produce a one-line diagnostic and a non-zero exit — not a traceback.
+
+Run directly (``python3 scripts/test_check_bench.py``) or via unittest.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parent / "check_bench.py"
+
+
+def run_checker(config_text: str, tmp: Path, *extra: str):
+    config = tmp / "gates.toml"
+    config.write_text(config_text)
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), "--config", str(config), *extra],
+        capture_output=True,
+        text=True,
+        cwd=tmp,
+    )
+
+
+class CheckBenchTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.tmp = Path(self._tmp.name)
+        self.addCleanup(self._tmp.cleanup)
+
+    def test_passing_and_failing_gates(self):
+        (self.tmp / "ok.json").write_text(json.dumps({"speedup": 2.0}))
+        config = """
+            [files]
+            bench = "ok.json"
+            [[gate]]
+            name = "floor"
+            file = "bench"
+            metric = "speedup"
+            min = 1.5
+        """
+        proc = run_checker(config, self.tmp)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("ok   floor", proc.stdout)
+
+        proc = run_checker(config.replace("min = 1.5", "min = 3.0"), self.tmp)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("FAIL floor", proc.stdout)
+
+    def test_gate_referencing_unknown_file_name_is_a_clear_error(self):
+        config = """
+            [files]
+            bench = "ok.json"
+            [[gate]]
+            name = "floor"
+            file = "no_such_name"
+            metric = "speedup"
+            min = 1.0
+        """
+        proc = run_checker(config, self.tmp)
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("no_such_name", proc.stderr)
+        self.assertIn("not in [files]", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_missing_json_path_is_a_clear_error(self):
+        config = """
+            [files]
+            bench = "does_not_exist.json"
+            [[gate]]
+            name = "floor"
+            file = "bench"
+            metric = "speedup"
+            min = 1.0
+        """
+        proc = run_checker(config, self.tmp)
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("cannot read bench file", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_corrupt_json_is_a_clear_error(self):
+        (self.tmp / "bad.json").write_text("{not json")
+        config = """
+            [files]
+            bench = "bad.json"
+            [[gate]]
+            name = "floor"
+            file = "bench"
+            metric = "speedup"
+            min = 1.0
+        """
+        proc = run_checker(config, self.tmp)
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("not valid JSON", proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+    def test_repo_gates_config_is_well_formed(self):
+        # The committed bench_gates.toml must only reference known file
+        # names (the checker now rejects dangling references up front,
+        # before any JSON is read — pointing every mapping at a missing
+        # path proves name resolution succeeded first).
+        repo_config = (SCRIPT.parent.parent / "bench_gates.toml").read_text()
+        proc = run_checker(repo_config, self.tmp)
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("cannot read bench file", proc.stderr)
+        self.assertNotIn("not in [files]", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
